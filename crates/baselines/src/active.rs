@@ -1,0 +1,131 @@
+//! Active-learning selectors (paper §5.1, Settles 2009).
+//!
+//! * **Active (one)** — least-confidence sampling: pick the samples whose
+//!   top predicted probability is smallest.
+//! * **Active (two)** — entropy sampling: pick the samples with the
+//!   highest predictive entropy.
+//!
+//! For binary classification the two orderings coincide (both are
+//! monotone in `|p − ½|`), which is why the paper's tables show identical
+//! numbers for the two columns.
+
+use chef_core::selector::{SampleSelector, Selection, SelectorContext};
+
+fn rank_by<F: FnMut(&SelectorContext<'_>, usize) -> f64>(
+    ctx: &SelectorContext<'_>,
+    mut score: F,
+) -> Vec<Selection> {
+    // Smaller score = selected first.
+    let mut scored: Vec<(usize, f64)> = ctx.pool.iter().map(|&i| (i, score(ctx, i))).collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+    scored
+        .into_iter()
+        .take(ctx.b)
+        .map(|(index, _)| Selection {
+            index,
+            suggested: None,
+        })
+        .collect()
+}
+
+/// Least-confidence sampling ("Active (one)").
+#[derive(Debug, Default)]
+pub struct ActiveLeastConfidence;
+
+impl SampleSelector for ActiveLeastConfidence {
+    fn name(&self) -> &str {
+        "Active (one)"
+    }
+
+    fn select(&mut self, ctx: &SelectorContext<'_>) -> Vec<Selection> {
+        rank_by(ctx, |ctx, i| {
+            let p = ctx.model.predict(ctx.w, ctx.data.feature(i));
+            // Most confident prediction, ascending → least confident first.
+            p.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        })
+    }
+}
+
+/// Entropy sampling ("Active (two)").
+#[derive(Debug, Default)]
+pub struct ActiveEntropy;
+
+impl SampleSelector for ActiveEntropy {
+    fn name(&self) -> &str {
+        "Active (two)"
+    }
+
+    fn select(&mut self, ctx: &SelectorContext<'_>) -> Vec<Selection> {
+        rank_by(ctx, |ctx, i| {
+            let p = ctx.model.predict(ctx.w, ctx.data.feature(i));
+            // Negative entropy ascending → highest entropy first.
+            p.iter()
+                .filter(|&&v| v > 0.0)
+                .map(|&v| v * v.ln())
+                .sum::<f64>()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::fixture;
+    use chef_model::Model;
+
+    fn ctx_with<'a>(
+        model: &'a chef_model::LogisticRegression,
+        obj: &'a chef_model::WeightedObjective,
+        data: &'a chef_model::Dataset,
+        val: &'a chef_model::Dataset,
+        w: &'a [f64],
+        pool: &'a [usize],
+        b: usize,
+    ) -> SelectorContext<'a> {
+        SelectorContext {
+            model,
+            objective: obj,
+            data,
+            val,
+            w,
+            pool,
+            b,
+            round: 0,
+        }
+    }
+
+    #[test]
+    fn both_pick_most_uncertain_samples() {
+        let (model, obj, data, val) = fixture(50, 7);
+        // Train-free parameters with a strong slope so confidence varies.
+        let w = vec![0.8, 0.8, 0.0, -0.8, -0.8, 0.0];
+        let pool = data.uncleaned_indices();
+        let ctx = ctx_with(&model, &obj, &data, &val, &w, &pool, 5);
+        let mut lc = ActiveLeastConfidence;
+        let mut en = ActiveEntropy;
+        let a = lc.select(&ctx);
+        let b = en.select(&ctx);
+        // Binary task: orderings coincide.
+        let ia: Vec<usize> = a.iter().map(|s| s.index).collect();
+        let ib: Vec<usize> = b.iter().map(|s| s.index).collect();
+        assert_eq!(ia, ib);
+        // The selected samples are less confident than the unselected ones.
+        let conf = |i: usize| {
+            let p = model.predict(&w, data.feature(i));
+            p.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        };
+        let max_sel = ia.iter().map(|&i| conf(i)).fold(f64::NEG_INFINITY, f64::max);
+        let min_unsel = pool
+            .iter()
+            .filter(|i| !ia.contains(i))
+            .map(|&i| conf(i))
+            .fold(f64::INFINITY, f64::min);
+        assert!(max_sel <= min_unsel + 1e-12);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ActiveLeastConfidence.name(), "Active (one)");
+        assert_eq!(ActiveEntropy.name(), "Active (two)");
+    }
+}

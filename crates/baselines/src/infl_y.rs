@@ -1,0 +1,111 @@
+//! **Infl-Y** — the label-perturbation influence of Zhang et al.
+//! (paper Eq. 7).
+//!
+//! `I_pert(z̃) = −∇F(w, Z_val)ᵀ H⁻¹(w) ∇_y∇_w F(w, z̃)` ranks samples by
+//! how strongly the validation loss reacts to *any* label movement —
+//! without weighting by the actual label change `δ_y` and without the
+//! `(1 − γ)` up-weighting term that Infl adds. We score each sample by
+//! the most negative directional response over candidate classes,
+//! `min_c −vᵀ (∇_y∇_wF)_{·c}`, which is Eq. 7 dotted with each coordinate
+//! direction of the label simplex. Appendix G.4 of the paper shows this
+//! underperforms Infl exactly because `δ_y` is ignored.
+
+use chef_core::influence::{influence_vector, InflConfig};
+use chef_core::selector::{SampleSelector, Selection, SelectorContext};
+use chef_linalg::vector;
+
+/// The Infl-Y selector.
+#[derive(Debug, Default)]
+pub struct InflY {
+    /// CG configuration for the `H⁻¹v` solve.
+    pub cfg: InflConfig,
+}
+
+impl SampleSelector for InflY {
+    fn name(&self) -> &str {
+        "Infl-Y"
+    }
+
+    fn select(&mut self, ctx: &SelectorContext<'_>) -> Vec<Selection> {
+        let v = influence_vector(ctx.model, ctx.objective, ctx.data, ctx.val, ctx.w, &self.cfg);
+        let mut g = vec![0.0; ctx.model.num_params()];
+        let c_count = ctx.model.num_classes();
+        let mut scored: Vec<(usize, f64)> = ctx
+            .pool
+            .iter()
+            .map(|&i| {
+                let mut best = f64::INFINITY;
+                for c in 0..c_count {
+                    ctx.model.class_grad(ctx.w, ctx.data.feature(i), c, &mut g);
+                    best = best.min(-vector::dot(&v, &g));
+                }
+                (i, best)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+        scored
+            .into_iter()
+            .take(ctx.b)
+            .map(|(index, _)| Selection {
+                index,
+                suggested: None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::fixture;
+    use chef_model::Model;
+
+    #[test]
+    fn ranks_and_truncates() {
+        let (model, obj, data, val) = fixture(45, 3);
+        let w = vec![0.1; model.num_params()];
+        let pool = data.uncleaned_indices();
+        let ctx = SelectorContext {
+            model: &model,
+            objective: &obj,
+            data: &data,
+            val: &val,
+            w: &w,
+            pool: &pool,
+            b: 9,
+            round: 0,
+        };
+        let mut sel = InflY::default();
+        let picks = sel.select(&ctx);
+        assert_eq!(picks.len(), 9);
+        assert!(picks.iter().all(|p| p.suggested.is_none()));
+        assert_eq!(sel.name(), "Infl-Y");
+    }
+
+    #[test]
+    fn is_deterministic_and_scores_every_candidate() {
+        let (model, obj, data, val) = fixture(40, 4);
+        let w = vec![0.07; model.num_params()];
+        let pool = data.uncleaned_indices();
+        let ctx = SelectorContext {
+            model: &model,
+            objective: &obj,
+            data: &data,
+            val: &val,
+            w: &w,
+            pool: &pool,
+            b: pool.len(),
+            round: 0,
+        };
+        let mut sel = InflY::default();
+        let a = sel.select(&ctx);
+        let b = sel.select(&ctx);
+        assert_eq!(a, b);
+        // With b = pool size, every candidate is returned exactly once.
+        let mut idx: Vec<usize> = a.iter().map(|s| s.index).collect();
+        idx.sort_unstable();
+        let mut expect = pool.clone();
+        expect.sort_unstable();
+        assert_eq!(idx, expect);
+    }
+}

@@ -1,0 +1,40 @@
+//! # chef-baselines
+//!
+//! Every comparison method from §5.1 of the CHEF paper, implemented as
+//! [`chef_core::SampleSelector`]s so the pipeline can swap them in:
+//!
+//! * [`InflD`] — the classic validation-set influence function of
+//!   Koh & Liang (paper Eq. 2), which models *removal* of a sample;
+//! * [`InflY`] — Zhang et al.'s label-perturbation influence (Eq. 7):
+//!   Infl without the `δ_y` magnitude and without the re-weighting term;
+//! * [`ActiveLeastConfidence`] / [`ActiveEntropy`] — the two
+//!   uncertainty-sampling active-learning selectors ("Active (one)" and
+//!   "Active (two)");
+//! * [`O2U`] — noisy-label detection from loss statistics under a
+//!   cyclical learning rate (Huang et al., ICCV 2019);
+//! * [`Tars`] — oracle-based cleaning of *deterministic* noisy labels
+//!   (Dolatshah et al., VLDB 2018); applied after rounding probabilistic
+//!   labels, as the paper's Appendix G.3 comparison prescribes;
+//! * [`Duti`] — training-set debugging via bi-level optimization
+//!   (Zhang, Zhu & Wright, AAAI 2018), relaxed to an alternating solver
+//!   and extended to probabilistic labels per Appendix F.3;
+//! * [`RandomSelector`] — uniform-random control.
+
+#[cfg(test)]
+pub(crate) mod test_util;
+
+pub mod active;
+pub mod duti;
+pub mod infl_d;
+pub mod infl_y;
+pub mod o2u;
+pub mod random;
+pub mod tars;
+
+pub use active::{ActiveEntropy, ActiveLeastConfidence};
+pub use duti::{Duti, DutiConfig};
+pub use infl_d::InflD;
+pub use infl_y::InflY;
+pub use o2u::{O2UConfig, O2U};
+pub use random::RandomSelector;
+pub use tars::Tars;

@@ -1,0 +1,232 @@
+//! **O2U** — noisy-label detection from loss curves under a cyclical
+//! learning rate (Huang et al., ICCV 2019; paper §5.1).
+//!
+//! O2U-Net repeatedly transfers the network between over-fitting and
+//! under-fitting by cycling the learning rate, recording each sample's
+//! loss along the way: noisily-labeled samples keep a *high average loss*
+//! across the cycle because the model can only memorize them at the
+//! over-fitting end. Samples are ranked by mean loss, descending.
+//!
+//! Our adaptation for the CHEF setting: the cyclic phase trains the
+//! convex model with a triangular learning-rate schedule on the weighted
+//! objective (probabilistic labels included, as the paper's "no
+//! modifications other than using Equation (1)" prescribes) and records
+//! per-sample losses once per epoch. The ranking is computed on the
+//! first call and consumed greedily across rounds, mirroring how a
+//! one-shot detector plugs into the iterative pipeline.
+
+use chef_core::selector::{SampleSelector, Selection, SelectorContext};
+use chef_linalg::vector;
+use chef_train::BatchPlan;
+
+/// O2U hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct O2UConfig {
+    /// Peak learning rate of the triangular cycle.
+    pub lr_max: f64,
+    /// Floor learning rate.
+    pub lr_min: f64,
+    /// Length of one cycle in epochs.
+    pub cycle_epochs: usize,
+    /// Number of cycles.
+    pub cycles: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// RNG seed for the batch plan.
+    pub seed: u64,
+}
+
+impl Default for O2UConfig {
+    fn default() -> Self {
+        Self {
+            lr_max: 0.2,
+            lr_min: 0.01,
+            cycle_epochs: 10,
+            cycles: 2,
+            batch_size: 128,
+            seed: 17,
+        }
+    }
+}
+
+/// The O2U selector.
+#[derive(Debug)]
+pub struct O2U {
+    /// Hyperparameters of the cyclic phase.
+    pub cfg: O2UConfig,
+    /// Cached ranking (sample indices, noisiest first), built lazily.
+    ranking: Vec<usize>,
+}
+
+impl Default for O2U {
+    fn default() -> Self {
+        Self::new(O2UConfig::default())
+    }
+}
+
+impl O2U {
+    /// Create an O2U selector.
+    pub fn new(cfg: O2UConfig) -> Self {
+        Self {
+            cfg,
+            ranking: Vec::new(),
+        }
+    }
+
+    /// Run the cyclic-training phase and rank all pool samples by mean
+    /// loss (descending).
+    fn build_ranking(&self, ctx: &SelectorContext<'_>) -> Vec<usize> {
+        let model = ctx.model;
+        let data = ctx.data;
+        let obj = ctx.objective;
+        let m = model.num_params();
+        let mut w = ctx.w.to_vec();
+        let epochs = self.cfg.cycle_epochs * self.cfg.cycles;
+        let plan = BatchPlan::new(data.len(), self.cfg.batch_size, epochs, self.cfg.seed);
+        let per_epoch = plan.batches_per_epoch();
+        let mut g = vec![0.0; m];
+        let mut loss_sum = vec![0.0; data.len()];
+        let mut records = 0usize;
+
+        for (t, batch) in plan.iter() {
+            let epoch = t / per_epoch;
+            let phase = (epoch % self.cfg.cycle_epochs) as f64
+                / self.cfg.cycle_epochs.max(1) as f64;
+            // Triangular schedule: start at lr_max, decay linearly to
+            // lr_min over the cycle (the O2U "overfit → underfit" sweep
+            // runs high-to-low per cycle).
+            let lr = self.cfg.lr_max - (self.cfg.lr_max - self.cfg.lr_min) * phase;
+            obj.batch_grad(model, data, &batch, &w, &mut g);
+            vector::axpy(-lr, &g, &mut w);
+            // Record per-sample losses at every epoch boundary.
+            if (t + 1) % per_epoch == 0 {
+                for (i, acc) in loss_sum.iter_mut().enumerate() {
+                    *acc += model.loss(&w, data.feature(i), data.label(i));
+                }
+                records += 1;
+            }
+        }
+        let _ = records;
+        let mut order: Vec<usize> = ctx.pool.to_vec();
+        order.sort_by(|&a, &b| loss_sum[b].total_cmp(&loss_sum[a]));
+        order
+    }
+}
+
+impl SampleSelector for O2U {
+    fn name(&self) -> &str {
+        "O2U"
+    }
+
+    fn select(&mut self, ctx: &SelectorContext<'_>) -> Vec<Selection> {
+        if self.ranking.is_empty() && ctx.round == 0 {
+            self.ranking = self.build_ranking(ctx);
+        }
+        if self.ranking.is_empty() {
+            return Vec::new();
+        }
+        // Consume the next b indices still in the pool.
+        let mut picks = Vec::with_capacity(ctx.b);
+        let mut kept = Vec::with_capacity(self.ranking.len());
+        for &i in &self.ranking {
+            if picks.len() < ctx.b && ctx.pool.contains(&i) {
+                picks.push(Selection {
+                    index: i,
+                    suggested: None,
+                });
+            } else {
+                kept.push(i);
+            }
+        }
+        self.ranking = kept;
+        picks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::fixture;
+    use chef_model::{Model, SoftLabel};
+
+    #[test]
+    fn flipped_labels_rank_high() {
+        let (model, obj, mut data, val) = fixture(120, 9);
+        // Give most samples their (soft) true label, but poison a few
+        // with confidently wrong labels.
+        for i in 0..data.len() {
+            let t = data.ground_truth(i).unwrap();
+            let l = if i < 6 {
+                // poisoned: confident wrong label
+                SoftLabel::onehot(1 - t, 2)
+            } else {
+                let mut p = vec![0.25, 0.25];
+                p[t] = 0.75;
+                SoftLabel::new(p)
+            };
+            data.set_label(i, l);
+            data.mark_uncleaned(i);
+        }
+        let w = vec![0.0; model.num_params()];
+        let pool = data.uncleaned_indices();
+        let ctx = SelectorContext {
+            model: &model,
+            objective: &obj,
+            data: &data,
+            val: &val,
+            w: &w,
+            pool: &pool,
+            b: 12,
+            round: 0,
+        };
+        let mut sel = O2U::new(O2UConfig::default());
+        let picks = sel.select(&ctx);
+        let picked: Vec<usize> = picks.iter().map(|s| s.index).collect();
+        let hits = (0..6).filter(|i| picked.contains(i)).count();
+        assert!(hits >= 4, "only {hits}/6 poisoned samples in top 12: {picked:?}");
+    }
+
+    #[test]
+    fn consumes_ranking_across_rounds() {
+        let (model, obj, data, val) = fixture(40, 10);
+        let w = vec![0.0; model.num_params()];
+        let pool = data.uncleaned_indices();
+        let mut sel = O2U::new(O2UConfig {
+            cycle_epochs: 2,
+            cycles: 1,
+            ..O2UConfig::default()
+        });
+        fn mk<'a>(
+            model: &'a chef_model::LogisticRegression,
+            obj: &'a chef_model::WeightedObjective,
+            data: &'a chef_model::Dataset,
+            val: &'a chef_model::Dataset,
+            w: &'a [f64],
+            pool: &'a [usize],
+            round: usize,
+        ) -> SelectorContext<'a> {
+            SelectorContext {
+                model,
+                objective: obj,
+                data,
+                val,
+                w,
+                pool,
+                b: 5,
+                round,
+            }
+        }
+        let first = sel.select(&mk(&model, &obj, &data, &val, &w, &pool, 0));
+        let remaining: Vec<usize> = pool
+            .iter()
+            .copied()
+            .filter(|i| !first.iter().any(|s| s.index == *i))
+            .collect();
+        let second = sel.select(&mk(&model, &obj, &data, &val, &w, &remaining, 1));
+        assert_eq!(first.len(), 5);
+        assert_eq!(second.len(), 5);
+        for s in &second {
+            assert!(!first.contains(s), "re-selected {s:?}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Shared fixtures for the baseline selectors' unit tests.
+
+use chef_linalg::Matrix;
+use chef_model::{Dataset, LogisticRegression, SoftLabel, WeightedObjective};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A small weakly-labeled two-cluster problem plus a clean validation set.
+pub fn fixture(
+    n: usize,
+    seed: u64,
+) -> (LogisticRegression, WeightedObjective, Dataset, Dataset) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut raw = Vec::new();
+    let mut labels = Vec::new();
+    let mut truth = Vec::new();
+    for _ in 0..n {
+        let c = usize::from(rng.gen_range(0.0..1.0) < 0.5);
+        let sign = if c == 1 { 1.0 } else { -1.0 };
+        raw.push(sign + rng.gen_range(-1.0..1.0));
+        raw.push(sign + rng.gen_range(-1.0..1.0));
+        let p = rng.gen_range(0.1..0.9);
+        labels.push(SoftLabel::new(vec![p, 1.0 - p]));
+        truth.push(Some(c));
+    }
+    let data = Dataset::new(
+        Matrix::from_vec(n, 2, raw),
+        labels,
+        vec![false; n],
+        truth,
+        2,
+    );
+    let vn = 30;
+    let mut vraw = Vec::new();
+    let mut vlab = Vec::new();
+    let mut vtruth = Vec::new();
+    for _ in 0..vn {
+        let c = usize::from(rng.gen_range(0.0..1.0) < 0.5);
+        let sign = if c == 1 { 1.0 } else { -1.0 };
+        vraw.push(sign + rng.gen_range(-1.0..1.0));
+        vraw.push(sign + rng.gen_range(-1.0..1.0));
+        vlab.push(SoftLabel::onehot(c, 2));
+        vtruth.push(Some(c));
+    }
+    let val = Dataset::new(
+        Matrix::from_vec(vn, 2, vraw),
+        vlab,
+        vec![true; vn],
+        vtruth,
+        2,
+    );
+    (
+        LogisticRegression::new(2, 2),
+        WeightedObjective::new(0.8, 0.05),
+        data,
+        val,
+    )
+}

@@ -1,0 +1,37 @@
+//! Microbenchmark: conjugate-gradient `H⁻¹v` solves (the per-round fixed
+//! cost of every influence-based selector, paper §4.1.1).
+
+use chef_core::influence::{influence_vector, InflConfig};
+use chef_bench::prepare;
+use chef_model::{LogisticRegression, Model, WeightedObjective};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_hessian_inverse");
+    group.sample_size(20);
+    for scale in [100usize, 25] {
+        let spec = chef_data::by_name("MIMIC", scale).unwrap();
+        let prepared = prepare(&spec, 1);
+        let model = LogisticRegression::new(prepared.split.train.dim(), 2);
+        let obj = WeightedObjective::new(0.8, 0.2);
+        let w = vec![0.05; model.num_params()];
+        let n = prepared.split.train.len();
+        group.bench_with_input(BenchmarkId::new("influence_vector", n), &n, |b, _| {
+            b.iter(|| {
+                influence_vector(
+                    &model,
+                    &obj,
+                    black_box(&prepared.split.train),
+                    &prepared.split.val,
+                    &w,
+                    &InflConfig::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmark behind Figure 2: one model-constructor invocation after
+//! a 10-sample cleaning round, Retrain vs DeltaGrad-L.
+
+use chef_bench::prepare;
+use chef_core::{ConstructorKind, ModelConstructor};
+use chef_model::{LogisticRegression, SoftLabel, WeightedObjective};
+use chef_train::{DeltaGradConfig, SgdConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_constructors(c: &mut Criterion) {
+    let spec = chef_data::by_name("MIMIC", 25).unwrap();
+    let prepared = prepare(&spec, 1);
+    let data = prepared.split.train.clone();
+    let model = LogisticRegression::new(data.dim(), 2);
+    let obj = WeightedObjective::new(0.8, 0.2);
+    let sgd = SgdConfig {
+        lr: 0.1,
+        epochs: 15,
+        batch_size: 256,
+        seed: 3,
+        cache_provenance: true,
+    };
+    let retrain = ModelConstructor::new(ConstructorKind::Retrain, sgd);
+    let dg = ModelConstructor::new(
+        ConstructorKind::DeltaGradL(DeltaGradConfig::default()),
+        sgd,
+    );
+    let init = retrain.initial_train(&model, &obj, &data);
+    let mut cleaned = data.clone();
+    let changed: Vec<usize> = (0..10).collect();
+    for &i in &changed {
+        let t = data.ground_truth(i).unwrap();
+        cleaned.clean_label(i, SoftLabel::onehot(t, 2));
+    }
+
+    let mut group = c.benchmark_group("model_constructor");
+    group.sample_size(10);
+    group.bench_function("retrain", |b| {
+        b.iter(|| retrain.update(&model, &obj, &data, black_box(&cleaned), &changed, &init.trace))
+    });
+    group.bench_function("deltagrad_l", |b| {
+        b.iter(|| dg.update(&model, &obj, &data, black_box(&cleaned), &changed, &init.trace))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructors);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbenchmark behind Table 2: one selector round, Full vs Increm-Infl
+//! (bounds + pruned exact evaluation), on a drifted model state.
+
+use chef_bench::prepare;
+use chef_core::increm::IncremInfl;
+use chef_core::influence::{influence_vector, rank_infl_with_vector, InflConfig};
+use chef_model::{LogisticRegression, Model, WeightedObjective};
+use chef_train::{train, SgdConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_selectors(c: &mut Criterion) {
+    let spec = chef_data::by_name("MIMIC", 25).unwrap();
+    let prepared = prepare(&spec, 1);
+    let data = &prepared.split.train;
+    let val = &prepared.split.val;
+    let model = LogisticRegression::new(data.dim(), 2);
+    let obj = WeightedObjective::new(0.8, 0.2);
+    let sgd = SgdConfig {
+        lr: 0.1,
+        epochs: 15,
+        batch_size: 256,
+        seed: 2,
+        cache_provenance: false,
+    };
+    let w0 = train(&model, &obj, data, &model.initial_params(0), &sgd).w;
+    let increm = IncremInfl::initialize(&model, data, &w0);
+    // Drift the model a little (more epochs), as in later rounds.
+    let w_k = train(
+        &model,
+        &obj,
+        data,
+        &w0,
+        &SgdConfig {
+            epochs: 2,
+            ..sgd
+        },
+    )
+    .w;
+    let v = influence_vector(&model, &obj, data, val, &w_k, &InflConfig::default());
+    let pool = data.uncleaned_indices();
+
+    let mut group = c.benchmark_group("selector_round");
+    group.sample_size(20);
+    group.bench_function("full", |b| {
+        b.iter(|| rank_infl_with_vector(&model, data, &w_k, black_box(&v), &pool, obj.gamma))
+    });
+    group.bench_function("increm_infl", |b| {
+        b.iter(|| increm.select(&model, data, &w_k, black_box(&v), &pool, 10, obj.gamma))
+    });
+    group.bench_function("increm_bounds_only", |b| {
+        b.iter(|| increm.candidates(&model, data, &w_k, black_box(&v), &pool, 10, obj.gamma))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbenchmark: SGD training cost with and without provenance caching
+//! (the overhead the initialization step pays to enable DeltaGrad-L).
+
+use chef_bench::prepare;
+use chef_model::{LogisticRegression, Model, WeightedObjective};
+use chef_train::{train, SgdConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sgd(c: &mut Criterion) {
+    let spec = chef_data::by_name("Retina", 25).unwrap();
+    let prepared = prepare(&spec, 1);
+    let data = &prepared.split.train;
+    let model = LogisticRegression::new(data.dim(), 2);
+    let obj = WeightedObjective::new(0.8, 0.2);
+    let w0 = model.initial_params(0);
+    let base = SgdConfig {
+        lr: 0.1,
+        epochs: 5,
+        batch_size: 256,
+        seed: 4,
+        cache_provenance: false,
+    };
+
+    let mut group = c.benchmark_group("sgd_5_epochs");
+    group.sample_size(20);
+    group.bench_function("plain", |b| {
+        b.iter(|| train(&model, &obj, black_box(data), &w0, &base))
+    });
+    group.bench_function("with_provenance", |b| {
+        let cfg = SgdConfig {
+            cache_provenance: true,
+            ..base
+        };
+        b.iter(|| train(&model, &obj, black_box(data), &w0, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgd);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Microbenchmark: t-SNE embedding cost at Figure 3 sizes.
+
+use chef_linalg::Matrix;
+use chef_viz::tsne::{tsne, TsneConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn blobs(n: usize, dim: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let raw: Vec<f64> = (0..n * dim)
+        .map(|i| {
+            let c = if (i / dim).is_multiple_of(2) { -3.0 } else { 3.0 };
+            c + rng.gen_range(-1.0..1.0)
+        })
+        .collect();
+    Matrix::from_vec(n, dim, raw)
+}
+
+fn bench_tsne(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsne");
+    group.sample_size(10);
+    for n in [60usize, 120] {
+        let data = blobs(n, 32, 7);
+        let cfg = TsneConfig {
+            iters: 100,
+            exaggeration_iters: 25,
+            learning_rate: 10.0,
+            ..TsneConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("embed_100_iters", n), &n, |b, _| {
+            b.iter(|| tsne(black_box(&data), &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tsne);
+criterion_main!(benches);

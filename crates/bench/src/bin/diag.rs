@@ -1,0 +1,90 @@
+//! Internal diagnostic: suggestion quality and val/test drift per dataset.
+//! Not part of the paper reproduction; used to tune the synthetic suite.
+
+use chef_bench::prep::arg_value;
+use chef_bench::{prepare, Cell, Method};
+use chef_core::influence::{influence_vector, rank_infl_with_vector, InflConfig};
+use chef_core::{evaluate_f1, ModelConstructor, Pipeline};
+use chef_data::paper_suite;
+use chef_model::LogisticRegression;
+use chef_train::select_early_stop;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_value(&args, "--scale", 5usize);
+    for spec in paper_suite(scale) {
+        let prepared = prepare(&spec, 0);
+        let cell = Cell {
+            dataset: spec.name.to_string(),
+            method: Method::InflTwo,
+            b: 10,
+            budget: 100,
+            gamma: 0.8,
+            seed: 0,
+            neural: false,
+        };
+        let cfg = chef_bench::grid::cell_config(&prepared, &cell);
+        let model = LogisticRegression::new(prepared.split.train.dim(), 2);
+        // Initial training.
+        let ctor = ModelConstructor::new(cfg.constructor, cfg.sgd);
+        let init = ctor.initial_train(&model, &cfg.objective, &prepared.split.train);
+        let (w_eval, _) = select_early_stop(
+            &model,
+            &cfg.objective,
+            &prepared.split.val,
+            &init.trace.epoch_checkpoints,
+            &init.w,
+        );
+        // Suggestion accuracy over top-100.
+        let v = influence_vector(
+            &model,
+            &cfg.objective,
+            &prepared.split.train,
+            &prepared.split.val,
+            &w_eval,
+            &InflConfig::default(),
+        );
+        let pool = prepared.split.train.uncleaned_indices();
+        let ranked = rank_infl_with_vector(
+            &model,
+            &prepared.split.train,
+            &w_eval,
+            &v,
+            &pool,
+            cfg.objective.gamma,
+        );
+        let top: Vec<_> = ranked.iter().take(100).collect();
+        let matches = top
+            .iter()
+            .filter(|s| prepared.split.train.ground_truth(s.index) == Some(s.suggested))
+            .count();
+        let weak_match = top
+            .iter()
+            .filter(|s| {
+                prepared.split.train.label(s.index).argmax()
+                    == prepared.split.train.ground_truth(s.index).unwrap()
+            })
+            .count();
+        // Full pipeline run for val/test drift.
+        let pipeline = Pipeline::new(cfg);
+        let mut sel = chef_core::InflSelector::incremental();
+        let report = pipeline.run(
+            &model,
+            prepared.split.train.clone(),
+            &prepared.split.val,
+            &prepared.split.test,
+            &mut sel,
+        );
+        let ev_val = evaluate_f1(&model, &report.final_w, &prepared.split.val);
+        let ev_test = evaluate_f1(&model, &report.final_w, &prepared.split.test);
+        println!(
+            "{:<9} suggestions match truth: {matches}/100  (weak argmax of those was right: {weak_match}/100)  val {:.3}→{:.3}  test {:.3}→{:.3}  weak_err {:.2}",
+            spec.name,
+            report.initial_val_f1,
+            ev_val.f1,
+            report.initial_test_f1,
+            ev_test.f1,
+            prepared.split.train.weak_label_error_rate().unwrap_or(f64::NAN),
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Internal diagnostic for the Appendix G.2 MLP configuration.
+use chef_bench::prep::arg_value;
+use chef_bench::{prepare, run_cell, Cell, Method};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_value(&args, "--scale", 5usize);
+    for name in ["MIMIC", "Retina"] {
+        let spec = chef_data::by_name(name, scale).unwrap();
+        for seed in 0..3u64 {
+            let prepared = prepare(&spec, seed);
+            for method in [Method::InflOne, Method::Random] {
+                let cell = Cell {
+                    dataset: name.to_string(),
+                    method,
+                    b: 10,
+                    budget: 100,
+                    gamma: 0.8,
+                    seed,
+                    neural: true,
+                };
+                let r = run_cell(&prepared, &cell);
+                println!(
+                    "{name} seed {seed} {:?}: {:.4} -> {:.4}",
+                    method, r.uncleaned_f1, r.cleaned_f1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! **Exp1** — Tables 1, 5 and 6 of the CHEF paper.
+//!
+//! Model prediction performance (test F1) after cleaning `B = 100`
+//! training samples with Infl (one)/(two)/(three) and the baselines
+//! Infl-D, Active (one)/(two), O2U, for per-round batches `b ∈ {100, 10}`
+//! at γ = 0.8. The `b = 10` block also includes the
+//! "Infl (two) + DeltaGrad" column of Table 1. Cells are `mean±std` over
+//! `--seeds` repetitions (Tables 5/6 are exactly these error-bar views).
+//!
+//! ```text
+//! cargo run --release -p chef-bench --bin exp1 [--scale 5] [--seeds 3]
+//! ```
+
+use chef_bench::prep::arg_value;
+use chef_bench::{fmt_mean_std, prepare, print_table, run_grid, write_results_csv, Cell, Method};
+use chef_data::paper_suite;
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_value(&args, "--scale", 5usize);
+    let seeds = arg_value(&args, "--seeds", 3u64);
+    let budget = arg_value(&args, "--budget", 100usize);
+    let gamma = arg_value(&args, "--gamma", 0.8f64);
+    let suite = paper_suite(scale);
+
+    let mut cells = Vec::new();
+    for spec in &suite {
+        for seed in 0..seeds {
+            for m in Method::table1_b100() {
+                cells.push(Cell {
+                    dataset: spec.name.to_string(),
+                    method: m,
+                    b: budget,
+                    budget,
+                    gamma,
+                    seed,
+                    neural: false,
+                });
+            }
+            for m in Method::table1_b10() {
+                cells.push(Cell {
+                    dataset: spec.name.to_string(),
+                    method: m,
+                    b: 10,
+                    budget,
+                    gamma,
+                    seed,
+                    neural: false,
+                });
+            }
+        }
+    }
+    eprintln!(
+        "exp1: {} cells (scale 1/{scale}, {seeds} seeds, B={budget}, gamma={gamma})",
+        cells.len()
+    );
+
+    let results = run_grid(cells, |name, seed| {
+        let spec = suite.iter().find(|s| s.name == name).unwrap();
+        prepare(spec, seed)
+    });
+
+    // Aggregate: (dataset, method, b) → Vec<f1>; uncleaned per dataset.
+    let mut grid: HashMap<(String, Method, usize), Vec<f64>> = HashMap::new();
+    let mut uncleaned: HashMap<String, Vec<f64>> = HashMap::new();
+    for r in &results {
+        grid.entry((r.cell.dataset.clone(), r.cell.method, r.cell.b))
+            .or_default()
+            .push(r.cleaned_f1);
+        uncleaned
+            .entry(r.cell.dataset.clone())
+            .or_default()
+            .push(r.uncleaned_f1);
+    }
+
+    let cell_of = |d: &str, m: Method, b: usize| {
+        grid.get(&(d.to_string(), m, b))
+            .map(|v| fmt_mean_std(v))
+            .unwrap_or_else(|| "-".into())
+    };
+
+    for (b, methods, title) in [
+        (
+            budget,
+            Method::table1_b100(),
+            format!("Table 1/5 — F1 after cleaning {budget} samples (b={budget}, gamma={gamma})"),
+        ),
+        (
+            10,
+            Method::table1_b10(),
+            format!("Table 1/6 — F1 after cleaning {budget} samples (b=10, gamma={gamma})"),
+        ),
+    ] {
+        let mut header = vec!["dataset".to_string(), "uncleaned".to_string()];
+        header.extend(methods.iter().map(|m| m.paper_name().to_string()));
+        let mut rows = Vec::new();
+        let mut csv_rows = Vec::new();
+        for spec in &suite {
+            let mut row = vec![
+                spec.name.to_string(),
+                fmt_mean_std(&uncleaned[spec.name]),
+            ];
+            for m in &methods {
+                row.push(cell_of(spec.name, *m, b));
+            }
+            csv_rows.push(row.clone());
+            rows.push(row);
+        }
+        print_table(&title, &header, &rows);
+        let name = if b == 10 { "table1_b10" } else { "table1_b100" };
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let path = write_results_csv(name, &header_refs, &csv_rows);
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,90 @@
+//! **Appendix G.5** — Table 14 of the CHEF paper.
+//!
+//! How the per-round batch size `b` trades model quality against total
+//! running time for a fixed budget: Infl (two) on the Twitter- and
+//! Fashion-like datasets, sweeping `b` from the whole budget down to a
+//! small fraction of it. The paper uses budget 1000 with
+//! `b ∈ {1000 … 10}` and recommends `b ≈ 10%` of the budget; the sweep
+//! here keeps the same `b/B` ratios at the scaled-down budget.
+//!
+//! ```text
+//! cargo run --release -p chef-bench --bin exp_batch [--scale 5] [--budget 200]
+//! ```
+
+use chef_bench::prep::arg_value;
+use chef_bench::{fmt_mean_std, prepare, print_table, run_grid, write_results_csv, Cell, Method};
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_value(&args, "--scale", 5usize);
+    let seeds = arg_value(&args, "--seeds", 3u64);
+    let budget = arg_value(&args, "--budget", 200usize);
+    let datasets = ["Twitter", "Fashion"];
+    // Same b/B ratios as the paper's {1000, 500, 200, 100, 50, 20, 10}/1000.
+    let ratios = [1.0, 0.5, 0.2, 0.1, 0.05, 0.02, 0.01];
+    let bs: Vec<usize> = ratios
+        .iter()
+        .map(|r| ((budget as f64 * r).round() as usize).max(1))
+        .collect();
+
+    let mut cells = Vec::new();
+    for d in datasets {
+        for seed in 0..seeds {
+            for &b in &bs {
+                cells.push(Cell {
+                    dataset: d.to_string(),
+                    method: Method::InflTwo,
+                    b,
+                    budget,
+                    gamma: 0.8,
+                    seed,
+                    neural: false,
+                });
+            }
+        }
+    }
+    eprintln!("exp_batch: {} cells", cells.len());
+    let results = run_grid(cells, |name, seed| {
+        let spec = chef_data::by_name(name, scale).unwrap();
+        prepare(&spec, seed)
+    });
+
+    let mut f1: HashMap<(String, usize), Vec<f64>> = HashMap::new();
+    let mut time: HashMap<(String, usize), Vec<f64>> = HashMap::new();
+    let mut uncleaned: HashMap<String, Vec<f64>> = HashMap::new();
+    for r in &results {
+        let key = (r.cell.dataset.clone(), r.cell.b);
+        f1.entry(key.clone()).or_default().push(r.cleaned_f1);
+        let total = r.report.total_select_time().as_secs_f64()
+            + r.report.total_update_time().as_secs_f64();
+        time.entry(key).or_default().push(total);
+        uncleaned
+            .entry(r.cell.dataset.clone())
+            .or_default()
+            .push(r.uncleaned_f1);
+    }
+
+    let mut header = vec!["dataset".to_string(), "metric".to_string(), "uncleaned".to_string()];
+    header.extend(bs.iter().map(|b| format!("b={b}")));
+    let mut rows = Vec::new();
+    for d in datasets {
+        let mut frow = vec![d.to_string(), "F1".to_string(), fmt_mean_std(&uncleaned[d])];
+        let mut trow = vec![d.to_string(), "time (s)".to_string(), "-".to_string()];
+        for &b in &bs {
+            frow.push(fmt_mean_std(&f1[&(d.to_string(), b)]));
+            let (m, s) = chef_linalg::mean_std(&time[&(d.to_string(), b)]);
+            trow.push(format!("{m:.2}\u{b1}{s:.2}"));
+        }
+        rows.push(frow);
+        rows.push(trow);
+    }
+    print_table(
+        &format!("Table 14 — batch-size sweep, Infl (two), budget {budget} (scale 1/{scale})"),
+        &header,
+        &rows,
+    );
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let path = write_results_csv("table14", &header_refs, &rows);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,109 @@
+//! **Appendix G.2** — Table 7 of the CHEF paper.
+//!
+//! Exp1 repeated with a non-convex model. The paper uses LeNet /
+//! 1-D CNNs; the substitution here is a one-hidden-layer tanh MLP with
+//! manual backprop and finite-difference HVPs (see DESIGN.md §4).
+//! Following the paper, only MIMIC, Retina, Fact and Twitter are run
+//! (LeNet underperformed on Fashion/Chexpert), with Infl (one/two/three)
+//! at b ∈ {100, 10} and Infl-D / Active / O2U at b = 10.
+//!
+//! ```text
+//! cargo run --release -p chef-bench --bin exp_cnn [--scale 5] [--seeds 3]
+//! ```
+
+use chef_bench::prep::arg_value;
+use chef_bench::{fmt_mean_std, prepare, print_table, run_grid, write_results_csv, Cell, Method};
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_value(&args, "--scale", 5usize);
+    let seeds = arg_value(&args, "--seeds", 3u64);
+    let budget = arg_value(&args, "--budget", 100usize);
+    let datasets = ["MIMIC", "Retina", "Fact", "Twitter"];
+    let b100: Vec<Method> = vec![Method::InflOne, Method::InflTwo, Method::InflThree];
+    let b10: Vec<Method> = vec![
+        Method::InflOne,
+        Method::InflTwo,
+        Method::InflThree,
+        Method::InflD,
+        Method::ActiveOne,
+        Method::ActiveTwo,
+        Method::O2u,
+    ];
+
+    let mut cells = Vec::new();
+    for d in datasets {
+        for seed in 0..seeds {
+            for m in &b100 {
+                cells.push(Cell {
+                    dataset: d.to_string(),
+                    method: *m,
+                    b: budget,
+                    budget,
+                    gamma: 0.8,
+                    seed,
+                    neural: true,
+                });
+            }
+            for m in &b10 {
+                cells.push(Cell {
+                    dataset: d.to_string(),
+                    method: *m,
+                    b: 10,
+                    budget,
+                    gamma: 0.8,
+                    seed,
+                    neural: true,
+                });
+            }
+        }
+    }
+    eprintln!("exp_cnn: {} cells", cells.len());
+    let results = run_grid(cells, |name, seed| {
+        let spec = chef_data::by_name(name, scale).unwrap();
+        prepare(&spec, seed)
+    });
+
+    let mut grid: HashMap<(String, Method, usize), Vec<f64>> = HashMap::new();
+    let mut uncleaned: HashMap<String, Vec<f64>> = HashMap::new();
+    for r in &results {
+        grid.entry((r.cell.dataset.clone(), r.cell.method, r.cell.b))
+            .or_default()
+            .push(r.cleaned_f1);
+        uncleaned
+            .entry(r.cell.dataset.clone())
+            .or_default()
+            .push(r.uncleaned_f1);
+    }
+
+    let mut header = vec!["dataset".to_string(), "uncleaned".to_string()];
+    for m in &b100 {
+        header.push(format!("{} b=100", m.paper_name()));
+    }
+    for m in &b10 {
+        header.push(format!("{} b=10", m.paper_name()));
+    }
+    let mut rows = Vec::new();
+    for d in datasets {
+        let mut row = vec![d.to_string(), fmt_mean_std(&uncleaned[d])];
+        for (b, methods) in [(budget, &b100), (10usize, &b10)] {
+            for m in methods {
+                row.push(
+                    grid.get(&(d.to_string(), *m, b))
+                        .map(|v| fmt_mean_std(v))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Table 7 — F1 after cleaning {budget} samples, MLP model (scale 1/{scale})"),
+        &header,
+        &rows,
+    );
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let path = write_results_csv("table7", &header_refs, &rows);
+    eprintln!("wrote {}", path.display());
+}

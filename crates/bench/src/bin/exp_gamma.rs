@@ -1,0 +1,139 @@
+//! **Appendix G.4** — Tables 10–13 of the CHEF paper.
+//!
+//! Exp1 repeated with the uncleaned-sample weight γ at its extremes:
+//!
+//! * `γ = 1` (Tables 10–11): all samples equally weighted. This is the
+//!   only regime where the paper can run **DUTI** (whose bi-level
+//!   program has no re-weighting notion) and where **Infl-Y** (Eq. 7) is
+//!   best-cased, since Infl's `(1 − γ)` term vanishes and only the
+//!   `δ_y` magnitude separates them.
+//! * `γ = 0` (Tables 12–13): uncleaned samples excluded from training —
+//!   the regime where the paper itself reports Infl degrading on
+//!   MIMIC/Retina because cleaning 100 samples violates the
+//!   small-budget assumption relative to the tiny effective training set.
+//!
+//! ```text
+//! cargo run --release -p chef-bench --bin exp_gamma --gamma 1 [--scale 5]
+//! cargo run --release -p chef-bench --bin exp_gamma --gamma 0 [--scale 5]
+//! ```
+
+use chef_bench::prep::arg_value;
+use chef_bench::{fmt_mean_std, prepare, print_table, run_grid, write_results_csv, Cell, Method};
+use chef_data::paper_suite;
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_value(&args, "--scale", 5usize);
+    let seeds = arg_value(&args, "--seeds", 3u64);
+    let budget = arg_value(&args, "--budget", 100usize);
+    let gamma = arg_value(&args, "--gamma", 1.0f64);
+    assert!(
+        gamma == 0.0 || gamma == 1.0,
+        "exp_gamma reproduces the γ ∈ {{0, 1}} appendix tables"
+    );
+    let suite = paper_suite(scale);
+
+    // γ = 1 adds Infl-Y everywhere and DUTI at b = 100 (Table 10); the
+    // γ = 0 tables drop both.
+    let mut methods_b100: Vec<Method> = vec![
+        Method::InflD,
+        Method::ActiveOne,
+        Method::ActiveTwo,
+        Method::O2u,
+        Method::InflOne,
+        Method::InflTwo,
+        Method::InflThree,
+    ];
+    let mut methods_b10 = methods_b100.clone();
+    if gamma == 1.0 {
+        methods_b100.insert(1, Method::InflY);
+        methods_b100.insert(2, Method::Duti);
+        methods_b10.insert(1, Method::InflY);
+    }
+
+    let mut cells = Vec::new();
+    for spec in &suite {
+        for seed in 0..seeds {
+            for m in &methods_b100 {
+                cells.push(Cell {
+                    dataset: spec.name.to_string(),
+                    method: *m,
+                    b: budget,
+                    budget,
+                    gamma,
+                    seed,
+                    neural: false,
+                });
+            }
+            for m in &methods_b10 {
+                cells.push(Cell {
+                    dataset: spec.name.to_string(),
+                    method: *m,
+                    b: 10,
+                    budget,
+                    gamma,
+                    seed,
+                    neural: false,
+                });
+            }
+        }
+    }
+    eprintln!("exp_gamma: {} cells (gamma={gamma})", cells.len());
+    let results = run_grid(cells, |name, seed| {
+        let spec = suite.iter().find(|s| s.name == name).unwrap();
+        prepare(spec, seed)
+    });
+
+    let mut grid: HashMap<(String, Method, usize), Vec<f64>> = HashMap::new();
+    let mut uncleaned: HashMap<String, Vec<f64>> = HashMap::new();
+    for r in &results {
+        grid.entry((r.cell.dataset.clone(), r.cell.method, r.cell.b))
+            .or_default()
+            .push(r.cleaned_f1);
+        uncleaned
+            .entry(r.cell.dataset.clone())
+            .or_default()
+            .push(r.uncleaned_f1);
+    }
+
+    let tables = if gamma == 1.0 {
+        [(budget, "Table 10"), (10, "Table 11")]
+    } else {
+        [(budget, "Table 12"), (10, "Table 13")]
+    };
+    for (b, table) in tables {
+        let methods = if b == 10 { &methods_b10 } else { &methods_b100 };
+        let mut header = vec!["dataset".to_string(), "uncleaned".to_string()];
+        header.extend(methods.iter().map(|m| m.paper_name().to_string()));
+        let mut rows = Vec::new();
+        for spec in &suite {
+            let mut row = vec![
+                spec.name.to_string(),
+                fmt_mean_std(&uncleaned[spec.name]),
+            ];
+            for m in methods {
+                row.push(
+                    grid.get(&(spec.name.to_string(), *m, b))
+                        .map(|v| fmt_mean_std(v))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("{table} — F1 after cleaning {budget} samples (b={b}, gamma={gamma})"),
+            &header,
+            &rows,
+        );
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let name = match (gamma as i64, b == 10) {
+            (1, false) => "table10",
+            (1, true) => "table11",
+            (_, false) => "table12",
+            (_, true) => "table13",
+        };
+        let path = write_results_csv(name, &header_refs, &rows);
+        eprintln!("wrote {}", path.display());
+    }
+}

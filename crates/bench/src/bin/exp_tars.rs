@@ -1,0 +1,98 @@
+//! **Appendix G.3** — Tables 8 and 9 of the CHEF paper.
+//!
+//! Comparison against **TARS**, which requires deterministic noisy labels:
+//! every probabilistic training label is rounded to its nearest
+//! deterministic label (still weight γ) before the pipeline runs, exactly
+//! as the paper's fair-comparison protocol prescribes. Following the
+//! paper, only the datasets with small annotator panels are used (MIMIC,
+//! Chexpert, Retina, Fashion).
+//!
+//! ```text
+//! cargo run --release -p chef-bench --bin exp_tars [--scale 5] [--seeds 3]
+//! ```
+
+use chef_bench::prep::arg_value;
+use chef_bench::{
+    fmt_mean_std, prepare_rounded, print_table, run_grid, write_results_csv, Cell, Method,
+};
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_value(&args, "--scale", 5usize);
+    let seeds = arg_value(&args, "--seeds", 3u64);
+    let budget = arg_value(&args, "--budget", 100usize);
+    let datasets = ["MIMIC", "Chexpert", "Retina", "Fashion"];
+    let methods: Vec<Method> = vec![
+        Method::InflD,
+        Method::ActiveOne,
+        Method::ActiveTwo,
+        Method::O2u,
+        Method::Tars,
+        Method::InflOne,
+        Method::InflTwo,
+        Method::InflThree,
+    ];
+
+    let mut cells = Vec::new();
+    for d in datasets {
+        for seed in 0..seeds {
+            for &b in &[budget, 10] {
+                for m in &methods {
+                    cells.push(Cell {
+                        dataset: d.to_string(),
+                        method: *m,
+                        b,
+                        budget,
+                        gamma: 0.8,
+                        seed,
+                        neural: false,
+                    });
+                }
+            }
+        }
+    }
+    eprintln!("exp_tars: {} cells", cells.len());
+    let results = run_grid(cells, |name, seed| {
+        let spec = chef_data::by_name(name, scale).unwrap();
+        prepare_rounded(&spec, seed)
+    });
+
+    let mut grid: HashMap<(String, Method, usize), Vec<f64>> = HashMap::new();
+    let mut uncleaned: HashMap<String, Vec<f64>> = HashMap::new();
+    for r in &results {
+        grid.entry((r.cell.dataset.clone(), r.cell.method, r.cell.b))
+            .or_default()
+            .push(r.cleaned_f1);
+        uncleaned
+            .entry(r.cell.dataset.clone())
+            .or_default()
+            .push(r.uncleaned_f1);
+    }
+
+    for (b, table) in [(budget, "Table 8"), (10, "Table 9")] {
+        let mut header = vec!["dataset".to_string(), "uncleaned".to_string()];
+        header.extend(methods.iter().map(|m| m.paper_name().to_string()));
+        let mut rows = Vec::new();
+        for d in datasets {
+            let mut row = vec![d.to_string(), fmt_mean_std(&uncleaned[d])];
+            for m in &methods {
+                row.push(
+                    grid.get(&(d.to_string(), *m, b))
+                        .map(|v| fmt_mean_std(v))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("{table} — F1 vs TARS, rounded labels (b={b}, scale 1/{scale})"),
+            &header,
+            &rows,
+        );
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let name = if b == 10 { "table9" } else { "table8" };
+        let path = write_results_csv(name, &header_refs, &rows);
+        eprintln!("wrote {}", path.display());
+    }
+}

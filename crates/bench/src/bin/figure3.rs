@@ -1,0 +1,149 @@
+//! **Figure 3** of the CHEF paper.
+//!
+//! t-SNE embedding of the validation + test samples of the Twitter- and
+//! Fashion-like datasets, with ground-truth classes as '+' / '−' marks
+//! and the most influential training sample `S` (per Infl) as an '×'.
+//! The paper's argument: `S` lands near one class's cluster, Infl's
+//! suggested label matches that cluster, and therefore Infl's labels are
+//! trustworthy even where human labels disagree. The harness prints the
+//! neighbour-majority check and writes both SVG and CSV per dataset.
+//!
+//! ```text
+//! cargo run --release -p chef-bench --bin figure3 [--scale 5]
+//! ```
+
+use chef_bench::prep::arg_value;
+use chef_bench::{prepare, results_dir, Cell, Method};
+use chef_core::influence::{influence_vector, rank_infl_with_vector, InflConfig};
+use chef_core::ModelConstructor;
+use chef_linalg::{vector, Matrix};
+use chef_model::LogisticRegression;
+use chef_viz::plot::{Marker, ScatterPlot, Series};
+use chef_viz::tsne::{tsne, TsneConfig};
+use chef_viz::write_csv;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_value(&args, "--scale", 5usize);
+    for name in ["Twitter", "Fashion"] {
+        let spec = chef_data::by_name(name, scale).unwrap();
+        let prepared = prepare(&spec, 0);
+        let cell = Cell {
+            dataset: name.to_string(),
+            method: Method::InflTwo,
+            b: 10,
+            budget: 100,
+            gamma: 0.8,
+            seed: 0,
+            neural: false,
+        };
+        let cfg = chef_bench::cell_config(&prepared, &cell);
+        let model = LogisticRegression::new(prepared.split.train.dim(), 2);
+        let ctor = ModelConstructor::new(cfg.constructor, cfg.sgd);
+        let init = ctor.initial_train(&model, &cfg.objective, &prepared.split.train);
+
+        // The most influential training sample S and its suggested label.
+        let v = influence_vector(
+            &model,
+            &cfg.objective,
+            &prepared.split.train,
+            &prepared.split.val,
+            &init.w,
+            &InflConfig::default(),
+        );
+        let pool = prepared.split.train.uncleaned_indices();
+        let ranked = rank_infl_with_vector(
+            &model,
+            &prepared.split.train,
+            &init.w,
+            &v,
+            &pool,
+            cfg.objective.gamma,
+        );
+        let s_top = ranked[0];
+
+        // Stack val + test features plus the S feature row, embed with
+        // t-SNE (S rides along so it lands in the same map).
+        let val = &prepared.split.val;
+        let test = &prepared.split.test;
+        let dim = val.dim();
+        let n = val.len() + test.len() + 1;
+        let mut raw = Vec::with_capacity(n * dim);
+        let mut truths = Vec::with_capacity(n - 1);
+        for i in 0..val.len() {
+            raw.extend_from_slice(val.feature(i));
+            truths.push(val.ground_truth(i).unwrap());
+        }
+        for i in 0..test.len() {
+            raw.extend_from_slice(test.feature(i));
+            truths.push(test.ground_truth(i).unwrap());
+        }
+        raw.extend_from_slice(prepared.split.train.feature(s_top.index));
+        let stacked = Matrix::from_vec(n, dim, raw);
+        let embedding = tsne(
+            &stacked,
+            &TsneConfig {
+                perplexity: 20.0,
+                iters: 400,
+                learning_rate: 10.0,
+                ..TsneConfig::default()
+            },
+        );
+
+        // Neighbour-majority check around S in the embedding.
+        let s_row = embedding.row(n - 1).to_vec();
+        let mut dists: Vec<(f64, usize)> = (0..n - 1)
+            .map(|i| (vector::distance(embedding.row(i), &s_row), truths[i]))
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let k = 15.min(dists.len());
+        let pos = dists[..k].iter().filter(|(_, t)| *t == 1).count();
+        let neighbour_majority = usize::from(pos * 2 > k);
+        println!(
+            "{name}: S = train sample {} | Infl suggests class {} | {k}-NN majority in embedding: class {neighbour_majority} ({pos}/{k} positive) | ground truth of S: {:?} | match(suggestion, neighbours) = {}",
+            s_top.index,
+            s_top.suggested,
+            prepared.split.train.ground_truth(s_top.index),
+            s_top.suggested == neighbour_majority,
+        );
+
+        // SVG: '+' positives, '−'-ish circles for negatives, '×' for S.
+        let mut plot = ScatterPlot::new(format!("Figure 3 — {name} (t-SNE of val/test + S)"));
+        let mut posi = Series::new("positive (truth)", "#2b6cb0").with_marker(Marker::Plus);
+        let mut nega = Series::new("negative (truth)", "#c05621");
+        nega.radius = 2.0;
+        for (i, &t) in truths.iter().enumerate() {
+            let p = (embedding.row(i)[0], embedding.row(i)[1]);
+            if t == 1 {
+                posi.points.push(p);
+            } else {
+                nega.points.push(p);
+            }
+        }
+        let mut s_series = Series::new("most influential sample S", "crimson")
+            .with_marker(Marker::Cross);
+        s_series.radius = 7.0;
+        s_series.points.push((s_row[0], s_row[1]));
+        plot.push(posi);
+        plot.push(nega);
+        plot.push(s_series);
+        let svg_path = results_dir().join(format!("figure3_{}.svg", name.to_lowercase()));
+        plot.save(&svg_path).expect("write svg");
+
+        // CSV of the raw embedding.
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let kind = truths
+                .get(i)
+                .map_or_else(|| "S".to_string(), usize::to_string);
+            rows.push(vec![
+                format!("{:.4}", embedding.row(i)[0]),
+                format!("{:.4}", embedding.row(i)[1]),
+                kind,
+            ]);
+        }
+        let csv_path = results_dir().join(format!("figure3_{}.csv", name.to_lowercase()));
+        write_csv(&csv_path, &["x", "y", "class"], &rows).expect("write csv");
+        eprintln!("wrote {} and {}", svg_path.display(), csv_path.display());
+    }
+}

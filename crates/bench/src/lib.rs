@@ -1,0 +1,31 @@
+//! # chef-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the CHEF paper's evaluation (§5 and Appendix G) on the synthetic
+//! substrate. One binary per experiment:
+//!
+//! | binary      | reproduces                                  |
+//! |-------------|---------------------------------------------|
+//! | `exp1`      | Tables 1, 5, 6 (Exp1: F1 after cleaning)    |
+//! | `exp2`      | Table 2 (Exp2: Increm-Infl vs Full timing)  |
+//! | `exp3`      | Figure 2 (Exp3: DeltaGrad-L vs Retrain)     |
+//! | `exp_cnn`   | Table 7 (Appendix G.2, neural model)        |
+//! | `exp_tars`  | Tables 8–9 (Appendix G.3, vs TARS)          |
+//! | `exp_gamma` | Tables 10–13 (Appendix G.4, γ ∈ {0, 1})     |
+//! | `exp_batch` | Table 14 (Appendix G.5, batch-size sweep)   |
+//! | `figure3`   | Figure 3 (t-SNE of val/test + sample S)     |
+//!
+//! Every binary prints paper-style rows and writes CSV into `results/`.
+//! Use `--scale N` to change the dataset down-scaling factor (default 5,
+//! i.e. 1/5 of the paper's Table 3 sizes) and `--seeds K` for the number
+//! of repetitions behind each `mean±std` cell.
+
+pub mod grid;
+pub mod methods;
+pub mod prep;
+pub mod report;
+
+pub use grid::{cell_config, run_cell, run_grid, Cell, CellResult};
+pub use methods::{make_selector, Method};
+pub use prep::{default_pipeline_config, prepare, prepare_rounded, PreparedDataset};
+pub use report::{fmt_cell, fmt_mean_std, print_table, results_dir, write_results_csv};

@@ -1,0 +1,198 @@
+//! The method axis of the experiment grids: every column that appears in
+//! the paper's tables, mapped to a (selector, label strategy, model
+//! constructor) triple.
+
+use chef_baselines::{
+    ActiveEntropy, ActiveLeastConfidence, Duti, InflD, InflY, RandomSelector, Tars, O2U,
+};
+use chef_core::{ConstructorKind, InflSelector, LabelStrategy, SampleSelector};
+use chef_train::DeltaGradConfig;
+
+/// One method column of a results table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Infl ranking + 3 human annotators.
+    InflOne,
+    /// Infl ranking + Infl's suggested label alone.
+    InflTwo,
+    /// Infl ranking + suggestion + 2 human annotators.
+    InflThree,
+    /// Infl (two) with the DeltaGrad-L model constructor (the
+    /// "Infl (two) + DeltaGrad" column of Table 1).
+    InflTwoDeltaGrad,
+    /// Koh–Liang deletion influence (Eq. 2) + 3 annotators.
+    InflD,
+    /// Zhang et al. label influence (Eq. 7) + 3 annotators.
+    InflY,
+    /// Least-confidence active learning + 3 annotators.
+    ActiveOne,
+    /// Entropy active learning + 3 annotators.
+    ActiveTwo,
+    /// O2U noisy-sample detection + 3 annotators.
+    O2u,
+    /// TARS oracle-based cleaning + 3 annotators.
+    Tars,
+    /// DUTI bi-level debugging (suggestions used alone, like Infl (two)).
+    Duti,
+    /// Uniform-random selection + 3 annotators.
+    Random,
+}
+
+impl Method {
+    /// The column header used in the paper.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            Method::InflOne => "Infl (one)",
+            Method::InflTwo => "Infl (two)",
+            Method::InflThree => "Infl (three)",
+            Method::InflTwoDeltaGrad => "Infl (two) + DeltaGrad",
+            Method::InflD => "Infl-D",
+            Method::InflY => "Infl-Y",
+            Method::ActiveOne => "Active (one)",
+            Method::ActiveTwo => "Active (two)",
+            Method::O2u => "O2U",
+            Method::Tars => "TARS",
+            Method::Duti => "DUTI",
+            Method::Random => "Random",
+        }
+    }
+
+    /// The label-cleaning strategy the annotation phase should use.
+    pub fn strategy(&self) -> LabelStrategy {
+        match self {
+            Method::InflTwo | Method::InflTwoDeltaGrad | Method::Duti => {
+                LabelStrategy::SuggestionOnly
+            }
+            Method::InflThree => LabelStrategy::SuggestionPlusHumans(2),
+            _ => LabelStrategy::HumansOnly(3),
+        }
+    }
+
+    /// The model constructor the method prescribes.
+    pub fn constructor(&self) -> ConstructorKind {
+        match self {
+            Method::InflTwoDeltaGrad => ConstructorKind::DeltaGradL(DeltaGradConfig::default()),
+            _ => ConstructorKind::Retrain,
+        }
+    }
+
+    /// The columns of the main-text Table 1 at `b = 100`.
+    pub fn table1_b100() -> Vec<Method> {
+        vec![
+            Method::InflOne,
+            Method::InflTwo,
+            Method::InflThree,
+            Method::InflD,
+            Method::ActiveOne,
+            Method::ActiveTwo,
+            Method::O2u,
+        ]
+    }
+
+    /// The columns of the main-text Table 1 at `b = 10`.
+    pub fn table1_b10() -> Vec<Method> {
+        vec![
+            Method::InflOne,
+            Method::InflTwo,
+            Method::InflTwoDeltaGrad,
+            Method::InflThree,
+        ]
+    }
+}
+
+/// Instantiate the selector behind a method (fresh state per run).
+///
+/// `neural` adds Tikhonov damping to every conjugate-gradient solve — the
+/// MLP's Hessian is not positive definite, so the undamped `H⁻¹v` products
+/// the influence selectors need would be ill-posed (standard
+/// influence-function practice for deep models).
+pub fn make_selector(method: Method, seed: u64, neural: bool) -> Box<dyn SampleSelector> {
+    let cfg = if neural {
+        let mut c = chef_core::InflConfig::default();
+        c.cg.damping = 0.1;
+        c.cg.max_iters = 50;
+        c
+    } else {
+        chef_core::InflConfig::default()
+    };
+    match method {
+        Method::InflOne | Method::InflTwo | Method::InflThree | Method::InflTwoDeltaGrad => {
+            // Increm-Infl requires the strong-convexity assumption (§3.2),
+            // so the neural path falls back to Full evaluation — and its
+            // provenance precompute (per-sample Hessian norms) would be
+            // prohibitive with finite-difference HVPs anyway.
+            let mut s = if neural {
+                InflSelector::full()
+            } else {
+                InflSelector::incremental()
+            };
+            s.cfg = cfg;
+            Box::new(s)
+        }
+        Method::InflD => Box::new(InflD { cfg }),
+        Method::InflY => Box::new(InflY { cfg }),
+        Method::ActiveOne => Box::new(ActiveLeastConfidence),
+        Method::ActiveTwo => Box::new(ActiveEntropy),
+        Method::O2u => Box::new(O2U::default()),
+        Method::Tars => Box::new(Tars { cfg }),
+        Method::Duti => {
+            let mut d = Duti::default();
+            d.cfg.cg = cfg;
+            Box::new(d)
+        }
+        Method::Random => Box::new(RandomSelector::new(seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_match_paper_definitions() {
+        assert_eq!(Method::InflOne.strategy(), LabelStrategy::HumansOnly(3));
+        assert_eq!(Method::InflTwo.strategy(), LabelStrategy::SuggestionOnly);
+        assert_eq!(
+            Method::InflThree.strategy(),
+            LabelStrategy::SuggestionPlusHumans(2)
+        );
+        assert_eq!(Method::InflD.strategy(), LabelStrategy::HumansOnly(3));
+    }
+
+    #[test]
+    fn only_infl_two_deltagrad_switches_constructor() {
+        for m in [
+            Method::InflOne,
+            Method::InflTwo,
+            Method::InflD,
+            Method::Tars,
+        ] {
+            assert_eq!(m.constructor(), ConstructorKind::Retrain, "{m:?}");
+        }
+        assert!(matches!(
+            Method::InflTwoDeltaGrad.constructor(),
+            ConstructorKind::DeltaGradL(_)
+        ));
+    }
+
+    #[test]
+    fn every_method_builds_a_selector() {
+        for m in [
+            Method::InflOne,
+            Method::InflTwo,
+            Method::InflThree,
+            Method::InflTwoDeltaGrad,
+            Method::InflD,
+            Method::InflY,
+            Method::ActiveOne,
+            Method::ActiveTwo,
+            Method::O2u,
+            Method::Tars,
+            Method::Duti,
+            Method::Random,
+        ] {
+            let s = make_selector(m, 1, false);
+            assert!(!s.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Dataset preparation and default pipeline configuration.
+
+use chef_core::{AnnotationConfig, ConstructorKind, LabelStrategy, PipelineConfig};
+use chef_data::{generate, DatasetSpec, Split};
+use chef_model::WeightedObjective;
+use chef_train::SgdConfig;
+use chef_weak::{weaken_split, WeakenConfig};
+
+/// A weakly-labeled dataset ready for the pipeline.
+#[derive(Debug, Clone)]
+pub struct PreparedDataset {
+    /// The spec it was generated from.
+    pub spec: DatasetSpec,
+    /// Weakly-labeled training set + trusted val/test.
+    pub split: Split,
+}
+
+/// Generate and weaken one dataset deterministically.
+pub fn prepare(spec: &DatasetSpec, seed: u64) -> PreparedDataset {
+    let mut split = generate(spec, seed);
+    weaken_split(
+        &mut split,
+        spec,
+        &WeakenConfig {
+            seed: seed ^ 0xabcd,
+            ..WeakenConfig::default()
+        },
+    );
+    PreparedDataset {
+        spec: spec.clone(),
+        split,
+    }
+}
+
+/// Like [`prepare`], but with every probabilistic training label rounded
+/// to its nearest deterministic label (still weight γ) — the paper's
+/// setup for the TARS comparison (Appendix G.3).
+pub fn prepare_rounded(spec: &DatasetSpec, seed: u64) -> PreparedDataset {
+    let mut p = prepare(spec, seed);
+    let train = &mut p.split.train;
+    for i in 0..train.len() {
+        if !train.is_clean(i) {
+            let rounded = train.label(i).rounded();
+            train.set_label(i, rounded);
+        }
+    }
+    p
+}
+
+/// The default pipeline configuration used across experiments
+/// (γ = 0.8, λ = 0.2, SGD epochs/batch mirroring §5.1 at reduced scale).
+pub fn default_pipeline_config(n_train: usize, seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        budget: 100,
+        round_size: 10,
+        objective: WeightedObjective::new(0.8, 0.2),
+        sgd: SgdConfig {
+            lr: 0.1,
+            epochs: 25,
+            // Paper uses minibatch 2000 on full-size data; scale with n.
+            batch_size: (n_train / 16).clamp(32, 512),
+            seed,
+            cache_provenance: true,
+        },
+        constructor: ConstructorKind::Retrain,
+        annotation: AnnotationConfig {
+            strategy: LabelStrategy::HumansOnly(3),
+            error_rate: 0.05,
+            seed: seed ^ 0x77,
+        },
+        target_val_f1: None,
+        warm_start: false,
+    }
+}
+
+/// Parse `--flag value` style arguments with a default.
+pub fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_data::paper_suite;
+
+    #[test]
+    fn prepare_produces_uncleaned_training_set() {
+        let spec = &paper_suite(400)[0];
+        let p = prepare(spec, 1);
+        assert_eq!(
+            p.split.train.uncleaned_indices().len(),
+            p.split.train.len()
+        );
+        assert!(p.split.val.len() >= 15);
+    }
+
+    #[test]
+    fn rounded_labels_are_deterministic_but_uncleaned() {
+        let spec = paper_suite(400)
+            .into_iter()
+            .find(|s| s.name == "Fashion")
+            .unwrap();
+        let p = prepare_rounded(&spec, 2);
+        for i in 0..p.split.train.len() {
+            assert!(p.split.train.label(i).is_deterministic());
+            assert!(!p.split.train.is_clean(i));
+        }
+    }
+
+    #[test]
+    fn config_scales_batch_with_n() {
+        let a = default_pipeline_config(400, 1);
+        let b = default_pipeline_config(10_000, 1);
+        assert!(a.sgd.batch_size <= b.sgd.batch_size);
+        assert!(a.sgd.batch_size >= 32);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--scale", "40", "--seeds", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--scale", 20usize), 40);
+        assert_eq!(arg_value(&args, "--seeds", 3usize), 5);
+        assert_eq!(arg_value(&args, "--missing", 7usize), 7);
+    }
+}

@@ -1,0 +1,96 @@
+//! Table printing and CSV persistence for experiment results.
+
+use chef_linalg::stats::mean_std;
+use std::path::PathBuf;
+
+/// Format a `mean±std` cell the way the paper's tables do.
+pub fn fmt_mean_std(values: &[f64]) -> String {
+    let (m, s) = mean_std(values);
+    format!("{m:.4}\u{b1}{s:.4}")
+}
+
+/// Format a single value cell.
+pub fn fmt_cell(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Print an aligned text table with a title.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("| {} |", line.join(" | "));
+    };
+    print_row(header);
+    let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// The `results/` directory at the workspace root (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("CHEF_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            // Walk up from the crate dir to the workspace root.
+            let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            p.pop();
+            p.pop();
+            p.join("results")
+        });
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write a results CSV into `results/<name>.csv`.
+pub fn write_results_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(format!("{name}.csv"));
+    chef_viz::write_csv(&path, header, rows).expect("write results csv");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_formatting() {
+        let s = fmt_mean_std(&[0.5, 0.7]);
+        assert!(s.starts_with("0.6000"));
+        assert!(s.contains('\u{b1}'));
+        assert_eq!(fmt_cell(0.12345), "0.1235");
+    }
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = results_dir();
+        assert!(d.exists());
+        assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn csv_written_to_results() {
+        let p = write_results_csv(
+            "unit_test_output",
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text, "x,y\n1,2\n");
+        let _ = std::fs::remove_file(p);
+    }
+}

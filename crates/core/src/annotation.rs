@@ -1,0 +1,242 @@
+//! The human-annotation phase (paper §4.3).
+//!
+//! Selected samples are labeled by a panel of simulated annotators; the
+//! selector's suggested label may join the panel as one more independent
+//! labeler. Conflicts are resolved by majority vote; ties keep the
+//! probabilistic label (the Fact/Twitter "ambiguous" rule of Appendix
+//! F.1) but still consume the sample's slot in the cleaning budget.
+//!
+//! The three Infl strategies of §5.1:
+//!
+//! | strategy       | panel            | suggestion used? |
+//! |----------------|------------------|------------------|
+//! | Infl (one)     | 3 human voters   | no               |
+//! | Infl (two)     | none             | yes (alone)      |
+//! | Infl (three)   | 2 human voters   | yes              |
+
+use crate::selector::Selection;
+use chef_model::Dataset;
+use chef_weak::AnnotatorPanel;
+
+/// How cleaned labels are produced from panel votes and suggestions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelStrategy {
+    /// Majority vote over `n` human annotators (Infl (one) with n = 3).
+    HumansOnly(usize),
+    /// Use the selector's suggested label directly (Infl (two)).
+    SuggestionOnly,
+    /// Suggested label + `n` human annotators, majority vote
+    /// (Infl (three) with n = 2).
+    SuggestionPlusHumans(usize),
+}
+
+impl LabelStrategy {
+    /// Paper name of the strategy.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            LabelStrategy::HumansOnly(_) => "Infl (one)",
+            LabelStrategy::SuggestionOnly => "Infl (two)",
+            LabelStrategy::SuggestionPlusHumans(_) => "Infl (three)",
+        }
+    }
+}
+
+/// Annotation-phase configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnotationConfig {
+    /// Vote-aggregation strategy.
+    pub strategy: LabelStrategy,
+    /// Per-annotator error rate (the paper flips 5% of ground truth).
+    pub error_rate: f64,
+    /// Seed for the annotator panel.
+    pub seed: u64,
+}
+
+impl Default for AnnotationConfig {
+    fn default() -> Self {
+        Self {
+            strategy: LabelStrategy::HumansOnly(3),
+            error_rate: 0.05,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of annotating one selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotationOutcome {
+    /// The sample's label was replaced and up-weighted.
+    Cleaned(usize),
+    /// Votes tied (or no ground truth available): label kept
+    /// probabilistic, budget slot consumed.
+    Ambiguous,
+}
+
+/// Stateful annotation phase (panel is reused across rounds so each
+/// annotator stays self-consistent).
+#[derive(Debug, Clone)]
+pub struct AnnotationPhase {
+    cfg: AnnotationConfig,
+    panel: AnnotatorPanel,
+}
+
+impl AnnotationPhase {
+    /// Build the phase: the panel size follows the strategy.
+    pub fn new(cfg: AnnotationConfig) -> Self {
+        let humans = match cfg.strategy {
+            LabelStrategy::HumansOnly(n) => n,
+            LabelStrategy::SuggestionOnly => 0,
+            LabelStrategy::SuggestionPlusHumans(n) => n,
+        };
+        Self {
+            cfg,
+            panel: AnnotatorPanel::uniform(humans, cfg.error_rate, cfg.seed),
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> LabelStrategy {
+        self.cfg.strategy
+    }
+
+    /// Annotate `selections` in place on `data`.
+    ///
+    /// Returns one [`AnnotationOutcome`] per selection, in order. Cleaned
+    /// samples get a deterministic label and weight 1 (`clean_label`).
+    pub fn annotate(&self, data: &mut Dataset, selections: &[Selection]) -> Vec<AnnotationOutcome> {
+        let c = data.num_classes();
+        selections
+            .iter()
+            .map(|sel| {
+                let suggestion = match self.cfg.strategy {
+                    LabelStrategy::HumansOnly(_) => None,
+                    _ => sel.suggested,
+                };
+                let Some(truth) = data.ground_truth(sel.index) else {
+                    return AnnotationOutcome::Ambiguous;
+                };
+                match self.panel.clean(sel.index, truth, c, suggestion) {
+                    Some(label) => {
+                        let cleaned_class = label.argmax();
+                        data.clean_label(sel.index, label);
+                        AnnotationOutcome::Cleaned(cleaned_class)
+                    }
+                    None => AnnotationOutcome::Ambiguous,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_linalg::Matrix;
+    use chef_model::SoftLabel;
+
+    fn data(n: usize) -> Dataset {
+        Dataset::new(
+            Matrix::from_vec(n, 1, (0..n).map(|i| i as f64).collect()),
+            (0..n).map(|_| SoftLabel::new(vec![0.5, 0.5])).collect(),
+            vec![false; n],
+            (0..n).map(|i| Some(i % 2)).collect(),
+            2,
+        )
+    }
+
+    fn sels(idx: &[usize], suggested: Option<usize>) -> Vec<Selection> {
+        idx.iter()
+            .map(|&index| Selection { index, suggested })
+            .collect()
+    }
+
+    #[test]
+    fn suggestion_only_installs_suggested_label() {
+        let mut d = data(4);
+        let phase = AnnotationPhase::new(AnnotationConfig {
+            strategy: LabelStrategy::SuggestionOnly,
+            ..AnnotationConfig::default()
+        });
+        let out = phase.annotate(&mut d, &sels(&[2], Some(0)));
+        assert_eq!(out, vec![AnnotationOutcome::Cleaned(0)]);
+        assert!(d.is_clean(2));
+        assert_eq!(d.label(2), &SoftLabel::onehot(0, 2));
+    }
+
+    #[test]
+    fn suggestion_only_without_suggestion_is_ambiguous() {
+        let mut d = data(4);
+        let phase = AnnotationPhase::new(AnnotationConfig {
+            strategy: LabelStrategy::SuggestionOnly,
+            ..AnnotationConfig::default()
+        });
+        let out = phase.annotate(&mut d, &sels(&[1], None));
+        assert_eq!(out, vec![AnnotationOutcome::Ambiguous]);
+        assert!(!d.is_clean(1));
+    }
+
+    #[test]
+    fn perfect_humans_recover_truth() {
+        let mut d = data(6);
+        let phase = AnnotationPhase::new(AnnotationConfig {
+            strategy: LabelStrategy::HumansOnly(3),
+            error_rate: 0.0,
+            seed: 1,
+        });
+        let out = phase.annotate(&mut d, &sels(&[0, 1, 2], None));
+        assert_eq!(
+            out,
+            vec![
+                AnnotationOutcome::Cleaned(0),
+                AnnotationOutcome::Cleaned(1),
+                AnnotationOutcome::Cleaned(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn humans_only_ignores_suggestion() {
+        let mut d = data(4);
+        let phase = AnnotationPhase::new(AnnotationConfig {
+            strategy: LabelStrategy::HumansOnly(3),
+            error_rate: 0.0,
+            seed: 2,
+        });
+        // Suggestion says class 1, but truth of sample 0 is class 0 and
+        // the 3 perfect annotators outvote... actually never see it.
+        let out = phase.annotate(&mut d, &sels(&[0], Some(1)));
+        assert_eq!(out, vec![AnnotationOutcome::Cleaned(0)]);
+    }
+
+    #[test]
+    fn suggestion_plus_humans_uses_all_votes() {
+        let mut d = data(4);
+        // 2 perfect humans + wrong suggestion → humans win 2-1.
+        let phase = AnnotationPhase::new(AnnotationConfig {
+            strategy: LabelStrategy::SuggestionPlusHumans(2),
+            error_rate: 0.0,
+            seed: 3,
+        });
+        let out = phase.annotate(&mut d, &sels(&[0], Some(1)));
+        assert_eq!(out, vec![AnnotationOutcome::Cleaned(0)]);
+    }
+
+    #[test]
+    fn missing_truth_is_ambiguous() {
+        let mut d = data(2);
+        d.push(&[9.0], SoftLabel::uniform(2), false, None);
+        let phase = AnnotationPhase::new(AnnotationConfig::default());
+        let out = phase.annotate(&mut d, &sels(&[2], Some(1)));
+        assert_eq!(out, vec![AnnotationOutcome::Ambiguous]);
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(LabelStrategy::HumansOnly(3).paper_name(), "Infl (one)");
+        assert_eq!(LabelStrategy::SuggestionOnly.paper_name(), "Infl (two)");
+        assert_eq!(
+            LabelStrategy::SuggestionPlusHumans(2).paper_name(),
+            "Infl (three)"
+        );
+    }
+}

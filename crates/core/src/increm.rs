@@ -1,0 +1,489 @@
+//! **Increm-Infl** — incremental influence with early pruning
+//! (paper Theorem 1, Algorithm 1, Appendices B, D, E).
+//!
+//! Evaluating Infl on every uncleaned sample costs `C + 1` gradients per
+//! sample per round. Increm-Infl avoids most of that in rounds `k ≥ 1` by
+//! freezing per-sample quantities at the initialization model `w⁽⁰⁾` as
+//! *provenance* — the gradients `∇_wF(w⁽⁰⁾, z̃)`, the per-class gradients
+//! `∇_y∇_wF(w⁽⁰⁾, z̃)` and the Hessian spectral norms of Appendix D — and
+//! bounding how far the true influence at `w⁽ᵏ⁾` can drift from the
+//! frozen value `I₀`:
+//!
+//! ```text
+//! I_pert⁽ᵏ⁾ − I₀ ∈ [ ½ Σ_j (δ_j e₁ − |δ_j| e₂) ‖H⁽ʲ⁾‖ + ((1−γ)/2)(e₁−e₂) μ_z ,
+//!                   ½ Σ_j (δ_j e₁ + |δ_j| e₂) ‖H⁽ʲ⁾‖ + ((1−γ)/2)(e₁+e₂) μ_z ]
+//! ```
+//!
+//! with `e₁ = vᵀ(w⁽ᵏ⁾ − w⁽⁰⁾)`, `e₂ = ‖v‖‖w⁽ᵏ⁾ − w⁽⁰⁾‖` and
+//! `v = −H⁻¹∇F_val` (the bounds exactly as derived in Appendix A.2; the
+//! in-text statement of Theorem 1 drops a factor ½, see DESIGN.md).
+//! Algorithm 1 then keeps (a) the samples with the top-b smallest `I₀`
+//! and (b) every sample whose lower bound undercuts the largest upper
+//! bound `L` among those top-b — a set that provably contains the true
+//! top-b, so the expensive exact pass runs on a few samples only.
+//!
+//! Like the paper, the integrated Hessians in the bound are approximated
+//! by their value at `w⁽⁰⁾`; the `slack` factor (default 1, i.e. the
+//! paper's behaviour) can widen the interval to absorb that approximation.
+
+use crate::influence::{rank_infl_with_vector, InflScore};
+use chef_model::{Dataset, Model};
+
+/// Pre-computed per-sample provenance (the "initialization step" state).
+#[derive(Debug, Clone)]
+struct Provenance {
+    w0: Vec<f64>,
+    /// `∇_w F(w⁽⁰⁾, z̃)` per sample.
+    grads0: Vec<Vec<f64>>,
+    /// Per-class gradients, flattened `C × m` per sample.
+    class_grads0: Vec<Vec<f64>>,
+    /// `‖H(w⁽⁰⁾, z̃)‖` per sample (μ_z in the bound).
+    hessian_norms0: Vec<f64>,
+    /// `‖−∇²_w log p⁽ʲ⁾(w⁽⁰⁾, x̃)‖` per sample per class.
+    class_hessian_norms0: Vec<Vec<f64>>,
+}
+
+/// Work counters for one Increm-Infl round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IncremStats {
+    /// Samples in the uncleaned pool this round.
+    pub pool: usize,
+    /// Samples surviving the bound-based pruning (whose influence was
+    /// evaluated exactly).
+    pub candidates: usize,
+}
+
+/// The Increm-Infl sample selector state.
+#[derive(Debug, Clone)]
+pub struct IncremInfl {
+    provenance: Provenance,
+    /// Multiplier on the half-width of the Theorem 1 interval (1 = exact
+    /// paper bounds).
+    pub slack: f64,
+}
+
+impl IncremInfl {
+    /// Initialization step: pre-compute provenance for every training
+    /// sample at the initial model `w⁽⁰⁾`.
+    pub fn initialize<M: Model + ?Sized>(model: &M, data: &Dataset, w0: &[f64]) -> Self {
+        let m = model.num_params();
+        let c_count = model.num_classes();
+        let n = data.len();
+        let mut grads0 = Vec::with_capacity(n);
+        let mut class_grads0 = Vec::with_capacity(n);
+        let mut hessian_norms0 = Vec::with_capacity(n);
+        let mut class_hessian_norms0 = Vec::with_capacity(n);
+        let mut g = vec![0.0; m];
+        for i in 0..n {
+            let x = data.feature(i);
+            let y = data.label(i);
+            model.grad(w0, x, y, &mut g);
+            grads0.push(g.clone());
+            let mut cg = vec![0.0; c_count * m];
+            for c in 0..c_count {
+                model.class_grad(w0, x, c, &mut g);
+                cg[c * m..(c + 1) * m].copy_from_slice(&g);
+            }
+            class_grads0.push(cg);
+            hessian_norms0.push(model.hessian_norm(w0, x, y));
+            class_hessian_norms0.push(
+                (0..c_count)
+                    .map(|c| model.class_hessian_norm(w0, x, c))
+                    .collect(),
+            );
+        }
+        Self {
+            provenance: Provenance {
+                w0: w0.to_vec(),
+                grads0,
+                class_grads0,
+                hessian_norms0,
+                class_hessian_norms0,
+            },
+            slack: 1.0,
+        }
+    }
+
+    /// The initialization-step parameters `w⁽⁰⁾`.
+    pub fn w0(&self) -> &[f64] {
+        &self.provenance.w0
+    }
+
+    /// Frozen influence `I₀(z̃, δ_y, γ)` for sample `i` and target class
+    /// `class`, given the current influence vector `v_pos = H⁻¹∇F_val`.
+    /// (Reference implementation kept for the unit tests; the production
+    /// path in [`Self::candidates`] inlines it with hoisted dot products.)
+    #[cfg(test)]
+    fn frozen_influence(
+        &self,
+        data: &Dataset,
+        m: usize,
+        v_pos: &[f64],
+        i: usize,
+        class: usize,
+        gamma: f64,
+    ) -> f64 {
+        let delta = data.label(i).delta_to(class);
+        let cg = &self.provenance.class_grads0[i];
+        let mut acc = 0.0;
+        for (c, &d) in delta.iter().enumerate() {
+            if d == 0.0 {
+                continue;
+            }
+            acc += d * chef_linalg::vector::dot(v_pos, &cg[c * m..(c + 1) * m]);
+        }
+        if gamma < 1.0 {
+            acc += (1.0 - gamma)
+                * chef_linalg::vector::dot(v_pos, &self.provenance.grads0[i]);
+        }
+        -acc
+    }
+
+    /// Algorithm 1: return the candidate set `Z_inf⁽ᵏ⁾ ⊆ pool` that is
+    /// guaranteed (under the Hessian-freeze approximation) to contain the
+    /// top-`b` most influential samples at `w_k`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn candidates<M: Model + ?Sized>(
+        &self,
+        model: &M,
+        data: &Dataset,
+        w_k: &[f64],
+        v_pos: &[f64],
+        pool: &[usize],
+        b: usize,
+        gamma: f64,
+    ) -> (Vec<usize>, IncremStats) {
+        let m = model.num_params();
+        let c_count = model.num_classes();
+        let dw = chef_linalg::vector::sub(w_k, &self.provenance.w0);
+        // v = −v_pos in the paper's convention.
+        let e1 = -chef_linalg::vector::dot(v_pos, &dw);
+        let e2 = chef_linalg::vector::norm2(v_pos) * chef_linalg::vector::norm2(&dw);
+
+        // Per sample: the best (smallest) frozen influence over classes,
+        // with its interval. The dot products against the provenance
+        // gradients are hoisted out of the class loop: everything below
+        // them is O(C) arithmetic on cached scalars, which is what makes
+        // the bound pass cheap relative to exact influence evaluation
+        // (Appendix E's complexity argument).
+        struct Entry {
+            index: usize,
+            i0: f64,
+            ub: f64,
+            lb_min: f64,
+        }
+        let mut entries: Vec<Entry> = Vec::with_capacity(pool.len());
+        let mut class_dots = vec![0.0; c_count];
+        for &i in pool {
+            let g_dot = chef_linalg::vector::dot(v_pos, &self.provenance.grads0[i]);
+            let cg = &self.provenance.class_grads0[i];
+            for (c, d) in class_dots.iter_mut().enumerate() {
+                *d = chef_linalg::vector::dot(v_pos, &cg[c * m..(c + 1) * m]);
+            }
+            let norms = &self.provenance.class_hessian_norms0[i];
+            let mu = self.provenance.hessian_norms0[i];
+            let gterm = (1.0 - gamma) / 2.0;
+            let mut best_i0 = f64::INFINITY;
+            let mut best_ub = f64::INFINITY;
+            let mut lb_min = f64::INFINITY;
+            for c in 0..c_count {
+                let delta = data.label(i).delta_to(c);
+                let mut acc = 0.0;
+                let mut signed = 0.0;
+                let mut absolute = 0.0;
+                for (k, &d) in delta.iter().enumerate() {
+                    acc += d * class_dots[k];
+                    signed += d * norms[k];
+                    absolute += d.abs() * norms[k];
+                }
+                if gamma < 1.0 {
+                    acc += (1.0 - gamma) * g_dot;
+                }
+                let i0 = -acc;
+                let mut lo = 0.5 * (signed * e1 - absolute * e2) + gterm * (e1 - e2) * mu;
+                let mut hi = 0.5 * (signed * e1 + absolute * e2) + gterm * (e1 + e2) * mu;
+                if self.slack != 1.0 {
+                    let mid = 0.5 * (lo + hi);
+                    let half = 0.5 * (hi - lo) * self.slack;
+                    lo = mid - half;
+                    hi = mid + half;
+                }
+                if i0 < best_i0 {
+                    best_i0 = i0;
+                    best_ub = i0 + hi;
+                }
+                lb_min = lb_min.min(i0 + lo);
+            }
+            entries.push(Entry {
+                index: i,
+                i0: best_i0,
+                ub: best_ub,
+                lb_min,
+            });
+        }
+
+        // Top-b smallest I₀ (Algorithm 1 line 3) and the largest upper
+        // bound L among them (line 4).
+        entries.sort_by(|a, b| a.i0.total_cmp(&b.i0));
+        let b_eff = b.min(entries.len());
+        let l = entries[..b_eff]
+            .iter()
+            .map(|e| e.ub)
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        // Diagnostic: CHEF_INCREM_DEBUG=1 prints the bound geometry
+        // (e₁, e₂, L, I₀/lower-bound quantiles) for tuning runs.
+        if std::env::var("CHEF_INCREM_DEBUG").is_ok() {
+            let lbs: Vec<f64> = entries.iter().map(|e| e.lb_min).collect();
+            let i0s: Vec<f64> = entries.iter().map(|e| e.i0).collect();
+            let med = |v: &Vec<f64>| {
+                let mut u = v.clone();
+                u.sort_by(|a, b| a.total_cmp(b));
+                u[u.len() / 2]
+            };
+            eprintln!(
+                "increm dbg: e1={e1:.3e} e2={e2:.3e} L={l:.3e} i0[min={:.3e} med={:.3e}] lb[min={:.3e} med={:.3e}] width_med={:.3e}",
+                i0s.iter().cloned().fold(f64::INFINITY, f64::min),
+                med(&i0s),
+                lbs.iter().cloned().fold(f64::INFINITY, f64::min),
+                med(&lbs),
+                med(&i0s) - med(&lbs),
+            );
+        }
+        let mut cands: Vec<usize> = entries[..b_eff].iter().map(|e| e.index).collect();
+        for e in &entries[b_eff..] {
+            if e.lb_min < l {
+                cands.push(e.index);
+            }
+        }
+        let stats = IncremStats {
+            pool: pool.len(),
+            candidates: cands.len(),
+        };
+        (cands, stats)
+    }
+
+    /// Full Increm-Infl round: prune with Algorithm 1, then evaluate Infl
+    /// exactly on the candidates and return the top-`b` scores (most
+    /// harmful first) plus work counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select<M: Model + ?Sized>(
+        &self,
+        model: &M,
+        data: &Dataset,
+        w_k: &[f64],
+        v_pos: &[f64],
+        pool: &[usize],
+        b: usize,
+        gamma: f64,
+    ) -> (Vec<InflScore>, IncremStats) {
+        let (cands, stats) = self.candidates(model, data, w_k, v_pos, pool, b, gamma);
+        let mut ranked = rank_infl_with_vector(model, data, w_k, v_pos, &cands, gamma);
+        ranked.truncate(b);
+        (ranked, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::influence::{influence_vector, rank_infl_with_vector, InflConfig};
+    use chef_linalg::Matrix;
+    use chef_model::{LogisticRegression, SoftLabel, WeightedObjective};
+    use chef_train::{train, SgdConfig};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fixture(
+        n: usize,
+        seed: u64,
+    ) -> (LogisticRegression, WeightedObjective, Dataset, Dataset) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut raw = Vec::new();
+        let mut labels = Vec::new();
+        let mut truth = Vec::new();
+        for _ in 0..n {
+            let c = usize::from(rng.gen_range(0.0..1.0) < 0.5);
+            let sign = if c == 1 { 1.0 } else { -1.0 };
+            raw.push(sign + rng.gen_range(-1.0..1.0));
+            raw.push(sign + rng.gen_range(-1.0..1.0));
+            let p = rng.gen_range(0.1..0.9);
+            labels.push(SoftLabel::new(vec![p, 1.0 - p]));
+            truth.push(Some(c));
+        }
+        let data = Dataset::new(
+            Matrix::from_vec(n, 2, raw),
+            labels,
+            vec![false; n],
+            truth,
+            2,
+        );
+        let mut vraw = Vec::new();
+        let mut vlab = Vec::new();
+        let mut vtruth = Vec::new();
+        for _ in 0..40 {
+            let c = usize::from(rng.gen_range(0.0..1.0) < 0.5);
+            let sign = if c == 1 { 1.0 } else { -1.0 };
+            vraw.push(sign + rng.gen_range(-1.0..1.0));
+            vraw.push(sign + rng.gen_range(-1.0..1.0));
+            vlab.push(SoftLabel::onehot(c, 2));
+            vtruth.push(Some(c));
+        }
+        let val = Dataset::new(
+            Matrix::from_vec(40, 2, vraw),
+            vlab,
+            vec![true; 40],
+            vtruth,
+            2,
+        );
+        (
+            LogisticRegression::new(2, 2),
+            WeightedObjective::new(0.8, 0.05),
+            data,
+            val,
+        )
+    }
+
+    fn fit(
+        model: &LogisticRegression,
+        obj: &WeightedObjective,
+        data: &Dataset,
+        epochs: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let cfg = SgdConfig {
+            lr: 0.1,
+            epochs,
+            batch_size: 50,
+            seed,
+            cache_provenance: false,
+        };
+        let w0 = vec![0.0; chef_model::Model::num_params(model)];
+        train(model, obj, data, &w0, &cfg).w
+    }
+
+    #[test]
+    fn at_w0_bounds_are_tight_and_candidates_minimal() {
+        let (model, obj, data, val) = fixture(80, 1);
+        let w0 = fit(&model, &obj, &data, 20, 3);
+        let inc = IncremInfl::initialize(&model, &data, &w0);
+        let v = influence_vector(&model, &obj, &data, &val, &w0, &InflConfig::default());
+        let pool = data.uncleaned_indices();
+        let (cands, stats) = inc.candidates(&model, &data, &w0, &v, &pool, 5, obj.gamma);
+        // At w_k = w0, e1 = e2 = 0 → intervals are points → only exact
+        // ties can join the top-5.
+        assert!(stats.candidates <= 7, "candidates {}", stats.candidates);
+        assert_eq!(cands.len(), stats.candidates);
+        assert_eq!(stats.pool, 80);
+    }
+
+    #[test]
+    fn frozen_influence_matches_exact_at_w0() {
+        let (model, obj, data, val) = fixture(50, 2);
+        let w0 = fit(&model, &obj, &data, 20, 4);
+        let inc = IncremInfl::initialize(&model, &data, &w0);
+        let v = influence_vector(&model, &obj, &data, &val, &w0, &InflConfig::default());
+        let exact = rank_infl_with_vector(&model, &data, &w0, &v, &[3, 7, 11], obj.gamma);
+        for s in exact {
+            let frozen = inc.frozen_influence(
+                &data,
+                chef_model::Model::num_params(&model),
+                &v,
+                s.index,
+                s.suggested,
+                obj.gamma,
+            );
+            assert!(
+                (frozen - s.score).abs() < 1e-10,
+                "sample {}: frozen {frozen} vs exact {}",
+                s.index,
+                s.score
+            );
+        }
+    }
+
+    #[test]
+    fn increm_returns_same_top_b_as_full_after_drift() {
+        // The paper's Exp2 correctness claim: Increm-Infl always returns
+        // the same influential set as the Full evaluation.
+        let (model, obj, data, val) = fixture(150, 3);
+        let w0 = fit(&model, &obj, &data, 15, 5);
+        let inc = IncremInfl::initialize(&model, &data, &w0);
+        // Drift: continue training for a few more epochs.
+        let w_k = {
+            let cfg = SgdConfig {
+                lr: 0.05,
+                epochs: 4,
+                batch_size: 50,
+                seed: 9,
+                cache_provenance: false,
+            };
+            train(&model, &obj, &data, &w0, &cfg).w
+        };
+        let v = influence_vector(&model, &obj, &data, &val, &w_k, &InflConfig::default());
+        let pool = data.uncleaned_indices();
+        let b = 10;
+        let (inc_top, stats) = inc.select(&model, &data, &w_k, &v, &pool, b, obj.gamma);
+        let mut full = rank_infl_with_vector(&model, &data, &w_k, &v, &pool, obj.gamma);
+        full.truncate(b);
+        let inc_set: Vec<usize> = inc_top.iter().map(|s| s.index).collect();
+        let full_set: Vec<usize> = full.iter().map(|s| s.index).collect();
+        assert_eq!(inc_set, full_set, "stats: {stats:?}");
+        // And the pruning actually pruned something.
+        assert!(stats.candidates < stats.pool, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn candidate_set_always_contains_true_top_b() {
+        for seed in 0..5 {
+            let (model, obj, data, val) = fixture(100, 10 + seed);
+            let w0 = fit(&model, &obj, &data, 10, seed);
+            let inc = IncremInfl::initialize(&model, &data, &w0);
+            let w_k = {
+                let cfg = SgdConfig {
+                    lr: 0.08,
+                    epochs: 3,
+                    batch_size: 25,
+                    seed: seed + 100,
+                    cache_provenance: false,
+                };
+                train(&model, &obj, &data, &w0, &cfg).w
+            };
+            let v = influence_vector(&model, &obj, &data, &val, &w_k, &InflConfig::default());
+            let pool = data.uncleaned_indices();
+            let (cands, _) = inc.candidates(&model, &data, &w_k, &v, &pool, 5, obj.gamma);
+            let mut full = rank_infl_with_vector(&model, &data, &w_k, &v, &pool, obj.gamma);
+            full.truncate(5);
+            for s in &full {
+                assert!(
+                    cands.contains(&s.index),
+                    "seed {seed}: true top-b sample {} pruned away",
+                    s.index
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slack_widens_candidates() {
+        let (model, obj, data, val) = fixture(120, 4);
+        let w0 = fit(&model, &obj, &data, 10, 6);
+        let mut inc = IncremInfl::initialize(&model, &data, &w0);
+        let w_k = {
+            let cfg = SgdConfig {
+                lr: 0.05,
+                epochs: 2,
+                batch_size: 40,
+                seed: 12,
+                cache_provenance: false,
+            };
+            train(&model, &obj, &data, &w0, &cfg).w
+        };
+        let v = influence_vector(&model, &obj, &data, &val, &w_k, &InflConfig::default());
+        let pool = data.uncleaned_indices();
+        let (_, tight) = inc.candidates(&model, &data, &w_k, &v, &pool, 5, obj.gamma);
+        inc.slack = 3.0;
+        let (_, wide) = inc.candidates(&model, &data, &w_k, &v, &pool, 5, obj.gamma);
+        assert!(wide.candidates >= tight.candidates);
+    }
+}

@@ -1,0 +1,48 @@
+//! # chef-core
+//!
+//! **CHEF: CHEap and Fast label cleaning** — a Rust reproduction of the
+//! VLDB 2021 paper by Wu, Weimer and Davidson.
+//!
+//! CHEF iteratively cleans the *probabilistic* labels that weak
+//! supervision produces, spending a human-annotation budget where it
+//! matters most. The crate implements the paper's three contributions on
+//! top of the `chef-*` substrate crates:
+//!
+//! * [`influence`] — **Infl** (paper Eq. 6): an influence function that
+//!   jointly models replacing a probabilistic label with a deterministic
+//!   one and up-weighting the cleaned sample, and that therefore both
+//!   *ranks* samples for cleaning and *suggests* the cleaned label;
+//! * [`increm`] — **Increm-Infl** (Theorem 1, Algorithm 1): perturbation
+//!   bounds around influence values frozen at the initialization model
+//!   `w⁽⁰⁾` prune uninfluential samples early, so later rounds evaluate
+//!   exact influences on a small candidate set only;
+//! * [`constructor`] — **DeltaGrad-L** (§4.2): the model constructor
+//!   updates parameters incrementally by replaying SGD with the
+//!   `chef-train` DeltaGrad engine instead of retraining from scratch;
+//! * [`annotation`] — the human-annotation phase (§4.3): panels of
+//!   simulated annotators, with Infl's suggestion usable as one more
+//!   independent labeler (the paper's Infl (one)/(two)/(three) variants);
+//! * [`pipeline`] — the redesigned cleaning loop of Figure 1 (loop 2):
+//!   clean `b ≪ B` samples per round, refresh the model, re-select, stop
+//!   early when the target quality is reached;
+//! * [`metrics`] — F1/accuracy evaluation used by every experiment;
+//! * [`selector`] — the `SampleSelector` abstraction that lets the
+//!   pipeline swap Infl for the baselines in `chef-baselines`.
+
+pub mod annotation;
+pub mod constructor;
+pub mod increm;
+pub mod influence;
+pub mod lissa;
+pub mod metrics;
+pub mod pipeline;
+pub mod selector;
+
+pub use annotation::{AnnotationConfig, AnnotationOutcome, AnnotationPhase, LabelStrategy};
+pub use constructor::{ConstructorKind, ModelConstructor};
+pub use increm::{IncremInfl, IncremStats};
+pub use influence::{influence_vector, rank_infl, InflConfig, InflScore};
+pub use lissa::{lissa_influence_vector, lissa_solve, LissaConfig};
+pub use metrics::{accuracy, confusion_matrix, evaluate_f1, f1_score, macro_f1, Evaluation};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, RoundReport};
+pub use selector::{InflSelector, SampleSelector, Selection, SelectorContext};

@@ -1,0 +1,225 @@
+//! Evaluation metrics.
+//!
+//! Every table of the paper reports the F1 score of the positive class on
+//! the held-out test set. These helpers compute F1/accuracy from a model,
+//! its parameters, and a dataset with ground-truth labels.
+
+use chef_model::{Dataset, Model};
+
+/// Confusion counts for one class treated as positive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Precision `tp / (tp + fp)` (0 when undefined).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)` (0 when undefined).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall (0 when undefined).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all counted samples.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Build the confusion matrix of `positive_class` from predictions vs
+/// ground truth. Samples without ground truth are skipped.
+pub fn confusion_matrix<M: Model + ?Sized>(
+    model: &M,
+    w: &[f64],
+    data: &Dataset,
+    positive_class: usize,
+) -> ConfusionMatrix {
+    let mut cm = ConfusionMatrix::default();
+    for i in 0..data.len() {
+        let Some(truth) = data.ground_truth(i) else {
+            continue;
+        };
+        let pred = model.predict_class(w, data.feature(i));
+        match (pred == positive_class, truth == positive_class) {
+            (true, true) => cm.tp += 1,
+            (true, false) => cm.fp += 1,
+            (false, true) => cm.fn_ += 1,
+            (false, false) => cm.tn += 1,
+        }
+    }
+    cm
+}
+
+/// F1 of the positive class (class 1, the paper's convention).
+pub fn f1_score<M: Model + ?Sized>(model: &M, w: &[f64], data: &Dataset) -> f64 {
+    confusion_matrix(model, w, data, 1).f1()
+}
+
+/// Plain accuracy.
+pub fn accuracy<M: Model + ?Sized>(model: &M, w: &[f64], data: &Dataset) -> f64 {
+    confusion_matrix(model, w, data, 1).accuracy()
+}
+
+/// Macro-averaged F1 over all classes (used by the multiclass extension;
+/// the paper's binary tasks report the positive-class F1 instead).
+pub fn macro_f1<M: Model + ?Sized>(model: &M, w: &[f64], data: &Dataset) -> f64 {
+    let c = data.num_classes();
+    (0..c)
+        .map(|class| confusion_matrix(model, w, data, class).f1())
+        .sum::<f64>()
+        / c as f64
+}
+
+/// A bundle of the metrics the experiment tables report.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluation {
+    /// F1 of class 1.
+    pub f1: f64,
+    /// Accuracy.
+    pub accuracy: f64,
+    /// Precision of class 1.
+    pub precision: f64,
+    /// Recall of class 1.
+    pub recall: f64,
+}
+
+/// Evaluate a model on a dataset with ground truth.
+pub fn evaluate_f1<M: Model + ?Sized>(model: &M, w: &[f64], data: &Dataset) -> Evaluation {
+    let cm = confusion_matrix(model, w, data, 1);
+    Evaluation {
+        f1: cm.f1(),
+        accuracy: cm.accuracy(),
+        precision: cm.precision(),
+        recall: cm.recall(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_linalg::Matrix;
+    use chef_model::{LogisticRegression, SoftLabel};
+
+    /// Dataset where sample i has feature x and truth t.
+    fn data_from(points: &[(f64, usize)]) -> Dataset {
+        let n = points.len();
+        Dataset::new(
+            Matrix::from_vec(n, 1, points.iter().map(|p| p.0).collect()),
+            points
+                .iter()
+                .map(|p| SoftLabel::onehot(p.1, 2))
+                .collect(),
+            vec![true; n],
+            points.iter().map(|p| Some(p.1)).collect(),
+            2,
+        )
+    }
+
+    /// LR params that predict class 1 iff x > 0 (for dim=1, C=2).
+    fn threshold_params() -> Vec<f64> {
+        // Rows: class 0 then class 1; columns: [w_x, bias].
+        vec![-5.0, 0.0, 5.0, 0.0]
+    }
+
+    #[test]
+    fn confusion_counts_known_case() {
+        let model = LogisticRegression::new(1, 2);
+        let data = data_from(&[(1.0, 1), (2.0, 1), (-1.0, 1), (1.0, 0), (-2.0, 0)]);
+        let cm = confusion_matrix(&model, &threshold_params(), &data, 1);
+        assert_eq!(
+            cm,
+            ConfusionMatrix {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert!((cm.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_classifier_scores_one() {
+        let model = LogisticRegression::new(1, 2);
+        let data = data_from(&[(1.0, 1), (-1.0, 0), (2.0, 1), (-2.0, 0)]);
+        assert!((f1_score(&model, &threshold_params(), &data) - 1.0).abs() < 1e-12);
+        assert!((accuracy(&model, &threshold_params(), &data) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_return_zero() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn samples_without_truth_are_skipped() {
+        let model = LogisticRegression::new(1, 2);
+        let mut data = data_from(&[(1.0, 1), (-1.0, 0)]);
+        data.push(&[3.0], SoftLabel::uniform(2), false, None);
+        let cm = confusion_matrix(&model, &threshold_params(), &data, 1);
+        assert_eq!(cm.tp + cm.fp + cm.tn + cm.fn_, 2);
+    }
+
+    #[test]
+    fn macro_f1_averages_both_classes() {
+        let model = LogisticRegression::new(1, 2);
+        let data = data_from(&[(1.0, 1), (2.0, 1), (-1.0, 1), (1.0, 0), (-2.0, 0)]);
+        let w = threshold_params();
+        let f1_pos = confusion_matrix(&model, &w, &data, 1).f1();
+        let f1_neg = confusion_matrix(&model, &w, &data, 0).f1();
+        assert!((macro_f1(&model, &w, &data) - 0.5 * (f1_pos + f1_neg)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluation_bundle_is_consistent() {
+        let model = LogisticRegression::new(1, 2);
+        let data = data_from(&[(1.0, 1), (2.0, 0), (-1.0, 0)]);
+        let e = evaluate_f1(&model, &threshold_params(), &data);
+        let cm = confusion_matrix(&model, &threshold_params(), &data, 1);
+        assert_eq!(e.f1, cm.f1());
+        assert_eq!(e.accuracy, cm.accuracy());
+        assert_eq!(e.precision, cm.precision());
+        assert_eq!(e.recall, cm.recall());
+    }
+}

@@ -1,0 +1,233 @@
+//! The sample-selector abstraction of the pipeline's first phase.
+//!
+//! The pipeline is generic over *how* the next `b` samples are picked so
+//! the experiment harness can swap **Infl** for the baselines (Infl-D,
+//! Infl-Y, active learning, O2U, TARS, DUTI — see `chef-baselines`).
+//! Selectors may also return a *suggested clean label*, which only Infl
+//! and DUTI can produce; the annotation phase treats it as one more
+//! independent labeler (§4.3).
+
+use crate::increm::{IncremInfl, IncremStats};
+use crate::influence::{influence_vector, rank_infl_with_vector, InflConfig};
+use chef_model::{Dataset, Model, WeightedObjective};
+
+/// Everything a selector may look at when ranking the uncleaned pool.
+pub struct SelectorContext<'a> {
+    /// The classifier (trait object so selectors stay object-safe).
+    pub model: &'a dyn Model,
+    /// The weighted objective (γ, λ).
+    pub objective: &'a WeightedObjective,
+    /// Current training data.
+    pub data: &'a Dataset,
+    /// Trusted validation set.
+    pub val: &'a Dataset,
+    /// Current model parameters.
+    pub w: &'a [f64],
+    /// Indices still eligible for cleaning.
+    pub pool: &'a [usize],
+    /// Number of samples to select this round.
+    pub b: usize,
+    /// Cleaning round number (0 = first round of loop 2).
+    pub round: usize,
+}
+
+/// One selected sample, with the selector's suggested clean label if it
+/// has one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// Training-set index.
+    pub index: usize,
+    /// Suggested deterministic label (Infl/DUTI only).
+    pub suggested: Option<usize>,
+}
+
+/// A sample-selection strategy.
+pub trait SampleSelector {
+    /// Short name used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Pick up to `ctx.b` samples from `ctx.pool`, most valuable first.
+    fn select(&mut self, ctx: &SelectorContext<'_>) -> Vec<Selection>;
+
+    /// Pruning counters of the most recent round, if the selector tracks
+    /// any (only Increm-Infl does).
+    fn stats(&self) -> Option<IncremStats> {
+        None
+    }
+}
+
+/// The paper's Infl selector, optionally accelerated with Increm-Infl.
+#[derive(Debug, Default)]
+pub struct InflSelector {
+    /// Influence configuration (CG settings).
+    pub cfg: InflConfig,
+    /// Whether to prune with Increm-Infl (initialized lazily on the first
+    /// round, which is the paper's "initialization step").
+    pub use_increm: bool,
+    increm: Option<IncremInfl>,
+    /// Pruning counters of the most recent round (None when running Full).
+    pub last_stats: Option<IncremStats>,
+}
+
+impl InflSelector {
+    /// Full (unpruned) Infl.
+    pub fn full() -> Self {
+        Self {
+            use_increm: false,
+            ..Self::default()
+        }
+    }
+
+    /// Infl with Increm-Infl pruning.
+    pub fn incremental() -> Self {
+        Self {
+            use_increm: true,
+            ..Self::default()
+        }
+    }
+}
+
+impl SampleSelector for InflSelector {
+    fn name(&self) -> &str {
+        if self.use_increm {
+            "Infl+Increm"
+        } else {
+            "Infl"
+        }
+    }
+
+    fn select(&mut self, ctx: &SelectorContext<'_>) -> Vec<Selection> {
+        let v = influence_vector(ctx.model, ctx.objective, ctx.data, ctx.val, ctx.w, &self.cfg);
+        if self.use_increm && self.increm.is_none() {
+            // Initialization step: freeze provenance at w⁽⁰⁾.
+            self.increm = Some(IncremInfl::initialize(ctx.model, ctx.data, ctx.w));
+        }
+        let scores = if let (true, Some(increm)) = (self.use_increm, self.increm.as_ref()) {
+            let (scores, stats) = increm.select(
+                ctx.model,
+                ctx.data,
+                ctx.w,
+                &v,
+                ctx.pool,
+                ctx.b,
+                ctx.objective.gamma,
+            );
+            self.last_stats = Some(stats);
+            scores
+        } else {
+            self.last_stats = None;
+            let mut s =
+                rank_infl_with_vector(ctx.model, ctx.data, ctx.w, &v, ctx.pool, ctx.objective.gamma);
+            s.truncate(ctx.b);
+            s
+        };
+        scores
+            .into_iter()
+            .map(|s| Selection {
+                index: s.index,
+                suggested: Some(s.suggested),
+            })
+            .collect()
+    }
+
+    fn stats(&self) -> Option<IncremStats> {
+        self.last_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_linalg::Matrix;
+    use chef_model::{LogisticRegression, SoftLabel};
+
+    fn toy() -> (LogisticRegression, WeightedObjective, Dataset, Dataset) {
+        let n = 40;
+        let mut raw = Vec::new();
+        let mut labels = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let sign = if c == 1 { 1.0 } else { -1.0 };
+            raw.push(sign * (1.0 + 0.01 * i as f64));
+            raw.push(sign);
+            labels.push(SoftLabel::new(vec![0.5, 0.5]));
+            truth.push(Some(c));
+        }
+        let data = Dataset::new(
+            Matrix::from_vec(n, 2, raw.clone()),
+            labels,
+            vec![false; n],
+            truth.clone(),
+            2,
+        );
+        let val = Dataset::new(
+            Matrix::from_vec(n, 2, raw),
+            (0..n).map(|i| SoftLabel::onehot(i % 2, 2)).collect(),
+            vec![true; n],
+            truth,
+            2,
+        );
+        (
+            LogisticRegression::new(2, 2),
+            WeightedObjective::new(0.8, 0.05),
+            data,
+            val,
+        )
+    }
+
+    #[test]
+    fn full_and_incremental_agree_on_first_round() {
+        let (model, obj, data, val) = toy();
+        let w = vec![0.05; chef_model::Model::num_params(&model)];
+        let pool = data.uncleaned_indices();
+        let ctx = SelectorContext {
+            model: &model,
+            objective: &obj,
+            data: &data,
+            val: &val,
+            w: &w,
+            pool: &pool,
+            b: 5,
+            round: 0,
+        };
+        let mut full = InflSelector::full();
+        let mut inc = InflSelector::incremental();
+        let a = full.select(&ctx);
+        let b = inc.select(&ctx);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(full.last_stats.is_none());
+        assert!(inc.last_stats.is_some());
+    }
+
+    #[test]
+    fn respects_budget_and_pool() {
+        let (model, obj, data, val) = toy();
+        let w = vec![0.0; chef_model::Model::num_params(&model)];
+        let pool = vec![3, 9, 17];
+        let ctx = SelectorContext {
+            model: &model,
+            objective: &obj,
+            data: &data,
+            val: &val,
+            w: &w,
+            pool: &pool,
+            b: 10,
+            round: 0,
+        };
+        let mut sel = InflSelector::full();
+        let picks = sel.select(&ctx);
+        assert_eq!(picks.len(), 3);
+        for p in &picks {
+            assert!(pool.contains(&p.index));
+            assert!(p.suggested.is_some());
+        }
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(InflSelector::full().name(), "Infl");
+        assert_eq!(InflSelector::incremental().name(), "Infl+Increm");
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the CHEF core: influence invariants, bound
+//! containment, vote aggregation, metrics.
+
+use chef_core::annotation::{AnnotationConfig, AnnotationPhase, LabelStrategy};
+use chef_core::increm::IncremInfl;
+use chef_core::influence::{influence_vector, rank_infl_with_vector, InflConfig};
+use chef_core::metrics::ConfusionMatrix;
+use chef_core::selector::Selection;
+use chef_linalg::Matrix;
+use chef_model::{Dataset, LogisticRegression, SoftLabel, WeightedObjective};
+use proptest::prelude::*;
+
+/// Build a small dataset from proptest-generated raw parts.
+fn dataset(points: Vec<(f64, f64, bool)>, probs: Vec<f64>) -> Dataset {
+    let n = points.len();
+    let mut raw = Vec::with_capacity(2 * n);
+    let mut labels = Vec::with_capacity(n);
+    let mut truth = Vec::with_capacity(n);
+    for ((x0, x1, t), p) in points.iter().zip(&probs) {
+        raw.push(*x0);
+        raw.push(*x1);
+        labels.push(SoftLabel::new(vec![*p, 1.0 - *p]));
+        truth.push(Some(usize::from(*t)));
+    }
+    Dataset::new(Matrix::from_vec(n, 2, raw), labels, vec![false; n], truth, 2)
+}
+
+fn val_set(points: &[(f64, f64, bool)]) -> Dataset {
+    let n = points.len();
+    let mut raw = Vec::with_capacity(2 * n);
+    let mut labels = Vec::with_capacity(n);
+    let mut truth = Vec::with_capacity(n);
+    for (x0, x1, t) in points {
+        raw.push(*x0);
+        raw.push(*x1);
+        labels.push(SoftLabel::onehot(usize::from(*t), 2));
+        truth.push(Some(usize::from(*t)));
+    }
+    Dataset::new(Matrix::from_vec(n, 2, raw), labels, vec![true; n], truth, 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn influence_ranking_is_a_permutation_sorted_ascending(
+        points in prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0, any::<bool>()), 12..24),
+        probs in prop::collection::vec(0.05f64..0.95, 24),
+        w in prop::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let data = dataset(points.clone(), probs[..points.len()].to_vec());
+        let val = val_set(&points);
+        let model = LogisticRegression::new(2, 2);
+        let obj = WeightedObjective::new(0.8, 0.2);
+        let v = influence_vector(&model, &obj, &data, &val, &w, &InflConfig::default());
+        let pool = data.uncleaned_indices();
+        let ranked = rank_infl_with_vector(&model, &data, &w, &v, &pool, obj.gamma);
+        prop_assert_eq!(ranked.len(), pool.len());
+        let mut seen: Vec<usize> = ranked.iter().map(|s| s.index).collect();
+        seen.sort_unstable();
+        let mut expect = pool.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+        for pair in ranked.windows(2) {
+            prop_assert!(pair[0].score <= pair[1].score);
+        }
+        for s in &ranked {
+            prop_assert!(s.suggested < 2);
+            prop_assert!(s.score.is_finite());
+        }
+    }
+
+    #[test]
+    fn increm_candidates_contain_exact_top_b(
+        points in prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0, any::<bool>()), 16..30),
+        probs in prop::collection::vec(0.05f64..0.95, 30),
+        drift in prop::collection::vec(-0.05f64..0.05, 6),
+        b in 1usize..6,
+    ) {
+        let data = dataset(points.clone(), probs[..points.len()].to_vec());
+        let val = val_set(&points);
+        let model = LogisticRegression::new(2, 2);
+        let obj = WeightedObjective::new(0.8, 0.2);
+        let w0 = vec![0.1; 6];
+        let increm = IncremInfl::initialize(&model, &data, &w0);
+        let w_k: Vec<f64> = w0.iter().zip(&drift).map(|(a, d)| a + d).collect();
+        let v = influence_vector(&model, &obj, &data, &val, &w_k, &InflConfig::default());
+        let pool = data.uncleaned_indices();
+        let (cands, stats) = increm.candidates(&model, &data, &w_k, &v, &pool, b, obj.gamma);
+        let mut exact = rank_infl_with_vector(&model, &data, &w_k, &v, &pool, obj.gamma);
+        exact.truncate(b);
+        for s in &exact {
+            prop_assert!(
+                cands.contains(&s.index),
+                "sample {} missing from {} candidates (pool {})",
+                s.index, stats.candidates, stats.pool
+            );
+        }
+    }
+
+    #[test]
+    fn annotation_budget_accounting_is_exact(
+        truths in prop::collection::vec(0usize..2, 5..20),
+        error in 0.0f64..0.5,
+        seed in 0u64..500,
+    ) {
+        let n = truths.len();
+        let mut data = Dataset::new(
+            Matrix::from_vec(n, 1, (0..n).map(|i| i as f64).collect()),
+            truths.iter().map(|_| SoftLabel::uniform(2)).collect(),
+            vec![false; n],
+            truths.iter().map(|&t| Some(t)).collect(),
+            2,
+        );
+        let phase = AnnotationPhase::new(AnnotationConfig {
+            strategy: LabelStrategy::HumansOnly(3),
+            error_rate: error,
+            seed,
+        });
+        let selections: Vec<Selection> = (0..n)
+            .map(|index| Selection { index, suggested: None })
+            .collect();
+        let outcomes = phase.annotate(&mut data, &selections);
+        prop_assert_eq!(outcomes.len(), n);
+        let cleaned = outcomes
+            .iter()
+            .filter(|o| matches!(o, chef_core::annotation::AnnotationOutcome::Cleaned(_)))
+            .count();
+        prop_assert_eq!(cleaned, data.num_clean());
+        // 3 voters over 2 classes can never tie.
+        prop_assert_eq!(cleaned, n);
+    }
+
+    #[test]
+    fn f1_is_bounded_and_symmetric_in_counts(
+        tp in 0usize..50, fp in 0usize..50, tn in 0usize..50, fn_ in 0usize..50,
+    ) {
+        let cm = ConfusionMatrix { tp, fp, tn, fn_ };
+        let f1 = cm.f1();
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert!((0.0..=1.0).contains(&cm.precision()));
+        prop_assert!((0.0..=1.0).contains(&cm.recall()));
+        if tp > 0 && fp == 0 && fn_ == 0 {
+            prop_assert!((f1 - 1.0).abs() < 1e-12);
+        }
+        if tp == 0 {
+            prop_assert_eq!(f1, 0.0);
+        }
+    }
+
+    #[test]
+    fn influence_of_deterministic_self_label_is_pure_upweight(
+        points in prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0, any::<bool>()), 10..16),
+        w in prop::collection::vec(-1.0f64..1.0, 6),
+        gamma in 0.1f64..1.0,
+    ) {
+        // A sample whose label is already one-hot at class c has δ_y = 0
+        // for its own class, so Eq. 6 degenerates to the (1−γ) term; at
+        // γ = 1 it must be exactly zero.
+        let n = points.len();
+        let mut data = dataset(points.clone(), vec![0.5; n]);
+        data.set_label(0, SoftLabel::onehot(1, 2));
+        let val = val_set(&points);
+        let model = LogisticRegression::new(2, 2);
+        let obj = WeightedObjective::new(gamma, 0.2);
+        let v = influence_vector(&model, &obj, &data, &val, &w, &InflConfig::default());
+        let mut scratch = chef_core::influence::InflScratch::new(&model);
+        let at_gamma = chef_core::influence::influence_of_label(
+            &model, &data, &w, &v, 0, 1, gamma, &mut scratch,
+        );
+        let at_one = chef_core::influence::influence_of_label(
+            &model, &data, &w, &v, 0, 1, 1.0, &mut scratch,
+        );
+        prop_assert!(at_one.abs() < 1e-12);
+        prop_assert!(at_gamma.is_finite());
+    }
+}

@@ -1,0 +1,306 @@
+//! CSV import/export for datasets.
+//!
+//! The synthetic generators stand in for the paper's gated downloads, but
+//! a downstream user with real embeddings (e.g. pooled ResNet50/BERT
+//! features exported from Python) needs a way in. The format is plain
+//! CSV, one sample per row:
+//!
+//! ```text
+//! f0,f1,...,f{d-1},p0,p1,...,p{C-1},clean,truth
+//! ```
+//!
+//! * `f*` — feature values;
+//! * `p*` — the (probabilistic) label, C columns summing to 1;
+//! * `clean` — `0`/`1` flag (1 = deterministic label of `Z_d`);
+//! * `truth` — ground-truth class index, or empty when unknown.
+//!
+//! A one-line header `dim=<d>,classes=<C>` pins the split between the
+//! feature and label columns so files are self-describing.
+
+use crate::Split;
+use chef_linalg::Matrix;
+use chef_model::{Dataset, SoftLabel};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file, with a human-readable message.
+    Parse(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Parse(m) => write!(f, "csv parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> CsvError {
+    CsvError::Parse(format!("line {line}: {}", msg.into()))
+}
+
+/// Serialize a dataset to the CSV format above.
+pub fn dataset_to_csv(data: &Dataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "dim={},classes={}", data.dim(), data.num_classes());
+    for i in 0..data.len() {
+        let mut cols: Vec<String> = data.feature(i).iter().map(|v| format!("{v}")).collect();
+        cols.extend(data.label(i).probs().iter().map(|v| format!("{v}")));
+        cols.push(usize::from(data.is_clean(i)).to_string());
+        cols.push(
+            data.ground_truth(i)
+                .map(|t| t.to_string())
+                .unwrap_or_default(),
+        );
+        out.push_str(&cols.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a dataset to a CSV file.
+pub fn write_dataset(data: &Dataset, path: impl AsRef<Path>) -> Result<(), CsvError> {
+    std::fs::write(path, dataset_to_csv(data))?;
+    Ok(())
+}
+
+/// Parse a dataset from CSV text.
+pub fn dataset_from_csv(text: &str) -> Result<Dataset, CsvError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty file"))?;
+    let mut dim = None;
+    let mut classes = None;
+    for part in header.split(',') {
+        match part.trim().split_once('=') {
+            Some(("dim", v)) => {
+                dim = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| parse_err(1, format!("bad dim `{v}`")))?,
+                )
+            }
+            Some(("classes", v)) => {
+                classes = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| parse_err(1, format!("bad classes `{v}`")))?,
+                )
+            }
+            _ => return Err(parse_err(1, format!("unexpected header field `{part}`"))),
+        }
+    }
+    let dim = dim.ok_or_else(|| parse_err(1, "missing dim="))?;
+    let classes = classes.ok_or_else(|| parse_err(1, "missing classes="))?;
+    if dim == 0 || classes < 2 {
+        return Err(parse_err(1, "need dim ≥ 1 and classes ≥ 2"));
+    }
+
+    let mut raw = Vec::new();
+    let mut labels = Vec::new();
+    let mut clean = Vec::new();
+    let mut truth = Vec::new();
+    let expected = dim + classes + 2;
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != expected {
+            return Err(parse_err(
+                lineno,
+                format!("expected {expected} columns, got {}", cols.len()),
+            ));
+        }
+        for c in &cols[..dim] {
+            let v: f64 = c
+                .trim()
+                .parse()
+                .map_err(|_| parse_err(lineno, format!("bad feature `{c}`")))?;
+            if !v.is_finite() {
+                return Err(parse_err(lineno, "non-finite feature"));
+            }
+            raw.push(v);
+        }
+        let mut probs = Vec::with_capacity(classes);
+        for c in &cols[dim..dim + classes] {
+            probs.push(
+                c.trim()
+                    .parse::<f64>()
+                    .map_err(|_| parse_err(lineno, format!("bad probability `{c}`")))?,
+            );
+        }
+        let sum: f64 = probs.iter().sum();
+        if !((sum - 1.0).abs() < 1e-6 && probs.iter().all(|p| *p >= 0.0 && p.is_finite())) {
+            return Err(parse_err(lineno, format!("invalid label {probs:?}")));
+        }
+        labels.push(SoftLabel::new(probs));
+        clean.push(match cols[dim + classes].trim() {
+            "0" => false,
+            "1" => true,
+            other => return Err(parse_err(lineno, format!("bad clean flag `{other}`"))),
+        });
+        let t = cols[dim + classes + 1].trim();
+        truth.push(if t.is_empty() {
+            None
+        } else {
+            let v: usize = t
+                .parse()
+                .map_err(|_| parse_err(lineno, format!("bad truth `{t}`")))?;
+            if v >= classes {
+                return Err(parse_err(lineno, format!("truth {v} out of {classes}")));
+            }
+            Some(v)
+        });
+    }
+    let n = labels.len();
+    Ok(Dataset::new(
+        Matrix::from_vec(n, dim, raw),
+        labels,
+        clean,
+        truth,
+        classes,
+    ))
+}
+
+/// Read a dataset from a CSV file.
+pub fn read_dataset(path: impl AsRef<Path>) -> Result<Dataset, CsvError> {
+    dataset_from_csv(&std::fs::read_to_string(path)?)
+}
+
+/// Write a whole split as `<stem>.train.csv` / `.val.csv` / `.test.csv`.
+pub fn write_split(split: &Split, dir: impl AsRef<Path>, stem: &str) -> Result<(), CsvError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    write_dataset(&split.train, dir.join(format!("{stem}.train.csv")))?;
+    write_dataset(&split.val, dir.join(format!("{stem}.val.csv")))?;
+    write_dataset(&split.test, dir.join(format!("{stem}.test.csv")))?;
+    Ok(())
+}
+
+/// Read a split written by [`write_split`].
+pub fn read_split(dir: impl AsRef<Path>, stem: &str) -> Result<Split, CsvError> {
+    let dir = dir.as_ref();
+    Ok(Split {
+        train: read_dataset(dir.join(format!("{stem}.train.csv")))?,
+        val: read_dataset(dir.join(format!("{stem}.val.csv")))?,
+        test: read_dataset(dir.join(format!("{stem}.test.csv")))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DatasetKind, DatasetSpec};
+
+    fn sample_dataset() -> Dataset {
+        let spec = DatasetSpec {
+            name: "csv-test",
+            kind: DatasetKind::FullyClean,
+            train: 25,
+            val: 10,
+            test: 10,
+            dim: 4,
+            num_classes: 2,
+            class_sep: 1.0,
+            positive_rate: 0.5,
+            truth_noise: 0.0,
+            weak_quality: 0.5,
+            annotator_error: 0.05,
+        };
+        let mut split = crate::generate(&spec, 3);
+        split.train.set_label(0, SoftLabel::new(vec![0.25, 0.75]));
+        split.train.mark_uncleaned(0);
+        split.train.push(&[1.0, 2.0, 3.0, 4.0], SoftLabel::uniform(2), false, None);
+        split.train
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let data = sample_dataset();
+        let text = dataset_to_csv(&data);
+        let back = dataset_from_csv(&text).unwrap();
+        assert_eq!(back.len(), data.len());
+        assert_eq!(back.dim(), data.dim());
+        assert_eq!(back.num_classes(), data.num_classes());
+        for i in 0..data.len() {
+            assert_eq!(back.feature(i), data.feature(i), "features {i}");
+            assert_eq!(back.label(i), data.label(i), "label {i}");
+            assert_eq!(back.is_clean(i), data.is_clean(i), "clean {i}");
+            assert_eq!(back.ground_truth(i), data.ground_truth(i), "truth {i}");
+        }
+    }
+
+    #[test]
+    fn file_round_trip_for_split() {
+        let spec = DatasetSpec {
+            name: "csv-split",
+            kind: DatasetKind::FullyClean,
+            train: 12,
+            val: 6,
+            test: 6,
+            dim: 3,
+            num_classes: 2,
+            class_sep: 1.0,
+            positive_rate: 0.5,
+            truth_noise: 0.0,
+            weak_quality: 0.5,
+            annotator_error: 0.05,
+        };
+        let split = crate::generate(&spec, 7);
+        let dir = std::env::temp_dir().join("chef_csv_test");
+        write_split(&split, &dir, "demo").unwrap();
+        let back = read_split(&dir, "demo").unwrap();
+        assert_eq!(back.train.len(), 12);
+        assert_eq!(back.val.len(), 6);
+        assert_eq!(back.test.feature(0), split.test.feature(0));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(dataset_from_csv("").is_err());
+        assert!(dataset_from_csv("dim=2\n").is_err()); // missing classes
+        assert!(dataset_from_csv("dim=0,classes=2\n").is_err());
+        // Wrong column count.
+        let e = dataset_from_csv("dim=2,classes=2\n1.0,2.0,0.5\n");
+        assert!(matches!(e, Err(CsvError::Parse(_))), "{e:?}");
+        // Label does not sum to 1.
+        assert!(dataset_from_csv("dim=1,classes=2\n1.0,0.9,0.9,0,\n").is_err());
+        // Non-finite feature.
+        assert!(dataset_from_csv("dim=1,classes=2\nNaN,0.5,0.5,0,\n").is_err());
+        // Bad clean flag.
+        assert!(dataset_from_csv("dim=1,classes=2\n1.0,0.5,0.5,yes,\n").is_err());
+        // Truth out of range.
+        assert!(dataset_from_csv("dim=1,classes=2\n1.0,0.5,0.5,0,7\n").is_err());
+    }
+
+    #[test]
+    fn empty_truth_means_unknown() {
+        let d = dataset_from_csv("dim=1,classes=2\n1.5,0.5,0.5,0,\n").unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.ground_truth(0), None);
+        assert!(!d.is_clean(0));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let d = dataset_from_csv("dim=1,classes=2\n1.0,1,0,1,0\n\n2.0,0,1,0,1\n").unwrap();
+        assert_eq!(d.len(), 2);
+    }
+}

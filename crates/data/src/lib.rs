@@ -1,0 +1,28 @@
+//! # chef-data
+//!
+//! Synthetic dataset substrate for the CHEF reproduction.
+//!
+//! The paper evaluates on three gated medical-image datasets (MIMIC-CXR,
+//! Chexpert, Retina) and three crowdsourced datasets (Fashion, Fact,
+//! Twitter), all passed through frozen ResNet50/BERT feature extractors.
+//! None of those downloads is available here, so this crate generates
+//! **controlled Gaussian-mixture embedding clouds** with per-dataset
+//! profiles matching the published statistics (relative split sizes from
+//! Table 3, class imbalance, difficulty, ground-truth noise). Because the
+//! paper itself trains logistic regression on frozen embeddings, the
+//! embedding distribution is the only thing the downstream pipeline ever
+//! sees — a mixture with matching overlap exercises identical code paths
+//! and preserves the *relative* behaviour the tables report (see
+//! DESIGN.md §4 for the substitution argument).
+//!
+//! [`DatasetSpec`] describes a dataset; [`generate`] materializes a
+//! train/val/test [`Split`] whose training labels start as ground truth —
+//! the `chef-weak` crate then overwrites them with probabilistic labels.
+
+pub mod csv;
+pub mod generator;
+pub mod spec;
+
+pub use csv::{read_dataset, read_split, write_dataset, write_split, CsvError};
+pub use generator::{generate, Split};
+pub use spec::{by_name, paper_suite, DatasetKind, DatasetSpec};

@@ -1,0 +1,275 @@
+//! L-BFGS history buffer and forward Hessian-vector products.
+//!
+//! DeltaGrad (Algorithm 2 of the CHEF paper, adapted from Wu et al., ICML
+//! 2020) approximates the gradient at the incrementally-updated parameters
+//! `w_tᴵ` via the Cauchy mean-value theorem:
+//!
+//! ```text
+//! ∇F(w_tᴵ, B_t) ≈ B_t (w_tᴵ − w_t) + ∇F(w_t, B_t)        (paper Eq. 5)
+//! ```
+//!
+//! where `B_t` is an approximate Hessian maintained from the last `m₀`
+//! *explicitly* evaluated parameter/gradient difference pairs
+//! `ΔW[r] = w_rᴵ − w_r`, `ΔG[r] = ∇F(w_rᴵ) − ∇F(w_r)`.
+//!
+//! Classic L-BFGS two-loop recursion yields the *inverse* product `H⁻¹v`;
+//! DeltaGrad needs the *forward* product `B·v`. We apply the BFGS update
+//!
+//! ```text
+//! B_{i+1} = B_i − (B_i s_i s_iᵀ B_i)/(s_iᵀ B_i s_i) + (y_i y_iᵀ)/(y_iᵀ s_i)
+//! ```
+//!
+//! lazily to the probe vector (and to the pending `s_j`), starting from
+//! `B₀ = γI` with `γ = y_lastᵀ s_last / s_lastᵀ s_last`. The cost is
+//! `O(m₀² · m)` per product — negligible because the paper uses `m₀ = 2`.
+
+use crate::vector;
+
+/// Bounded history of `(s = Δw, y = Δg)` curvature pairs plus forward
+/// quasi-Hessian products, as used by DeltaGrad.
+#[derive(Debug, Clone)]
+pub struct LbfgsBuffer {
+    capacity: usize,
+    dim: usize,
+    s_list: Vec<Vec<f64>>,
+    y_list: Vec<Vec<f64>>,
+}
+
+impl LbfgsBuffer {
+    /// Create a buffer holding up to `capacity` curvature pairs for
+    /// `dim`-dimensional parameters.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, dim: usize) -> Self {
+        assert!(capacity > 0, "LbfgsBuffer: capacity must be positive");
+        Self {
+            capacity,
+            dim,
+            s_list: Vec::with_capacity(capacity),
+            y_list: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.s_list.len()
+    }
+
+    /// Whether no curvature pairs are stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.s_list.is_empty()
+    }
+
+    /// Parameter dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Push a curvature pair, evicting the oldest if at capacity.
+    ///
+    /// Pairs with non-positive or numerically tiny curvature `yᵀs` are
+    /// skipped: they would make the implied Hessian indefinite. The
+    /// paper's strong-convexity assumption guarantees `yᵀs > 0`, so a skip
+    /// only ever absorbs pure numerical noise (e.g. `s ≈ 0`).
+    ///
+    /// Returns `true` if the pair was stored.
+    pub fn push(&mut self, s: &[f64], y: &[f64]) -> bool {
+        assert_eq!(s.len(), self.dim, "LbfgsBuffer::push: s dimension");
+        assert_eq!(y.len(), self.dim, "LbfgsBuffer::push: y dimension");
+        let ys = vector::dot(y, s);
+        let ss = vector::norm2_sq(s);
+        if ss == 0.0 || ys <= 1e-12 * ss {
+            return false;
+        }
+        if self.s_list.len() == self.capacity {
+            self.s_list.remove(0);
+            self.y_list.remove(0);
+        }
+        self.s_list.push(s.to_vec());
+        self.y_list.push(y.to_vec());
+        true
+    }
+
+    /// Forward product `B v` with the current quasi-Hessian.
+    ///
+    /// With an empty history this is the identity (`B₀ = I`), which makes
+    /// Eq. 5 degrade gracefully to a first-order extrapolation.
+    pub fn hessian_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.dim, "LbfgsBuffer::hessian_vec: dimension");
+        let k = self.s_list.len();
+        if k == 0 {
+            return v.to_vec();
+        }
+
+        let s_last = &self.s_list[k - 1];
+        let y_last = &self.y_list[k - 1];
+        let gamma = vector::dot(y_last, s_last) / vector::norm2_sq(s_last);
+
+        // bs[j] tracks B_i s_j as the update index i advances; bv tracks
+        // B_i v. Both start at B₀ = γI.
+        let mut bs: Vec<Vec<f64>> = self
+            .s_list
+            .iter()
+            .map(|s| {
+                let mut t = s.clone();
+                vector::scale(gamma, &mut t);
+                t
+            })
+            .collect();
+        let mut bv: Vec<f64> = {
+            let mut t = v.to_vec();
+            vector::scale(gamma, &mut t);
+            t
+        };
+
+        for i in 0..k {
+            let a = std::mem::take(&mut bs[i]); // a = B_i s_i
+            let s_i = &self.s_list[i];
+            let y_i = &self.y_list[i];
+            let sa = vector::dot(s_i, &a);
+            let ys = vector::dot(y_i, s_i);
+            if sa <= 0.0 || ys <= 0.0 {
+                continue; // degenerate pair; filtered at push, kept defensive
+            }
+            // B_{i+1} x = B_i x − a (aᵀx)/sa + y (yᵀx)/ys, for any x.
+            let apply = |bx: &mut [f64], x: &[f64]| {
+                let ca = -vector::dot(&a, x) / sa;
+                let cy = vector::dot(y_i, x) / ys;
+                vector::axpy(ca, &a, bx);
+                vector::axpy(cy, y_i, bx);
+            };
+            apply(&mut bv, v);
+            // Split so we can mutate later entries while reading s_list.
+            #[allow(clippy::needless_range_loop)]
+            for j in (i + 1)..k {
+                let (x, bx): (&[f64], _) = (&self.s_list[j], &mut bs[j]);
+                let ca = -vector::dot(&a, x) / sa;
+                let cy = vector::dot(y_i, x) / ys;
+                vector::axpy(ca, &a, bx);
+                vector::axpy(cy, y_i, bx);
+            }
+        }
+
+        bv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_buffer_is_identity() {
+        let buf = LbfgsBuffer::new(4, 3);
+        let v = [1.0, -2.0, 0.5];
+        assert_eq!(buf.hessian_vec(&v), v.to_vec());
+    }
+
+    #[test]
+    fn secant_condition_most_recent_pair() {
+        // For any history, BFGS guarantees B s_last = y_last exactly.
+        let mut rng = SmallRng::seed_from_u64(42);
+        let dim = 6;
+        let a = {
+            // SPD matrix to generate consistent curvature pairs y = A s.
+            let m = Matrix::from_vec(
+                dim,
+                dim,
+                (0..dim * dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            );
+            let mut a = m.transpose().matmul(&m);
+            for i in 0..dim {
+                a[(i, i)] += dim as f64;
+            }
+            a
+        };
+        let mut buf = LbfgsBuffer::new(3, dim);
+        let mut last_s = vec![0.0; dim];
+        let mut last_y = vec![0.0; dim];
+        for _ in 0..5 {
+            let s: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut y = vec![0.0; dim];
+            a.matvec(&s, &mut y);
+            assert!(buf.push(&s, &y));
+            last_s = s;
+            last_y = y;
+        }
+        let bs = buf.hessian_vec(&last_s);
+        for (got, want) in bs.iter().zip(&last_y) {
+            assert!((got - want).abs() < 1e-8, "secant violated: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn identity_curvature_stays_identity() {
+        // y = s means the underlying Hessian is I; B must act as I.
+        let mut buf = LbfgsBuffer::new(4, 3);
+        buf.push(&[1.0, 0.0, 0.0], &[1.0, 0.0, 0.0]);
+        buf.push(&[0.0, 2.0, 0.0], &[0.0, 2.0, 0.0]);
+        let v = [3.0, -1.0, 2.0];
+        let bv = buf.hessian_vec(&v);
+        for (got, want) in bv.iter().zip(&v) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_nonpositive_curvature() {
+        let mut buf = LbfgsBuffer::new(4, 2);
+        assert!(!buf.push(&[1.0, 0.0], &[-1.0, 0.0]));
+        assert!(!buf.push(&[0.0, 0.0], &[0.0, 0.0]));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn eviction_keeps_capacity() {
+        let mut buf = LbfgsBuffer::new(2, 2);
+        for i in 1..=5 {
+            let s = [i as f64, 0.0];
+            buf.push(&s, &s);
+        }
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn product_is_positive_definite_quadratic_form() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let dim = 5;
+        let mut buf = LbfgsBuffer::new(3, dim);
+        for _ in 0..3 {
+            let s: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            // y = 2s + small perturbation keeps yᵀs > 0.
+            let y: Vec<f64> = s.iter().map(|v| 2.0 * v + 0.01).collect();
+            buf.push(&s, &y);
+        }
+        for _ in 0..10 {
+            let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            if vector::norm2(&v) < 1e-6 {
+                continue;
+            }
+            let bv = buf.hessian_vec(&v);
+            assert!(vector::dot(&v, &bv) > 0.0, "B lost positive definiteness");
+        }
+    }
+
+    #[test]
+    fn quadratic_model_approximates_true_hessian_on_span() {
+        // For F(w) = ½ wᵀ A w the curvature pairs satisfy y = A s; after
+        // dim independent pairs the quasi-Hessian should act like A on the
+        // most recent direction and stay close elsewhere.
+        let a = Matrix::from_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]);
+        let mut buf = LbfgsBuffer::new(2, 2);
+        for s in [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]] {
+            let mut y = vec![0.0; 2];
+            a.matvec(&s, &mut y);
+            buf.push(&s, &y);
+        }
+        // Most recent direction must be exact (secant).
+        let bv = buf.hessian_vec(&[1.0, 1.0]);
+        assert!((bv[0] - 4.0).abs() < 1e-9 && (bv[1] - 3.0).abs() < 1e-9);
+    }
+}

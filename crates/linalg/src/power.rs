@@ -1,0 +1,198 @@
+//! Power iteration for the dominant eigenvalue of a symmetric operator.
+//!
+//! Appendix D of the CHEF paper pre-computes the L2 norm of per-sample
+//! Hessian matrices `‖H(w⁽⁰⁾, z)‖` in the initialization step using the
+//! power method (von Mises iteration): for a symmetric positive
+//! semi-definite matrix the L2 norm equals the largest eigenvalue, which
+//! power iteration recovers from repeated Hessian-vector products
+//! (Algorithm 3 in the paper).
+
+use crate::cg::LinearOperator;
+use crate::vector;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`power_method`].
+#[derive(Debug, Clone, Copy)]
+pub struct PowerConfig {
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the change of the Rayleigh quotient.
+    pub tol: f64,
+    /// Seed for the random start vector.
+    pub seed: u64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 200,
+            tol: 1e-10,
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+/// Result of a power-method run.
+#[derive(Debug, Clone)]
+pub struct PowerOutcome {
+    /// Estimated eigenvalue of largest magnitude (the L2 norm for PSD
+    /// operators).
+    pub eigenvalue: f64,
+    /// The corresponding unit eigenvector estimate.
+    pub eigenvector: Vec<f64>,
+    /// Iterations performed.
+    pub iters: usize,
+    /// Whether the Rayleigh quotient stabilized within tolerance.
+    pub converged: bool,
+}
+
+/// Estimate the dominant eigenvalue of a symmetric operator.
+///
+/// This is Algorithm 3 of the CHEF paper: repeatedly apply the operator,
+/// renormalize, and read off the Rayleigh quotient `gᵀAg / gᵀg`. Returns
+/// eigenvalue 0 for the zero operator.
+///
+/// ```
+/// use chef_linalg::{power_method, PowerConfig, Matrix};
+///
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+/// let out = power_method(&a, &PowerConfig::default());
+/// assert!((out.eigenvalue - 3.0).abs() < 1e-8);
+/// ```
+pub fn power_method<Op: LinearOperator + ?Sized>(op: &Op, cfg: &PowerConfig) -> PowerOutcome {
+    let n = op.dim();
+    assert!(n > 0, "power_method: zero-dimensional operator");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut g: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let norm = vector::norm2(&g);
+    // A random vector is almost surely nonzero, but guard anyway.
+    if norm == 0.0 {
+        g[0] = 1.0;
+    } else {
+        vector::scale(1.0 / norm, &mut g);
+    }
+
+    let mut ag = vec![0.0; n];
+    let mut prev_lambda = f64::INFINITY;
+    let mut lambda = 0.0;
+    let mut iters = 0;
+    let mut converged = false;
+
+    for _ in 0..cfg.max_iters {
+        op.apply(&g, &mut ag);
+        lambda = vector::dot(&g, &ag); // Rayleigh quotient, ‖g‖ = 1.
+        iters += 1;
+        let ag_norm = vector::norm2(&ag);
+        if ag_norm <= f64::EPSILON {
+            // Operator annihilates g: eigenvalue 0 (zero/degenerate op).
+            lambda = 0.0;
+            converged = true;
+            break;
+        }
+        g.copy_from_slice(&ag);
+        vector::scale(1.0 / ag_norm, &mut g);
+        if (lambda - prev_lambda).abs() <= cfg.tol * lambda.abs().max(1.0) {
+            converged = true;
+            break;
+        }
+        prev_lambda = lambda;
+    }
+
+    PowerOutcome {
+        eigenvalue: lambda,
+        eigenvector: g,
+        iters,
+        converged,
+    }
+}
+
+/// Exact largest eigenvalue of a symmetric PSD rank-structured 2-class
+/// softmax core `diag(p) − p pᵀ` for the binary case, used as a fast path
+/// and as a test oracle. For C = 2 the matrix is
+/// `[[p₀(1−p₀), −p₀p₁], [−p₀p₁, p₁(1−p₁)]]` with eigenvalues
+/// `{0, p₀p₁·2}`... more precisely `{0, p₀(1−p₀) + p₁(1−p₁)}` since the
+/// trace is split between a zero eigenvalue (eigenvector `p`-orthogonal
+/// direction `(1,1)`) and the rest.
+pub fn softmax_core_norm_binary(p0: f64) -> f64 {
+    let p1 = 1.0 - p0;
+    // trace = p0(1-p0) + p1(1-p1) = 2 p0 p1; one eigenvalue is 0.
+    p0 * (1.0 - p0) + p1 * (1.0 - p1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn diagonal_dominant_eigenvalue() {
+        let a = Matrix::from_rows(&[
+            vec![5.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        let out = power_method(&a, &PowerConfig::default());
+        assert!(out.converged);
+        assert!((out.eigenvalue - 5.0).abs() < 1e-8);
+        // Eigenvector is ±e₀.
+        assert!((out.eigenvector[0].abs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn known_symmetric_2x2() {
+        // [[2,1],[1,2]] has eigenvalues {1, 3}.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let out = power_method(&a, &PowerConfig::default());
+        assert!((out.eigenvalue - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zero_operator() {
+        let a = Matrix::zeros(3, 3);
+        let out = power_method(&a, &PowerConfig::default());
+        assert_eq!(out.eigenvalue, 0.0);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn rank_one_psd() {
+        // x xᵀ with x = (3,4): top eigenvalue ‖x‖² = 25.
+        let mut a = Matrix::zeros(2, 2);
+        a.add_outer(1.0, &[3.0, 4.0], &[3.0, 4.0]);
+        let out = power_method(&a, &PowerConfig::default());
+        assert!((out.eigenvalue - 25.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn softmax_core_oracle_matches_power_method() {
+        for &p0 in &[0.1, 0.3, 0.5, 0.9] {
+            let p1 = 1.0 - p0;
+            let a = Matrix::from_rows(&[
+                vec![p0 * (1.0 - p0), -p0 * p1],
+                vec![-p0 * p1, p1 * (1.0 - p1)],
+            ]);
+            let out = power_method(&a, &PowerConfig::default());
+            assert!(
+                (out.eigenvalue - softmax_core_norm_binary(p0)).abs() < 1e-8,
+                "p0={p0}"
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvector_satisfies_definition() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]);
+        let cfg = PowerConfig {
+            max_iters: 2000,
+            tol: 1e-14,
+            ..PowerConfig::default()
+        };
+        let out = power_method(&a, &cfg);
+        let mut av = vec![0.0; 3];
+        a.matvec(&out.eigenvector, &mut av);
+        for (avi, vi) in av.iter().zip(&out.eigenvector) {
+            assert!((avi - out.eigenvalue * vi).abs() < 1e-5);
+        }
+    }
+}

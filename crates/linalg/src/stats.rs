@@ -1,0 +1,154 @@
+//! Small statistics helpers for the experiment harness.
+//!
+//! The paper reports every table cell as `mean ± std` over repeated runs;
+//! [`RunningStats`] (Welford's online algorithm) provides those summaries
+//! without storing samples, and [`mean_std`] is the batch convenience
+//! wrapper used by the harness.
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 with < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Format as the paper's `mean±std` cell style.
+    pub fn cell(&self) -> String {
+        format!("{:.4}\u{b1}{:.4}", self.mean(), self.std_dev())
+    }
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// `(mean, sample std)` of a slice.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let mut s = RunningStats::new();
+    for &x in xs {
+        s.push(x);
+    }
+    (s.mean(), s.std_dev())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance 4 → sample variance 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = RunningStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn batch_matches_online() {
+        let xs = [0.1, 0.9, -0.4, 2.2, 1.1];
+        let (m, sd) = mean_std(&xs);
+        let mut s = RunningStats::new();
+        xs.iter().for_each(|&x| s.push(x));
+        assert!((m - s.mean()).abs() < 1e-12);
+        assert!((sd - s.std_dev()).abs() < 1e-12);
+        assert!((mean(&xs) - m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_formatting() {
+        let mut s = RunningStats::new();
+        s.push(0.5);
+        s.push(0.7);
+        assert!(s.cell().starts_with("0.6000"));
+        assert!(s.cell().contains('\u{b1}'));
+    }
+}

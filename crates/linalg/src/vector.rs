@@ -1,0 +1,258 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! These are the hot kernels of the whole reproduction: every influence
+//! evaluation, SGD step and DeltaGrad replay bottoms out in `dot`/`axpy`
+//! calls. They are written as straight loops over slices so the compiler
+//! can vectorize them, and they assert matching lengths in debug builds
+//! only.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y += alpha * x` (the BLAS `axpy` kernel).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha` in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean (L2) norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean norm `‖x‖₂²`.
+#[inline]
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// Infinity norm `max |x_i|` (0 for an empty slice).
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// Element-wise difference `x - y` into a fresh vector.
+#[inline]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Element-wise sum `x + y` into a fresh vector.
+#[inline]
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len(), "add: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+/// Overwrite `dst` with `src`.
+#[inline]
+pub fn copy_from(dst: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len(), "copy_from: length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Set every element of `x` to zero.
+#[inline]
+pub fn fill_zero(x: &mut [f64]) {
+    x.fill(0.0);
+}
+
+/// Euclidean distance `‖x − y‖₂`.
+#[inline]
+pub fn distance(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "distance: length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Linear combination `alpha*x + beta*y` into a fresh vector.
+#[inline]
+pub fn lincomb(alpha: f64, x: &[f64], beta: f64, y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len(), "lincomb: length mismatch");
+    x.iter().zip(y).map(|(a, b)| alpha * a + beta * b).collect()
+}
+
+/// Index of the maximum element (first one on ties).
+///
+/// # Panics
+/// Panics if `x` is empty.
+#[inline]
+pub fn argmax(x: &[f64]) -> usize {
+    assert!(!x.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, v) in x.iter().enumerate().skip(1) {
+        if *v > x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the minimum element (first one on ties).
+///
+/// # Panics
+/// Panics if `x` is empty.
+#[inline]
+pub fn argmin(x: &[f64]) -> usize {
+    assert!(!x.is_empty(), "argmin of empty slice");
+    let mut best = 0;
+    for (i, v) in x.iter().enumerate().skip(1) {
+        if *v < x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Numerically stable softmax of `x` into a fresh vector.
+///
+/// Uses the max-subtraction trick so that `exp` never overflows; the output
+/// always sums to 1 (up to rounding) and every entry lies in `(0, 1]`.
+pub fn softmax(x: &[f64]) -> Vec<f64> {
+    let mut out = x.to_vec();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// In-place numerically stable softmax.
+pub fn softmax_in_place(x: &mut [f64]) {
+    if x.is_empty() {
+        return;
+    }
+    let m = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - m).exp();
+        sum += *v;
+    }
+    for v in x.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// `log(Σ exp(x_i))` computed stably.
+pub fn log_sum_exp(x: &[f64]) -> f64 {
+    assert!(!x.is_empty(), "log_sum_exp of empty slice");
+    let m = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    m + x.iter().map(|v| (v - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![2.0, -4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm2_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm_inf(&[1.0, -7.0, 3.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn add_sub_lincomb() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]), vec![2.0, -3.0]);
+        assert_eq!(add(&[3.0, 2.0], &[1.0, 5.0]), vec![4.0, 7.0]);
+        assert_eq!(lincomb(2.0, &[1.0, 0.0], -1.0, &[0.0, 3.0]), vec![2.0, -3.0]);
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        let a = [1.0, 2.0];
+        let b = [4.0, 6.0];
+        assert!((distance(&a, &b) - 5.0).abs() < 1e-12);
+        assert_eq!(distance(&a, &b), distance(&b, &a));
+    }
+
+    #[test]
+    fn argmax_argmin_first_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmin(&[2.0, 0.5, 0.5]), 1);
+        assert_eq!(argmax(&[-1.0]), 0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1001.0, 999.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|v| v.is_finite() && *v > 0.0));
+        assert_eq!(argmax(&p), 1);
+    }
+
+    #[test]
+    fn softmax_uniform_for_equal_logits() {
+        let p = softmax(&[5.0, 5.0, 5.0, 5.0]);
+        for v in &p {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_when_safe() {
+        let x = [0.1f64, -0.3, 0.7];
+        let naive = x.iter().map(|v| v.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&x) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_large_values() {
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((v - (1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn copy_and_zero() {
+        let mut d = vec![0.0; 3];
+        copy_from(&mut d, &[1.0, 2.0, 3.0]);
+        assert_eq!(d, vec![1.0, 2.0, 3.0]);
+        fill_zero(&mut d);
+        assert_eq!(d, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use chef_linalg::cg::{conjugate_gradient, CgConfig};
+use chef_linalg::power::{power_method, PowerConfig};
+use chef_linalg::vector;
+use chef_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Random SPD matrix `MᵀM + n·I` built from a flat coefficient vector.
+fn spd_from(coeffs: &[f64], n: usize) -> Matrix {
+    let m = Matrix::from_vec(n, n, coeffs[..n * n].to_vec());
+    let mut a = m.transpose().matmul(&m);
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cg_solves_random_spd_systems(
+        coeffs in prop::collection::vec(-1.0f64..1.0, 16),
+        x in prop::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let a = spd_from(&coeffs, 4);
+        let mut b = vec![0.0; 4];
+        a.matvec(&x, &mut b);
+        let out = conjugate_gradient(&a, &b, &CgConfig::default());
+        prop_assert!(out.converged);
+        for (got, want) in out.x.iter().zip(&x) {
+            prop_assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn power_method_dominates_rayleigh_quotients(
+        coeffs in prop::collection::vec(-1.0f64..1.0, 16),
+        probe in prop::collection::vec(-1.0f64..1.0, 4),
+    ) {
+        let a = spd_from(&coeffs, 4);
+        let out = power_method(&a, &PowerConfig::default());
+        // λ_max ≥ vᵀAv / vᵀv for every nonzero v.
+        let pn = vector::norm2_sq(&probe);
+        prop_assume!(pn > 1e-6);
+        let mut ap = vec![0.0; 4];
+        a.matvec(&probe, &mut ap);
+        let rayleigh = vector::dot(&probe, &ap) / pn;
+        prop_assert!(out.eigenvalue >= rayleigh - 1e-6 * out.eigenvalue.abs().max(1.0));
+    }
+
+    #[test]
+    fn dot_is_bilinear(
+        x in prop::collection::vec(-10.0f64..10.0, 8),
+        y in prop::collection::vec(-10.0f64..10.0, 8),
+        z in prop::collection::vec(-10.0f64..10.0, 8),
+        a in -5.0f64..5.0,
+    ) {
+        let ax_plus_z: Vec<f64> = x.iter().zip(&z).map(|(xi, zi)| a * xi + zi).collect();
+        let lhs = vector::dot(&ax_plus_z, &y);
+        let rhs = a * vector::dot(&x, &y) + vector::dot(&z, &y);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs() + rhs.abs()));
+    }
+
+    #[test]
+    fn softmax_is_simplex_valued(x in prop::collection::vec(-50.0f64..50.0, 1..8)) {
+        let p = vector::softmax(&x);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|v| *v >= 0.0 && *v <= 1.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(
+        x in prop::collection::vec(-20.0f64..20.0, 2..6),
+        c in -100.0f64..100.0,
+    ) {
+        let shifted: Vec<f64> = x.iter().map(|v| v + c).collect();
+        let p1 = vector::softmax(&x);
+        let p2 = vector::softmax(&shifted);
+        for (a, b) in p1.iter().zip(&p2) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matvec_is_linear(
+        coeffs in prop::collection::vec(-3.0f64..3.0, 12),
+        x in prop::collection::vec(-3.0f64..3.0, 4),
+        y in prop::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let a = Matrix::from_vec(3, 4, coeffs);
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let mut ax = vec![0.0; 3];
+        let mut ay = vec![0.0; 3];
+        let mut asum = vec![0.0; 3];
+        a.matvec(&x, &mut ax);
+        a.matvec(&y, &mut ay);
+        a.matvec(&sum, &mut asum);
+        for i in 0..3 {
+            prop_assert!((asum[i] - ax[i] - ay[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(coeffs in prop::collection::vec(-3.0f64..3.0, 12)) {
+        let a = Matrix::from_vec(3, 4, coeffs);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn spd_quadratic_form_is_positive(
+        coeffs in prop::collection::vec(-1.0f64..1.0, 16),
+        v in prop::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        prop_assume!(vector::norm2(&v) > 1e-3);
+        let a = spd_from(&coeffs, 4);
+        let mut av = vec![0.0; 4];
+        a.matvec(&v, &mut av);
+        prop_assert!(vector::dot(&v, &av) > 0.0);
+    }
+}

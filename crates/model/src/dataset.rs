@@ -1,0 +1,304 @@
+//! Training/validation/test datasets.
+//!
+//! A [`Dataset`] is the paper's `Z = Z_d ∪ Z_p`: a feature matrix plus one
+//! [`SoftLabel`] per sample and a `clean` flag distinguishing the
+//! deterministic (`Z_d`, weight 1) from the probabilistic (`Z_p`,
+//! weight γ) part. For simulation the generator can also attach the true
+//! class of every sample (`ground_truth`), which plays the role of the
+//! paper's fully-clean datasets: probabilistic labels are observed, truth
+//! is known only to the evaluation harness and the simulated annotators.
+
+use crate::label::SoftLabel;
+use chef_linalg::Matrix;
+
+/// An in-memory classification dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<SoftLabel>,
+    clean: Vec<bool>,
+    ground_truth: Vec<Option<usize>>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset from parts.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree, a label has the wrong class count, or a
+    /// ground-truth class is out of range.
+    pub fn new(
+        features: Matrix,
+        labels: Vec<SoftLabel>,
+        clean: Vec<bool>,
+        ground_truth: Vec<Option<usize>>,
+        num_classes: usize,
+    ) -> Self {
+        let n = features.rows();
+        assert_eq!(labels.len(), n, "Dataset: labels length");
+        assert_eq!(clean.len(), n, "Dataset: clean flags length");
+        assert_eq!(ground_truth.len(), n, "Dataset: ground truth length");
+        for l in &labels {
+            assert_eq!(l.num_classes(), num_classes, "Dataset: label class count");
+        }
+        for g in ground_truth.iter().flatten() {
+            assert!(*g < num_classes, "Dataset: ground truth out of range");
+        }
+        Self {
+            features,
+            labels,
+            clean,
+            ground_truth,
+            num_classes,
+        }
+    }
+
+    /// Empty dataset with the given feature dimension and class count.
+    pub fn empty(dim: usize, num_classes: usize) -> Self {
+        Self {
+            features: Matrix::zeros(0, dim),
+            labels: Vec::new(),
+            clean: Vec::new(),
+            ground_truth: Vec::new(),
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Whether the dataset has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature dimension (before the implicit bias column models add).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Feature row of sample `i`.
+    #[inline]
+    pub fn feature(&self, i: usize) -> &[f64] {
+        self.features.row(i)
+    }
+
+    /// Label of sample `i`.
+    #[inline]
+    pub fn label(&self, i: usize) -> &SoftLabel {
+        &self.labels[i]
+    }
+
+    /// Whether sample `i` is clean (deterministic label, weight 1).
+    #[inline]
+    pub fn is_clean(&self, i: usize) -> bool {
+        self.clean[i]
+    }
+
+    /// Per-sample weight `γ_z` from Eq. 1: 1 for clean samples, `gamma`
+    /// for uncleaned ones.
+    #[inline]
+    pub fn weight(&self, i: usize, gamma: f64) -> f64 {
+        if self.clean[i] {
+            1.0
+        } else {
+            gamma
+        }
+    }
+
+    /// Ground-truth class of sample `i` (simulation only).
+    #[inline]
+    pub fn ground_truth(&self, i: usize) -> Option<usize> {
+        self.ground_truth[i]
+    }
+
+    /// Replace the label of sample `i` and mark it clean; this is the
+    /// "delete probabilistic + insert cleaned" update of §4.2.
+    pub fn clean_label(&mut self, i: usize, label: SoftLabel) {
+        assert_eq!(label.num_classes(), self.num_classes);
+        self.labels[i] = label;
+        self.clean[i] = true;
+    }
+
+    /// Replace the label of sample `i` *without* marking it clean (used by
+    /// the Fact/Twitter "ambiguous aggregate" rule, Appendix F.1).
+    pub fn set_label(&mut self, i: usize, label: SoftLabel) {
+        assert_eq!(label.num_classes(), self.num_classes);
+        self.labels[i] = label;
+    }
+
+    /// Mark sample `i` as uncleaned (weight γ). Used by the
+    /// weak-supervision substrate when replacing ground-truth labels with
+    /// probabilistic ones.
+    pub fn mark_uncleaned(&mut self, i: usize) {
+        self.clean[i] = false;
+    }
+
+    /// Indices of all currently uncleaned samples (the `Z_p` part).
+    pub fn uncleaned_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| !self.clean[i]).collect()
+    }
+
+    /// Number of clean samples.
+    pub fn num_clean(&self) -> usize {
+        self.clean.iter().filter(|&&c| c).count()
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, features: &[f64], label: SoftLabel, clean: bool, truth: Option<usize>) {
+        assert_eq!(features.len(), self.dim(), "Dataset::push: feature dim");
+        assert_eq!(label.num_classes(), self.num_classes);
+        if let Some(g) = truth {
+            assert!(g < self.num_classes);
+        }
+        let (rows, cols) = (self.features.rows(), self.features.cols());
+        let mut raw = Vec::with_capacity((rows + 1) * cols);
+        raw.extend_from_slice(self.features.as_slice());
+        raw.extend_from_slice(features);
+        self.features = Matrix::from_vec(rows + 1, cols, raw);
+        self.labels.push(label);
+        self.clean.push(clean);
+        self.ground_truth.push(truth);
+    }
+
+    /// Select a sub-dataset by indices (features are copied).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut raw = Vec::with_capacity(indices.len() * self.dim());
+        let mut labels = Vec::with_capacity(indices.len());
+        let mut clean = Vec::with_capacity(indices.len());
+        let mut truth = Vec::with_capacity(indices.len());
+        for &i in indices {
+            raw.extend_from_slice(self.feature(i));
+            labels.push(self.labels[i].clone());
+            clean.push(self.clean[i]);
+            truth.push(self.ground_truth[i]);
+        }
+        Dataset {
+            features: Matrix::from_vec(indices.len(), self.dim(), raw),
+            labels,
+            clean,
+            ground_truth: truth,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Fraction of uncleaned labels whose argmax disagrees with ground
+    /// truth (diagnostic for generated datasets; `None` if no sample has
+    /// ground truth).
+    pub fn weak_label_error_rate(&self) -> Option<f64> {
+        let mut total = 0usize;
+        let mut wrong = 0usize;
+        for i in 0..self.len() {
+            if self.clean[i] {
+                continue;
+            }
+            if let Some(g) = self.ground_truth[i] {
+                total += 1;
+                if self.labels[i].argmax() != g {
+                    wrong += 1;
+                }
+            }
+        }
+        if total == 0 {
+            None
+        } else {
+            Some(wrong as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]),
+            vec![
+                SoftLabel::onehot(0, 2),
+                SoftLabel::new(vec![0.4, 0.6]),
+                SoftLabel::new(vec![0.2, 0.8]),
+            ],
+            vec![true, false, false],
+            vec![Some(0), Some(1), Some(0)],
+            2,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.feature(2), &[1.0, 1.0]);
+        assert!(d.is_clean(0));
+        assert!(!d.is_clean(1));
+        assert_eq!(d.weight(0, 0.8), 1.0);
+        assert_eq!(d.weight(1, 0.8), 0.8);
+        assert_eq!(d.ground_truth(1), Some(1));
+        assert_eq!(d.uncleaned_indices(), vec![1, 2]);
+        assert_eq!(d.num_clean(), 1);
+    }
+
+    #[test]
+    fn cleaning_updates_weight_and_flag() {
+        let mut d = toy();
+        d.clean_label(1, SoftLabel::onehot(1, 2));
+        assert!(d.is_clean(1));
+        assert_eq!(d.weight(1, 0.5), 1.0);
+        assert_eq!(d.label(1), &SoftLabel::onehot(1, 2));
+        assert_eq!(d.uncleaned_indices(), vec![2]);
+    }
+
+    #[test]
+    fn set_label_keeps_uncleaned() {
+        let mut d = toy();
+        d.set_label(1, SoftLabel::new(vec![0.5, 0.5]));
+        assert!(!d.is_clean(1));
+    }
+
+    #[test]
+    fn push_and_subset() {
+        let mut d = toy();
+        d.push(&[2.0, 3.0], SoftLabel::uniform(2), false, None);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.feature(3), &[2.0, 3.0]);
+        let s = d.subset(&[3, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.feature(0), &[2.0, 3.0]);
+        assert_eq!(s.feature(1), &[1.0, 0.0]);
+        assert!(s.is_clean(1));
+    }
+
+    #[test]
+    fn weak_error_rate() {
+        let d = toy();
+        // Uncleaned: sample 1 argmax=1 truth=1 (right), sample 2 argmax=1
+        // truth=0 (wrong) → 1/2.
+        assert_eq!(d.weak_label_error_rate(), Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "labels length")]
+    fn mismatched_lengths_panic() {
+        let _ = Dataset::new(
+            Matrix::zeros(2, 2),
+            vec![SoftLabel::uniform(2)],
+            vec![false, false],
+            vec![None, None],
+            2,
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Probabilistic ("weak") labels.
+//!
+//! The paper represents the label of an uncleaned sample as a probability
+//! vector of length C (§3.1). Cleaning replaces it with a one-hot vector;
+//! the difference `δ_y = onehot(c) − ỹ` is the label perturbation that
+//! drives the Infl influence score (Eq. 6) and the Increm-Infl bounds
+//! (Theorem 1).
+
+use chef_linalg::vector;
+
+/// A probability vector over `C` classes.
+///
+/// Invariants (enforced by the constructors): entries are finite,
+/// non-negative, and sum to 1 within `1e-6`.
+///
+/// ```
+/// use chef_model::SoftLabel;
+///
+/// let weak = SoftLabel::new(vec![0.3, 0.7]);
+/// assert_eq!(weak.argmax(), 1);
+/// assert!(!weak.is_deterministic());
+/// // The label perturbation Infl scores (δ_y = onehot(c) − ỹ):
+/// let delta = weak.delta_to(0);
+/// assert!((delta[0] - 0.7).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftLabel {
+    probs: Vec<f64>,
+}
+
+impl SoftLabel {
+    /// Build from raw probabilities.
+    ///
+    /// # Panics
+    /// Panics if the vector is empty, has negative/non-finite entries, or
+    /// does not sum to 1 within `1e-6`.
+    pub fn new(probs: Vec<f64>) -> Self {
+        assert!(!probs.is_empty(), "SoftLabel: empty probability vector");
+        let mut sum = 0.0;
+        for &p in &probs {
+            assert!(p.is_finite() && p >= 0.0, "SoftLabel: invalid entry {p}");
+            sum += p;
+        }
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "SoftLabel: probabilities sum to {sum}, expected 1"
+        );
+        Self { probs }
+    }
+
+    /// Build from arbitrary non-negative weights, normalizing to sum 1.
+    ///
+    /// # Panics
+    /// Panics if all weights are zero or any is negative/non-finite.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        let sum: f64 = weights.iter().sum();
+        assert!(
+            sum > 0.0 && sum.is_finite(),
+            "SoftLabel::from_weights: weights sum to {sum}"
+        );
+        Self::new(weights.iter().map(|w| w / sum).collect())
+    }
+
+    /// One-hot (deterministic) label for `class` out of `num_classes`.
+    ///
+    /// # Panics
+    /// Panics if `class >= num_classes`.
+    pub fn onehot(class: usize, num_classes: usize) -> Self {
+        assert!(
+            class < num_classes,
+            "SoftLabel::onehot: class {class} out of {num_classes}"
+        );
+        let mut probs = vec![0.0; num_classes];
+        probs[class] = 1.0;
+        Self { probs }
+    }
+
+    /// Uniform label (maximal uncertainty).
+    pub fn uniform(num_classes: usize) -> Self {
+        assert!(num_classes > 0, "SoftLabel::uniform: zero classes");
+        Self {
+            probs: vec![1.0 / num_classes as f64; num_classes],
+        }
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Borrow the probability vector.
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Probability of class `c`.
+    #[inline]
+    pub fn prob(&self, c: usize) -> f64 {
+        self.probs[c]
+    }
+
+    /// Most likely class (first on ties).
+    pub fn argmax(&self) -> usize {
+        vector::argmax(&self.probs)
+    }
+
+    /// Whether some class has probability ≥ `1 − 1e-9` (a deterministic
+    /// label in the paper's sense).
+    pub fn is_deterministic(&self) -> bool {
+        self.probs.iter().any(|&p| p >= 1.0 - 1e-9)
+    }
+
+    /// Shannon entropy in nats. 0 for one-hot labels, `ln C` for uniform.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+
+    /// Label perturbation `δ_y = onehot(class) − ỹ` (paper Algorithm 1,
+    /// line 2).
+    pub fn delta_to(&self, class: usize) -> Vec<f64> {
+        assert!(class < self.num_classes());
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| if k == class { 1.0 - p } else { -p })
+            .collect()
+    }
+
+    /// Round to the nearest deterministic label (used for the TARS
+    /// comparison, paper Appendix G.3).
+    pub fn rounded(&self) -> Self {
+        Self::onehot(self.argmax(), self.num_classes())
+    }
+
+    /// Cross-entropy of a prediction `p` against this label (Eq. 8):
+    /// `−Σ_k ỹ⁽ᵏ⁾ log p⁽ᵏ⁾`, clamping probabilities away from zero for
+    /// numerical safety.
+    pub fn cross_entropy(&self, prediction: &[f64]) -> f64 {
+        debug_assert_eq!(prediction.len(), self.num_classes());
+        -self
+            .probs
+            .iter()
+            .zip(prediction)
+            .filter(|(&y, _)| y > 0.0)
+            .map(|(&y, &p)| y * p.max(1e-300).ln())
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn onehot_is_deterministic() {
+        let l = SoftLabel::onehot(1, 3);
+        assert_eq!(l.probs(), &[0.0, 1.0, 0.0]);
+        assert!(l.is_deterministic());
+        assert_eq!(l.argmax(), 1);
+        assert_eq!(l.entropy(), 0.0);
+    }
+
+    #[test]
+    fn uniform_has_max_entropy() {
+        let l = SoftLabel::uniform(4);
+        assert!(!l.is_deterministic());
+        assert!((l.entropy() - 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let l = SoftLabel::from_weights(&[2.0, 2.0]);
+        assert_eq!(l.probs(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn delta_sums_to_zero() {
+        let l = SoftLabel::new(vec![0.3, 0.7]);
+        let d = l.delta_to(0);
+        assert!((d[0] - 0.7).abs() < 1e-12);
+        assert!((d[1] + 0.7).abs() < 1e-12);
+        assert!((d.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_to_own_argmax_of_onehot_is_zero() {
+        let l = SoftLabel::onehot(2, 4);
+        assert!(l.delta_to(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rounding() {
+        let l = SoftLabel::new(vec![0.4, 0.6]);
+        assert_eq!(l.rounded(), SoftLabel::onehot(1, 2));
+    }
+
+    #[test]
+    fn cross_entropy_against_itself_is_entropy() {
+        let l = SoftLabel::new(vec![0.25, 0.75]);
+        assert!((l.cross_entropy(l.probs()) - l.entropy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_zero() {
+        let l = SoftLabel::onehot(0, 2);
+        assert!(l.cross_entropy(&[1.0, 0.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn rejects_unnormalized() {
+        let _ = SoftLabel::new(vec![0.5, 0.6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid entry")]
+    fn rejects_negative() {
+        let _ = SoftLabel::new(vec![-0.1, 1.1]);
+    }
+}

@@ -1,0 +1,141 @@
+//! The [`Model`] trait: everything the CHEF pipeline needs from a
+//! classifier.
+//!
+//! The sample selector (Infl/Increm-Infl), the model constructor
+//! (Retrain/DeltaGrad-L) and every baseline consume models exclusively
+//! through this interface. Losses/gradients here are per-sample
+//! cross-entropy terms (Eq. 8) *without* regularization or γ-weighting —
+//! those belong to [`crate::WeightedObjective`], which owns Eq. 1.
+
+use crate::label::SoftLabel;
+
+/// A differentiable C-class classifier with flattened parameters `w`.
+pub trait Model: Send + Sync {
+    /// Total number of parameters (dimension of `w`).
+    fn num_params(&self) -> usize;
+
+    /// Number of classes `C`.
+    fn num_classes(&self) -> usize;
+
+    /// Expected feature dimension (without bias; models append their own).
+    fn feature_dim(&self) -> usize;
+
+    /// Class-probability vector `p(w, x)` into `out` (length `C`).
+    fn predict_proba(&self, w: &[f64], x: &[f64], out: &mut [f64]);
+
+    /// Cross-entropy loss `F(w, z)` of one sample (Eq. 8).
+    fn loss(&self, w: &[f64], x: &[f64], y: &SoftLabel) -> f64 {
+        let mut p = vec![0.0; self.num_classes()];
+        self.predict_proba(w, x, &mut p);
+        y.cross_entropy(&p)
+    }
+
+    /// Per-sample gradient `∇_w F(w, z)` into `out` (length
+    /// `num_params()`), overwriting it.
+    fn grad(&self, w: &[f64], x: &[f64], y: &SoftLabel, out: &mut [f64]);
+
+    /// Per-sample Hessian-vector product `H(w, z) · v` into `out`,
+    /// overwriting it.
+    fn hvp(&self, w: &[f64], x: &[f64], y: &SoftLabel, v: &[f64], out: &mut [f64]);
+
+    /// Per-class gradient `∇_w (−log p⁽ᶜ⁾(w, x))` — column `c` of the
+    /// mixed derivative `∇_y ∇_w F` (Eq. 9).
+    ///
+    /// For cross-entropy this equals the ordinary gradient with a one-hot
+    /// label, which is the default implementation.
+    fn class_grad(&self, w: &[f64], x: &[f64], class: usize, out: &mut [f64]) {
+        let y = SoftLabel::onehot(class, self.num_classes());
+        self.grad(w, x, &y, out);
+    }
+
+    /// Spectral norm of the per-sample cross-entropy Hessian
+    /// `‖H(w, z)‖₂` (pre-computed as provenance by Increm-Infl,
+    /// Appendix D).
+    fn hessian_norm(&self, w: &[f64], x: &[f64], y: &SoftLabel) -> f64;
+
+    /// Spectral norm of the per-class Hessian
+    /// `‖−∇²_w log p⁽ʲ⁾(w, x)‖₂` (Theorem 1).
+    ///
+    /// For softmax cross-entropy `−log p⁽ʲ⁾ = −w_jᵀx̃ + logsumexp(Wx̃)`,
+    /// whose Hessian is the logsumexp Hessian — identical for every class —
+    /// so the default forwards to [`Model::hessian_norm`] with an
+    /// arbitrary one-hot label (the CE Hessian is label-independent for
+    /// the models in this crate).
+    fn class_hessian_norm(&self, w: &[f64], x: &[f64], _class: usize) -> f64 {
+        self.hessian_norm(w, x, &SoftLabel::onehot(0, self.num_classes()))
+    }
+
+    /// Initial parameter vector for training. Convex models start at
+    /// zero; non-convex models must break symmetry (seeded).
+    fn initial_params(&self, seed: u64) -> Vec<f64> {
+        let _ = seed;
+        vec![0.0; self.num_params()]
+    }
+
+    /// Convenience: probability vector as a fresh `Vec`.
+    fn predict(&self, w: &[f64], x: &[f64]) -> Vec<f64> {
+        let mut p = vec![0.0; self.num_classes()];
+        self.predict_proba(w, x, &mut p);
+        p
+    }
+
+    /// Convenience: predicted class (argmax probability).
+    fn predict_class(&self, w: &[f64], x: &[f64]) -> usize {
+        chef_linalg::vector::argmax(&self.predict(w, x))
+    }
+}
+
+/// Finite-difference gradient check helper shared by model tests.
+///
+/// Returns the maximum absolute difference between `grad` and a central
+/// finite difference of `loss` over all coordinates.
+pub fn grad_check<M: Model + ?Sized>(
+    model: &M,
+    w: &[f64],
+    x: &[f64],
+    y: &SoftLabel,
+    eps: f64,
+) -> f64 {
+    let mut g = vec![0.0; model.num_params()];
+    model.grad(w, x, y, &mut g);
+    let mut wbuf = w.to_vec();
+    let mut max_err = 0.0f64;
+    for i in 0..w.len() {
+        wbuf[i] = w[i] + eps;
+        let lp = model.loss(&wbuf, x, y);
+        wbuf[i] = w[i] - eps;
+        let lm = model.loss(&wbuf, x, y);
+        wbuf[i] = w[i];
+        let fd = (lp - lm) / (2.0 * eps);
+        max_err = max_err.max((fd - g[i]).abs());
+    }
+    max_err
+}
+
+/// Finite-difference Hessian-vector-product check helper.
+///
+/// Compares `hvp` against `(∇F(w+εv) − ∇F(w−εv)) / 2ε`.
+pub fn hvp_check<M: Model + ?Sized>(
+    model: &M,
+    w: &[f64],
+    x: &[f64],
+    y: &SoftLabel,
+    v: &[f64],
+    eps: f64,
+) -> f64 {
+    let m = model.num_params();
+    let mut hv = vec![0.0; m];
+    model.hvp(w, x, y, v, &mut hv);
+    let wp: Vec<f64> = w.iter().zip(v).map(|(wi, vi)| wi + eps * vi).collect();
+    let wm: Vec<f64> = w.iter().zip(v).map(|(wi, vi)| wi - eps * vi).collect();
+    let mut gp = vec![0.0; m];
+    let mut gm = vec![0.0; m];
+    model.grad(&wp, x, y, &mut gp);
+    model.grad(&wm, x, y, &mut gm);
+    let mut max_err = 0.0f64;
+    for i in 0..m {
+        let fd = (gp[i] - gm[i]) / (2.0 * eps);
+        max_err = max_err.max((fd - hv[i]).abs());
+    }
+    max_err
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the model substrate.
+
+use chef_linalg::vector;
+use chef_model::model::{grad_check, hvp_check};
+use chef_model::{LogisticRegression, Mlp, Model, SoftLabel};
+use proptest::prelude::*;
+
+fn soft_label(c: usize) -> impl Strategy<Value = SoftLabel> {
+    prop::collection::vec(0.01f64..1.0, c).prop_map(|w| SoftLabel::from_weights(&w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn logreg_gradient_matches_finite_differences(
+        w in prop::collection::vec(-2.0f64..2.0, 3 * 3),
+        x in prop::collection::vec(-2.0f64..2.0, 2),
+        y in soft_label(3),
+    ) {
+        let model = LogisticRegression::new(2, 3);
+        prop_assert!(grad_check(&model, &w, &x, &y, 1e-6) < 1e-5);
+    }
+
+    #[test]
+    fn logreg_hvp_matches_finite_differences(
+        w in prop::collection::vec(-2.0f64..2.0, 3 * 3),
+        x in prop::collection::vec(-2.0f64..2.0, 2),
+        v in prop::collection::vec(-1.0f64..1.0, 3 * 3),
+        y in soft_label(3),
+    ) {
+        let model = LogisticRegression::new(2, 3);
+        prop_assert!(hvp_check(&model, &w, &x, &y, &v, 1e-5) < 1e-5);
+    }
+
+    #[test]
+    fn logreg_predictions_live_on_the_simplex(
+        w in prop::collection::vec(-5.0f64..5.0, 4 * 2),
+        x in prop::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        let model = LogisticRegression::new(3, 2);
+        let p = model.predict(&w, &x);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn logreg_hessian_is_psd_and_norm_dominates_rayleigh(
+        w in prop::collection::vec(-2.0f64..2.0, 2 * 3),
+        x in prop::collection::vec(-2.0f64..2.0, 2),
+        v in prop::collection::vec(-1.0f64..1.0, 2 * 3),
+    ) {
+        let model = LogisticRegression::new(2, 2);
+        let y = SoftLabel::uniform(2);
+        let vn = vector::norm2_sq(&v);
+        prop_assume!(vn > 1e-6);
+        let mut hv = vec![0.0; v.len()];
+        model.hvp(&w, &x, &y, &v, &mut hv);
+        let quad = vector::dot(&v, &hv);
+        prop_assert!(quad >= -1e-10, "CE Hessian not PSD: {quad}");
+        let norm = model.hessian_norm(&w, &x, &y);
+        prop_assert!(norm + 1e-9 >= quad / vn, "norm {norm} < Rayleigh {}", quad / vn);
+    }
+
+    #[test]
+    fn logreg_loss_is_nonnegative_and_convexity_inequality_holds(
+        w1 in prop::collection::vec(-2.0f64..2.0, 2 * 3),
+        w2 in prop::collection::vec(-2.0f64..2.0, 2 * 3),
+        x in prop::collection::vec(-2.0f64..2.0, 2),
+        y in soft_label(2),
+        t in 0.0f64..1.0,
+    ) {
+        let model = LogisticRegression::new(2, 2);
+        let l1 = model.loss(&w1, &x, &y);
+        let l2 = model.loss(&w2, &x, &y);
+        prop_assert!(l1 >= 0.0 && l2 >= 0.0);
+        // Cross-entropy of softmax is convex in w:
+        // F(t·w1 + (1−t)·w2) ≤ t·F(w1) + (1−t)·F(w2).
+        let mid: Vec<f64> = w1.iter().zip(&w2).map(|(a, b)| t * a + (1.0 - t) * b).collect();
+        prop_assert!(model.loss(&mid, &x, &y) <= t * l1 + (1.0 - t) * l2 + 1e-9);
+    }
+
+    #[test]
+    fn mlp_backprop_matches_finite_differences(
+        seed in 0u64..1000,
+        x in prop::collection::vec(-1.5f64..1.5, 3),
+        y in soft_label(2),
+    ) {
+        let model = Mlp::new(3, 4, 2);
+        let w = model.init_params(seed);
+        prop_assert!(grad_check(&model, &w, &x, &y, 1e-6) < 1e-4);
+    }
+
+    #[test]
+    fn class_grad_columns_assemble_the_label_jacobian(
+        w in prop::collection::vec(-2.0f64..2.0, 2 * 3),
+        x in prop::collection::vec(-2.0f64..2.0, 2),
+        y in soft_label(2),
+    ) {
+        // ∇_wF(w, (x, y)) = Σ_c y_c · (−∇_w log p⁽ᶜ⁾): the per-class
+        // gradients are an exact basis for the gradient at ANY soft label.
+        let model = LogisticRegression::new(2, 2);
+        let mut expect = vec![0.0; model.num_params()];
+        let mut col = vec![0.0; model.num_params()];
+        for c in 0..2 {
+            model.class_grad(&w, &x, c, &mut col);
+            vector::axpy(y.prob(c), &col, &mut expect);
+        }
+        let mut got = vec![0.0; model.num_params()];
+        model.grad(&w, &x, &y, &mut got);
+        for (a, b) in got.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn soft_label_delta_is_consistent(
+        y in soft_label(4),
+        c in 0usize..4,
+    ) {
+        let d = y.delta_to(c);
+        prop_assert!((d.iter().sum::<f64>()).abs() < 1e-9);
+        let onehot = SoftLabel::onehot(c, 4);
+        for (k, &dk) in d.iter().enumerate() {
+            prop_assert!((y.prob(k) + dk - onehot.prob(k)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # chef-train
+//!
+//! Training substrate for the CHEF pipeline.
+//!
+//! * [`batch`] — deterministic minibatch plans. DeltaGrad must replay
+//!   exactly the minibatch sequence `B_t` of the original run; instead of
+//!   storing per-iteration index lists we derive them from a seed, so the
+//!   replay is bit-identical and provenance stays small.
+//! * [`sgd`] — plain SGD over the weighted objective of Eq. 1, with
+//!   optional provenance caching (per-iteration parameters and minibatch
+//!   gradients — the "initialization step" state of Figure 1) and
+//!   per-epoch checkpoints for the paper's early-stopping protocol.
+//! * [`deltagrad`] — the DeltaGrad replay engine (paper Algorithm 2 /
+//!   Appendix C): incremental model updates after a small set of training
+//!   samples is modified or deleted, using exact gradients every `T₀`
+//!   iterations and L-BFGS-approximated history gradients in between
+//!   (Eqs. 4–5). `chef-core` specializes it into DeltaGrad-L.
+
+pub mod batch;
+pub mod deltagrad;
+pub mod sgd;
+
+pub use batch::BatchPlan;
+pub use deltagrad::{deltagrad_update, DeltaGradConfig};
+pub use sgd::{select_early_stop, train, SgdConfig, TrainOutcome, TrainTrace};

@@ -1,0 +1,161 @@
+//! Property-based tests for the training substrate.
+
+use chef_linalg::{vector, Matrix};
+use chef_model::{Dataset, LogisticRegression, Model, SoftLabel, WeightedObjective};
+use chef_train::{deltagrad_update, train, BatchPlan, DeltaGradConfig, SgdConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn dataset(xs: &[(f64, f64)], probs: &[f64]) -> Dataset {
+    let n = xs.len();
+    let mut raw = Vec::with_capacity(2 * n);
+    for (a, b) in xs {
+        raw.push(*a);
+        raw.push(*b);
+    }
+    Dataset::new(
+        Matrix::from_vec(n, 2, raw),
+        probs[..n]
+            .iter()
+            .map(|&p| SoftLabel::new(vec![p, 1.0 - p]))
+            .collect(),
+        vec![false; n],
+        vec![None; n],
+        2,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn batch_plan_partitions_every_epoch(
+        n in 1usize..200,
+        batch in 1usize..64,
+        epochs in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let plan = BatchPlan::new(n, batch, epochs, seed);
+        prop_assert_eq!(plan.total_iterations(), epochs * n.div_ceil(batch));
+        for e in 0..epochs {
+            let mut seen = HashSet::new();
+            for b in plan.epoch_batches(e) {
+                prop_assert!(b.len() <= batch);
+                for i in b {
+                    prop_assert!(i < n);
+                    prop_assert!(seen.insert(i), "duplicate in epoch {e}");
+                }
+            }
+            prop_assert_eq!(seen.len(), n);
+        }
+    }
+
+    #[test]
+    fn batch_plan_is_reproducible(
+        n in 2usize..100,
+        batch in 1usize..32,
+        seed in any::<u64>(),
+        t_frac in 0.0f64..1.0,
+    ) {
+        let plan = BatchPlan::new(n, batch, 3, seed);
+        let t = ((plan.total_iterations() - 1) as f64 * t_frac) as usize;
+        prop_assert_eq!(plan.batch_at(t), BatchPlan::new(n, batch, 3, seed).batch_at(t));
+    }
+
+    #[test]
+    fn sgd_is_a_contraction_on_the_objective(
+        xs in prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 16..40),
+        probs in prop::collection::vec(0.1f64..0.9, 40),
+        lr in 0.01f64..0.15,
+    ) {
+        let data = dataset(&xs, &probs);
+        let model = LogisticRegression::new(2, 2);
+        let obj = WeightedObjective::new(0.8, 0.1);
+        let w0 = model.initial_params(0);
+        let cfg = SgdConfig {
+            lr,
+            epochs: 10,
+            batch_size: data.len(), // full batch → guaranteed descent at small lr
+            seed: 1,
+            cache_provenance: false,
+        };
+        let out = train(&model, &obj, &data, &w0, &cfg);
+        prop_assert!(obj.loss(&model, &data, &out.w) <= obj.loss(&model, &data, &w0) + 1e-9);
+        prop_assert!(out.w.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn exact_deltagrad_replay_equals_retrain_for_any_edit(
+        xs in prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 20..40),
+        probs in prop::collection::vec(0.1f64..0.9, 40),
+        edit in prop::collection::vec(any::<bool>(), 40),
+        new_class in 0usize..2,
+    ) {
+        let data = dataset(&xs, &probs);
+        let model = LogisticRegression::new(2, 2);
+        let obj = WeightedObjective::new(0.8, 0.1);
+        let cfg = SgdConfig {
+            lr: 0.1,
+            epochs: 4,
+            batch_size: 8,
+            seed: 3,
+            cache_provenance: true,
+        };
+        let base = train(&model, &obj, &data, &model.initial_params(0), &cfg);
+        let mut new_data = data.clone();
+        let mut changed = Vec::new();
+        for i in 0..data.len() {
+            if edit[i] && changed.len() < 5 {
+                new_data.clean_label(i, SoftLabel::onehot(new_class, 2));
+                changed.push(i);
+            }
+        }
+        let dg = deltagrad_update(
+            &model,
+            &obj,
+            &data,
+            &new_data,
+            &changed,
+            base.trace.as_ref().unwrap(),
+            &DeltaGradConfig { j0: 0, t0: 1, m0: 2 },
+        );
+        let retrain = train(&model, &obj, &new_data, &model.initial_params(0), &cfg);
+        for (a, b) in dg.w.iter().zip(&retrain.w) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn approximate_deltagrad_stays_bounded(
+        xs in prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 30..50),
+        probs in prop::collection::vec(0.1f64..0.9, 50),
+        t0 in 2usize..8,
+    ) {
+        let data = dataset(&xs, &probs);
+        let model = LogisticRegression::new(2, 2);
+        let obj = WeightedObjective::new(0.8, 0.1);
+        let cfg = SgdConfig {
+            lr: 0.1,
+            epochs: 6,
+            batch_size: 10,
+            seed: 5,
+            cache_provenance: true,
+        };
+        let base = train(&model, &obj, &data, &model.initial_params(0), &cfg);
+        let mut new_data = data.clone();
+        new_data.clean_label(0, SoftLabel::onehot(1, 2));
+        let dg = deltagrad_update(
+            &model,
+            &obj,
+            &data,
+            &new_data,
+            &[0],
+            base.trace.as_ref().unwrap(),
+            &DeltaGradConfig { j0: 2, t0, m0: 2 },
+        );
+        let retrain = train(&model, &obj, &new_data, &model.initial_params(0), &cfg);
+        let rel = vector::distance(&dg.w, &retrain.w) / vector::norm2(&retrain.w).max(1.0);
+        prop_assert!(rel < 0.2, "relative drift {rel} at t0 = {t0}");
+        prop_assert!(dg.w.iter().all(|v| v.is_finite()));
+    }
+}

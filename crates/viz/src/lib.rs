@@ -1,0 +1,26 @@
+//! # chef-viz
+//!
+//! Visualization substrate for the CHEF reproduction.
+//!
+//! Figure 3 of the paper embeds the validation/test samples of the
+//! Twitter and Fashion datasets with **t-SNE** and marks the most
+//! influential training sample `S` to show that Infl's suggested label
+//! matches the ground-truth labels of `S`'s neighbours. This crate
+//! implements the pieces from scratch:
+//!
+//! * [`mod@tsne`] — exact (O(n²)) t-SNE with the standard perplexity binary
+//!   search, early exaggeration and momentum gradient descent (van der
+//!   Maaten & Hinton, JMLR 2008);
+//! * [`mod@pca`] — top-k principal components via power iteration with
+//!   deflation (used both as a t-SNE initializer option and as a cheap
+//!   alternative projection);
+//! * [`plot`] — a minimal SVG scatter writer and a CSV exporter so the
+//!   harness can persist figures without any plotting dependency.
+
+pub mod pca;
+pub mod plot;
+pub mod tsne;
+
+pub use pca::pca;
+pub use plot::{write_csv, ScatterPlot, Series};
+pub use tsne::{tsne, TsneConfig};

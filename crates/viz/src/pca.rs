@@ -1,0 +1,155 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Used as a fast linear alternative to t-SNE and as a test oracle for
+//! the embedding code: the top-k eigenvectors of the sample covariance
+//! are found one at a time with the same power method Appendix D uses,
+//! deflating the covariance operator after each component.
+
+use chef_linalg::power::{power_method, PowerConfig};
+use chef_linalg::{vector, LinearOperator, Matrix};
+
+/// Covariance operator `v ↦ (Xᶜ)ᵀ Xᶜ v / (n−1)` with deflation, applied
+/// without materializing the covariance matrix.
+struct CovOp<'a> {
+    centered: &'a Matrix,
+    deflated: Vec<(f64, Vec<f64>)>,
+}
+
+impl LinearOperator for CovOp<'_> {
+    fn dim(&self) -> usize {
+        self.centered.cols()
+    }
+    fn apply(&self, v: &[f64], out: &mut [f64]) {
+        let n = self.centered.rows();
+        let mut t = vec![0.0; n];
+        self.centered.matvec(v, &mut t);
+        self.centered.matvec_t(&t, out);
+        let denom = (n.max(2) - 1) as f64;
+        vector::scale(1.0 / denom, out);
+        for (lambda, u) in &self.deflated {
+            let proj = vector::dot(u, v);
+            vector::axpy(-lambda * proj, u, out);
+        }
+    }
+}
+
+/// Project the rows of `data` onto their top `k` principal components.
+///
+/// Returns `(projection (n × k), components (k × dim), eigenvalues)`.
+///
+/// # Panics
+/// Panics if `k` exceeds the feature dimension or the input is empty.
+pub fn pca(data: &Matrix, k: usize) -> (Matrix, Matrix, Vec<f64>) {
+    let n = data.rows();
+    let d = data.cols();
+    assert!(n > 0, "pca: empty input");
+    assert!(k >= 1 && k <= d, "pca: invalid component count");
+
+    // Centre the data.
+    let mut means = vec![0.0; d];
+    for i in 0..n {
+        vector::axpy(1.0, data.row(i), &mut means);
+    }
+    vector::scale(1.0 / n as f64, &mut means);
+    let mut centered = data.clone();
+    for i in 0..n {
+        for (v, m) in centered.row_mut(i).iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+
+    let mut op = CovOp {
+        centered: &centered,
+        deflated: Vec::new(),
+    };
+    let mut components = Matrix::zeros(k, d);
+    let mut eigenvalues = Vec::with_capacity(k);
+    for c in 0..k {
+        let out = power_method(
+            &op,
+            &PowerConfig {
+                max_iters: 500,
+                tol: 1e-12,
+                seed: 0x5eed + c as u64,
+            },
+        );
+        components.row_mut(c).copy_from_slice(&out.eigenvector);
+        eigenvalues.push(out.eigenvalue.max(0.0));
+        op.deflated.push((out.eigenvalue, out.eigenvector));
+    }
+
+    let mut proj = Matrix::zeros(n, k);
+    for i in 0..n {
+        for c in 0..k {
+            proj[(i, c)] = vector::dot(centered.row(i), components.row(c));
+        }
+    }
+    (proj, components, eigenvalues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_axis() {
+        // Points spread along the x axis with tiny y noise.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, ((i * 7) % 3) as f64 * 0.01])
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let (_, comps, evals) = pca(&data, 2);
+        // First component ≈ ±e_x.
+        assert!(comps[(0, 0)].abs() > 0.999, "{comps:?}");
+        assert!(evals[0] > 100.0 * evals[1], "{evals:?}");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let t = i as f64 * 0.4;
+                vec![t.sin() * 3.0, t.cos(), t * 0.2, (t * 1.3).sin()]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let (_, comps, _) = pca(&data, 3);
+        for a in 0..3 {
+            for b in 0..3 {
+                let dot = vector::dot(comps.row(a), comps.row(b));
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-6, "({a},{b}): {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_variance_matches_eigenvalues() {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64;
+                vec![2.0 * t, -t, 0.5 * t + ((i % 5) as f64)]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let (proj, _, evals) = pca(&data, 1);
+        let n = proj.rows();
+        let mean: f64 = (0..n).map(|i| proj[(i, 0)]).sum::<f64>() / n as f64;
+        let var: f64 = (0..n)
+            .map(|i| (proj[(i, 0)] - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        assert!(
+            (var - evals[0]).abs() < 1e-6 * evals[0],
+            "var {var} vs eigenvalue {}",
+            evals[0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid component count")]
+    fn too_many_components_panics() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let _ = pca(&data, 3);
+    }
+}

@@ -1,0 +1,267 @@
+//! Minimal SVG scatter plots and CSV export.
+//!
+//! The experiment harness persists every figure twice: as CSV (the raw
+//! series, diff-friendly) and as a dependency-free SVG scatter so Figure 3
+//! can be eyeballed directly.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One named point series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+    /// Fill color (any SVG color string).
+    pub color: String,
+    /// Marker radius in pixels.
+    pub radius: f64,
+    /// Marker shape.
+    pub marker: Marker,
+}
+
+/// Scatter marker shapes (mirroring the paper's '+', '−', '×' glyphs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Marker {
+    /// Filled circle.
+    Circle,
+    /// Plus glyph.
+    Plus,
+    /// Cross glyph.
+    Cross,
+}
+
+impl Series {
+    /// Convenience constructor with a circle marker.
+    pub fn new(label: impl Into<String>, color: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+            color: color.into(),
+            radius: 3.0,
+            marker: Marker::Circle,
+        }
+    }
+
+    /// Set the marker shape.
+    pub fn with_marker(mut self, marker: Marker) -> Self {
+        self.marker = marker;
+        self
+    }
+}
+
+/// A 2-D scatter plot.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    /// Plot title.
+    pub title: String,
+    /// Point series.
+    pub series: Vec<Series>,
+    /// Canvas width in pixels.
+    pub width: f64,
+    /// Canvas height in pixels.
+    pub height: f64,
+}
+
+impl ScatterPlot {
+    /// New empty plot.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            series: Vec::new(),
+            width: 640.0,
+            height: 480.0,
+        }
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Data bounding box `(xmin, xmax, ymin, ymax)`; unit box if empty.
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut b = (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                b.0 = b.0.min(x);
+                b.1 = b.1.max(x);
+                b.2 = b.2.min(y);
+                b.3 = b.3.max(y);
+            }
+        }
+        if !b.0.is_finite() {
+            return (0.0, 1.0, 0.0, 1.0);
+        }
+        // Avoid degenerate spans.
+        if b.1 - b.0 < 1e-12 {
+            b.1 = b.0 + 1.0;
+        }
+        if b.3 - b.2 < 1e-12 {
+            b.3 = b.2 + 1.0;
+        }
+        (b.0, b.1, b.2, b.3)
+    }
+
+    /// Render to an SVG string.
+    pub fn to_svg(&self) -> String {
+        let margin = 40.0;
+        let (xmin, xmax, ymin, ymax) = self.bounds();
+        let sx = (self.width - 2.0 * margin) / (xmax - xmin);
+        let sy = (self.height - 2.0 * margin) / (ymax - ymin);
+        let px = |x: f64| margin + (x - xmin) * sx;
+        let py = |y: f64| self.height - margin - (y - ymin) * sy;
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+            self.width, self.height, self.width, self.height
+        );
+        let _ = writeln!(
+            svg,
+            r#"<rect width="100%" height="100%" fill="white"/><text x="{}" y="20" text-anchor="middle" font-family="sans-serif" font-size="14">{}</text>"#,
+            self.width / 2.0,
+            self.title
+        );
+        for (si, s) in self.series.iter().enumerate() {
+            for &(x, y) in &s.points {
+                let (cx, cy) = (px(x), py(y));
+                match s.marker {
+                    Marker::Circle => {
+                        let _ = writeln!(
+                            svg,
+                            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{}" fill="{}"/>"#,
+                            s.radius, s.color
+                        );
+                    }
+                    Marker::Plus => {
+                        let r = s.radius;
+                        let _ = writeln!(
+                            svg,
+                            r#"<path d="M {:.2} {cy:.2} H {:.2} M {cx:.2} {:.2} V {:.2}" stroke="{}" stroke-width="1.5"/>"#,
+                            cx - r,
+                            cx + r,
+                            cy - r,
+                            cy + r,
+                            s.color
+                        );
+                    }
+                    Marker::Cross => {
+                        let r = s.radius;
+                        let _ = writeln!(
+                            svg,
+                            r#"<path d="M {:.2} {:.2} L {:.2} {:.2} M {:.2} {:.2} L {:.2} {:.2}" stroke="{}" stroke-width="2"/>"#,
+                            cx - r,
+                            cy - r,
+                            cx + r,
+                            cy + r,
+                            cx - r,
+                            cy + r,
+                            cx + r,
+                            cy - r,
+                            s.color
+                        );
+                    }
+                }
+            }
+            // Legend row.
+            let ly = 30.0 + 16.0 * si as f64;
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{}" cy="{ly}" r="4" fill="{}"/><text x="{}" y="{}" font-family="sans-serif" font-size="11">{}</text>"#,
+                self.width - 130.0,
+                s.color,
+                self.width - 120.0,
+                ly + 4.0,
+                s.label
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Write the SVG to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_svg())
+    }
+}
+
+/// Write rows of named columns as CSV (header + `rows`).
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        debug_assert_eq!(row.len(), header.len(), "csv row width");
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_contains_all_points_and_legend() {
+        let mut plot = ScatterPlot::new("demo");
+        let mut s = Series::new("positive", "steelblue");
+        s.points = vec![(0.0, 0.0), (1.0, 2.0), (-1.0, 0.5)];
+        plot.push(s);
+        let mut m = Series::new("S", "crimson").with_marker(Marker::Cross);
+        m.points = vec![(0.5, 0.5)];
+        plot.push(m);
+        let svg = plot.to_svg();
+        assert_eq!(svg.matches("<circle").count(), 3 + 2); // 3 points + 2 legend dots
+        assert!(svg.contains("crimson"));
+        assert!(svg.contains("demo"));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn empty_plot_renders() {
+        let plot = ScatterPlot::new("empty");
+        let svg = plot.to_svg();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("chef_viz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["3".into(), "4".into()],
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn markers_render_distinct_shapes() {
+        let mut plot = ScatterPlot::new("markers");
+        for (marker, label) in [(Marker::Plus, "p"), (Marker::Cross, "x")] {
+            let mut s = Series::new(label, "black").with_marker(marker);
+            s.points = vec![(0.0, 0.0)];
+            plot.push(s);
+        }
+        let svg = plot.to_svg();
+        assert!(svg.matches("<path").count() >= 2);
+    }
+}

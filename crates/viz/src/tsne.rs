@@ -1,0 +1,380 @@
+//! Exact t-SNE (van der Maaten & Hinton, JMLR 2008).
+//!
+//! The O(n²) reference algorithm, sufficient for the few hundred
+//! validation/test points Figure 3 embeds:
+//!
+//! 1. squared Euclidean distances `d_ij²` in the input space;
+//! 2. per-point binary search for the Gaussian bandwidth `σ_i` matching
+//!    the target perplexity;
+//! 3. symmetrized affinities `P = (P_cond + P_condᵀ) / 2n`, inflated by
+//!    the early-exaggeration factor for the first phase;
+//! 4. gradient descent with momentum on the Kullback–Leibler divergence
+//!    between `P` and the Student-t affinities `Q` of the embedding.
+
+use chef_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Output dimensionality (2 for figures).
+    pub out_dim: usize,
+    /// Target perplexity (effective neighbour count).
+    pub perplexity: f64,
+    /// Total gradient-descent iterations.
+    pub iters: usize,
+    /// Iterations with early exaggeration applied.
+    pub exaggeration_iters: usize,
+    /// Early-exaggeration factor.
+    pub exaggeration: f64,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum (switches from 0.5 to this after the exaggeration phase).
+    pub momentum: f64,
+    /// RNG seed for the initial embedding.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            out_dim: 2,
+            perplexity: 15.0,
+            iters: 400,
+            exaggeration_iters: 100,
+            exaggeration: 4.0,
+            learning_rate: 100.0,
+            momentum: 0.8,
+            seed: 42,
+        }
+    }
+}
+
+/// Pairwise squared Euclidean distances of row vectors.
+fn pairwise_sq(data: &Matrix) -> Vec<f64> {
+    let n = data.rows();
+    let mut d = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = chef_linalg::vector::distance(data.row(i), data.row(j));
+            let sq = dist * dist;
+            d[i * n + j] = sq;
+            d[j * n + i] = sq;
+        }
+    }
+    d
+}
+
+/// Binary-search the precision `β_i = 1/(2σ_i²)` so the conditional
+/// distribution of row `i` hits the target perplexity; fills `p_row`.
+fn search_beta(dist_row: &[f64], i: usize, target_entropy: f64, p_row: &mut [f64]) {
+    let (mut beta, mut beta_min, mut beta_max) = (1.0, f64::NEG_INFINITY, f64::INFINITY);
+    for _ in 0..64 {
+        // Conditional probabilities and entropy at the current beta.
+        let mut sum = 0.0;
+        for (j, (&d, p)) in dist_row.iter().zip(p_row.iter_mut()).enumerate() {
+            *p = if j == i { 0.0 } else { (-beta * d).exp() };
+            sum += *p;
+        }
+        if sum <= 0.0 {
+            sum = f64::MIN_POSITIVE;
+        }
+        let mut entropy = 0.0;
+        for p in p_row.iter_mut() {
+            *p /= sum;
+            if *p > 1e-12 {
+                entropy -= *p * p.ln();
+            }
+        }
+        let diff = entropy - target_entropy;
+        if diff.abs() < 1e-5 {
+            break;
+        }
+        if diff > 0.0 {
+            beta_min = beta;
+            beta = if beta_max.is_infinite() {
+                beta * 2.0
+            } else {
+                0.5 * (beta + beta_max)
+            };
+        } else {
+            beta_max = beta;
+            beta = if beta_min.is_infinite() {
+                beta / 2.0
+            } else {
+                0.5 * (beta + beta_min)
+            };
+        }
+    }
+}
+
+/// Run exact t-SNE on the rows of `data`; returns an `n × out_dim`
+/// embedding.
+///
+/// # Panics
+/// Panics if there are fewer than 3 rows.
+pub fn tsne(data: &Matrix, cfg: &TsneConfig) -> Matrix {
+    let n = data.rows();
+    assert!(n >= 3, "tsne: need at least 3 points");
+    let perplexity = cfg.perplexity.min((n - 1) as f64 / 3.0).max(2.0);
+    let target_entropy = perplexity.ln();
+
+    // Symmetrized input affinities.
+    let d2 = pairwise_sq(data);
+    let mut p = vec![0.0; n * n];
+    {
+        let mut row = vec![0.0; n];
+        for i in 0..n {
+            search_beta(&d2[i * n..(i + 1) * n], i, target_entropy, &mut row);
+            p[i * n..(i + 1) * n].copy_from_slice(&row);
+        }
+    }
+    let mut pij = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // Initialize the embedding with small Gaussian noise.
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let dim = cfg.out_dim;
+    let mut y: Vec<f64> = (0..n * dim).map(|_| rng.gen_range(-1e-2..1e-2)).collect();
+    let mut velocity = vec![0.0; n * dim];
+    let mut gains = vec![1.0f64; n * dim];
+    let mut grad = vec![0.0; n * dim];
+    let mut q_num = vec![0.0; n * n];
+
+    for iter in 0..cfg.iters {
+        let exaggerate = if iter < cfg.exaggeration_iters {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
+        let momentum = if iter < cfg.exaggeration_iters {
+            0.5
+        } else {
+            cfg.momentum
+        };
+
+        // Student-t numerators and their sum.
+        let mut q_sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut sq = 0.0;
+                for k in 0..dim {
+                    let diff = y[i * dim + k] - y[j * dim + k];
+                    sq += diff * diff;
+                }
+                let num = 1.0 / (1.0 + sq);
+                q_num[i * n + j] = num;
+                q_num[j * n + i] = num;
+                q_sum += 2.0 * num;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+
+        // Gradient: 4 Σ_j (p_ij·ex − q_ij) num_ij (y_i − y_j).
+        grad.fill(0.0);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let num = q_num[i * n + j];
+                let q = (num / q_sum).max(1e-12);
+                let coeff = 4.0 * (exaggerate * pij[i * n + j] - q) * num;
+                for k in 0..dim {
+                    grad[i * dim + k] += coeff * (y[i * dim + k] - y[j * dim + k]);
+                }
+            }
+        }
+
+        // Momentum update with adaptive per-coordinate gains (the
+        // reference implementation's stabilizer), then re-centre.
+        for idx in 0..n * dim {
+            gains[idx] = if (grad[idx] > 0.0) != (velocity[idx] > 0.0) {
+                gains[idx] + 0.2
+            } else {
+                (gains[idx] * 0.8).max(0.01)
+            };
+            velocity[idx] = momentum * velocity[idx] - cfg.learning_rate * gains[idx] * grad[idx];
+            y[idx] += velocity[idx];
+        }
+        for k in 0..dim {
+            let mean: f64 = (0..n).map(|i| y[i * dim + k]).sum::<f64>() / n as f64;
+            for i in 0..n {
+                y[i * dim + k] -= mean;
+            }
+        }
+    }
+
+    Matrix::from_vec(n, dim, y)
+}
+
+/// KL divergence between the input affinities of `data` and the Student-t
+/// affinities of `embedding` — the quantity t-SNE minimizes (exposed for
+/// tests and convergence diagnostics).
+pub fn kl_divergence(data: &Matrix, embedding: &Matrix, perplexity: f64) -> f64 {
+    let n = data.rows();
+    let target_entropy = perplexity.min((n - 1) as f64 / 3.0).max(2.0).ln();
+    let d2 = pairwise_sq(data);
+    let mut p = vec![0.0; n * n];
+    let mut row = vec![0.0; n];
+    for i in 0..n {
+        search_beta(&d2[i * n..(i + 1) * n], i, target_entropy, &mut row);
+        p[i * n..(i + 1) * n].copy_from_slice(&row);
+    }
+    let mut kl = 0.0;
+    let mut q = vec![0.0; n * n];
+    let mut q_sum = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let dist = chef_linalg::vector::distance(embedding.row(i), embedding.row(j));
+            let num = 1.0 / (1.0 + dist * dist);
+            q[i * n + j] = num;
+            q_sum += num;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let pij = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+            let qij = (q[i * n + j] / q_sum).max(1e-12);
+            kl += pij * (pij / qij).ln();
+        }
+    }
+    kl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_linalg::vector;
+
+    /// Two well-separated Gaussian blobs in 8 dimensions.
+    fn blobs(n_per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dim = 8;
+        let mut raw = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            let center = if c == 0 { -4.0 } else { 4.0 };
+            for _ in 0..n_per {
+                for _ in 0..dim {
+                    raw.push(center + rng.gen_range(-1.0..1.0));
+                }
+                labels.push(c);
+            }
+        }
+        (Matrix::from_vec(2 * n_per, dim, raw), labels)
+    }
+
+    fn quick_cfg() -> TsneConfig {
+        TsneConfig {
+            iters: 250,
+            exaggeration_iters: 60,
+            learning_rate: 10.0,
+            perplexity: 10.0,
+            ..TsneConfig::default()
+        }
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated() {
+        let (data, labels) = blobs(25, 1);
+        let emb = tsne(&data, &quick_cfg());
+        assert_eq!(emb.rows(), 50);
+        assert_eq!(emb.cols(), 2);
+        // Mean intra-cluster distance must be far below inter-cluster.
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for i in 0..50 {
+            for j in (i + 1)..50 {
+                let d = vector::distance(emb.row(i), emb.row(j));
+                if labels[i] == labels[j] {
+                    intra.0 += d;
+                    intra.1 += 1;
+                } else {
+                    inter.0 += d;
+                    inter.1 += 1;
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1 as f64;
+        let inter_mean = inter.0 / inter.1 as f64;
+        assert!(
+            inter_mean > 2.0 * intra_mean,
+            "intra {intra_mean}, inter {inter_mean}"
+        );
+    }
+
+    #[test]
+    fn embedding_is_centered_and_finite() {
+        let (data, _) = blobs(15, 2);
+        let emb = tsne(&data, &quick_cfg());
+        for k in 0..2 {
+            let mean: f64 =
+                (0..emb.rows()).map(|i| emb.row(i)[k]).sum::<f64>() / emb.rows() as f64;
+            assert!(mean.abs() < 1e-9, "dimension {k} mean {mean}");
+        }
+        assert!(emb.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (data, _) = blobs(10, 3);
+        let a = tsne(&data, &quick_cfg());
+        let b = tsne(&data, &quick_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn optimization_reduces_kl() {
+        let (data, _) = blobs(12, 4);
+        let short = tsne(
+            &data,
+            &TsneConfig {
+                iters: 5,
+                exaggeration_iters: 0,
+                ..quick_cfg()
+            },
+        );
+        let long = tsne(&data, &quick_cfg());
+        let kl_short = kl_divergence(&data, &short, 10.0);
+        let kl_long = kl_divergence(&data, &long, 10.0);
+        assert!(kl_long < kl_short, "KL {kl_short} → {kl_long}");
+    }
+
+    #[test]
+    fn perplexity_search_hits_target_entropy() {
+        let (data, _) = blobs(20, 5);
+        let d2 = pairwise_sq(&data);
+        let n = data.rows();
+        let target = 10.0f64.ln();
+        let mut row = vec![0.0; n];
+        for i in 0..n {
+            search_beta(&d2[i * n..(i + 1) * n], i, target, &mut row);
+            let entropy: f64 = -row
+                .iter()
+                .filter(|&&p| p > 1e-12)
+                .map(|&p| p * p.ln())
+                .sum::<f64>();
+            assert!((entropy - target).abs() < 1e-3, "row {i}: entropy {entropy}");
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn too_few_points_panics() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let _ = tsne(&data, &TsneConfig::default());
+    }
+}

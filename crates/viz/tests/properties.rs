@@ -1,0 +1,89 @@
+//! Property-based tests for the visualization substrate.
+
+use chef_linalg::{vector, Matrix};
+use chef_viz::pca::pca;
+use chef_viz::plot::{write_csv, Marker, ScatterPlot, Series};
+use chef_viz::tsne::{tsne, TsneConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn pca_components_are_orthonormal_for_random_data(
+        raw in prop::collection::vec(-5.0f64..5.0, 60),
+        k in 1usize..4,
+    ) {
+        let data = Matrix::from_vec(15, 4, raw);
+        let (proj, comps, evals) = pca(&data, k);
+        prop_assert_eq!(proj.rows(), 15);
+        prop_assert_eq!(proj.cols(), k);
+        for a in 0..k {
+            for b in 0..k {
+                let dot = vector::dot(comps.row(a), comps.row(b));
+                let expect = if a == b { 1.0 } else { 0.0 };
+                prop_assert!((dot - expect).abs() < 1e-5, "({a},{b}): {dot}");
+            }
+        }
+        // Eigenvalues are non-negative and sorted descending.
+        for w in evals.windows(2) {
+            prop_assert!(w[0] + 1e-9 >= w[1]);
+        }
+        prop_assert!(evals.iter().all(|&e| e >= 0.0));
+    }
+
+    #[test]
+    fn tsne_preserves_point_count_and_centering(
+        raw in prop::collection::vec(-3.0f64..3.0, 48),
+        seed in 0u64..100,
+    ) {
+        let data = Matrix::from_vec(12, 4, raw);
+        let cfg = TsneConfig {
+            iters: 30,
+            exaggeration_iters: 10,
+            learning_rate: 5.0,
+            seed,
+            ..TsneConfig::default()
+        };
+        let emb = tsne(&data, &cfg);
+        prop_assert_eq!(emb.rows(), 12);
+        prop_assert_eq!(emb.cols(), 2);
+        prop_assert!(emb.as_slice().iter().all(|v| v.is_finite()));
+        for k in 0..2 {
+            let mean: f64 = (0..12).map(|i| emb.row(i)[k]).sum::<f64>() / 12.0;
+            prop_assert!(mean.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_for_any_points(
+        points in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 0..30),
+    ) {
+        let mut plot = ScatterPlot::new("prop");
+        let mut s = Series::new("s", "black").with_marker(Marker::Circle);
+        s.points = points.clone();
+        plot.push(s);
+        let svg = plot.to_svg();
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.trim_end().ends_with("</svg>"));
+        // One <circle> per point plus one legend marker.
+        prop_assert_eq!(svg.matches("<circle").count(), points.len() + 1);
+    }
+
+    #[test]
+    fn csv_writer_emits_one_line_per_row(
+        rows in prop::collection::vec(prop::collection::vec(0i32..100, 2), 0..20),
+    ) {
+        let dir = std::env::temp_dir().join("chef_viz_proptest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("rows_{}.csv", rows.len()));
+        let string_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        write_csv(&path, &["a", "b"], &string_rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        prop_assert_eq!(text.lines().count(), rows.len() + 1);
+        let _ = std::fs::remove_file(path);
+    }
+}

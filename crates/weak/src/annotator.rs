@@ -1,0 +1,222 @@
+//! Simulated human annotators and vote aggregation (paper §4.3, §5.1).
+//!
+//! The paper's fully-clean datasets have no crowd labels, so it simulates
+//! annotators by flipping ground truth for a random 5% of samples (error
+//! rates for medical images run 3–5%, up to 30%). Three independent
+//! annotators label each selected sample and conflicts are resolved by
+//! majority vote; Infl's suggested label can join the panel as one more
+//! annotator. Ties keep the probabilistic label (the Fact/Twitter
+//! "ambiguous aggregate" rule of Appendix F.1).
+
+use chef_model::SoftLabel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One simulated human annotator with an i.i.d. per-sample error rate.
+///
+/// Annotation is deterministic in `(annotator seed, sample id)`: the same
+/// annotator asked twice about the same sample answers the same, like a
+/// real (consistent) human would.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnotator {
+    error_rate: f64,
+    seed: u64,
+}
+
+impl SimulatedAnnotator {
+    /// Create an annotator.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ error_rate < 1`.
+    pub fn new(error_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&error_rate),
+            "error_rate must be in [0, 1)"
+        );
+        Self { error_rate, seed }
+    }
+
+    /// The annotator's error rate.
+    pub fn error_rate(&self) -> f64 {
+        self.error_rate
+    }
+
+    /// Label a sample given its hidden ground truth: returns truth with
+    /// probability `1 − error_rate`, otherwise a uniformly random wrong
+    /// class.
+    pub fn annotate(&self, sample_id: usize, truth: usize, num_classes: usize) -> usize {
+        assert!(truth < num_classes);
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ (sample_id as u64).wrapping_mul(0x9e37_79b9));
+        if rng.gen_range(0.0..1.0) < self.error_rate {
+            let shift = rng.gen_range(1..num_classes.max(2));
+            (truth + shift) % num_classes
+        } else {
+            truth
+        }
+    }
+}
+
+/// Result of aggregating annotator votes on one sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VoteOutcome {
+    /// A strict majority agreed on this class.
+    Majority(usize),
+    /// No strict majority ("ambiguous"): keep the probabilistic label.
+    Tie,
+}
+
+/// Majority vote over class votes; strict majority required.
+pub fn majority_vote(votes: &[usize], num_classes: usize) -> VoteOutcome {
+    assert!(!votes.is_empty(), "majority_vote: no votes");
+    let mut counts = vec![0usize; num_classes];
+    for &v in votes {
+        assert!(v < num_classes, "majority_vote: vote out of range");
+        counts[v] += 1;
+    }
+    let best = chef_linalg::vector::argmax(
+        &counts.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+    );
+    let top = counts[best];
+    // Strict majority means the top count is unique.
+    if counts.iter().filter(|&&c| c == top).count() == 1 {
+        VoteOutcome::Majority(best)
+    } else {
+        VoteOutcome::Tie
+    }
+}
+
+/// A panel of annotators that (optionally) includes an algorithmic
+/// suggestion as one more independent vote, resolving by majority.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotatorPanel {
+    annotators: Vec<SimulatedAnnotator>,
+}
+
+impl AnnotatorPanel {
+    /// Panel of `n` annotators with the same error rate, independent seeds.
+    pub fn uniform(n: usize, error_rate: f64, seed: u64) -> Self {
+        Self {
+            annotators: (0..n)
+                .map(|i| SimulatedAnnotator::new(error_rate, seed.wrapping_add(i as u64 * 7907)))
+                .collect(),
+        }
+    }
+
+    /// Create a panel from explicit annotators.
+    pub fn from_annotators(annotators: Vec<SimulatedAnnotator>) -> Self {
+        Self { annotators }
+    }
+
+    /// Number of human annotators on the panel.
+    pub fn len(&self) -> usize {
+        self.annotators.len()
+    }
+
+    /// Whether the panel has no human annotators.
+    pub fn is_empty(&self) -> bool {
+        self.annotators.is_empty()
+    }
+
+    /// Clean one sample: collect the panel's votes plus an optional
+    /// suggested label and aggregate.
+    ///
+    /// Returns the cleaned label, or `None` on a tie (the caller then
+    /// keeps the probabilistic label, per Appendix F.1).
+    pub fn clean(
+        &self,
+        sample_id: usize,
+        truth: usize,
+        num_classes: usize,
+        suggestion: Option<usize>,
+    ) -> Option<SoftLabel> {
+        let mut votes: Vec<usize> = self
+            .annotators
+            .iter()
+            .map(|a| a.annotate(sample_id, truth, num_classes))
+            .collect();
+        if let Some(s) = suggestion {
+            votes.push(s);
+        }
+        if votes.is_empty() {
+            return None;
+        }
+        match majority_vote(&votes, num_classes) {
+            VoteOutcome::Majority(c) => Some(SoftLabel::onehot(c, num_classes)),
+            VoteOutcome::Tie => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_annotator_is_an_oracle() {
+        let a = SimulatedAnnotator::new(0.0, 1);
+        for id in 0..20 {
+            assert_eq!(a.annotate(id, id % 2, 2), id % 2);
+        }
+    }
+
+    #[test]
+    fn annotator_is_consistent_per_sample() {
+        let a = SimulatedAnnotator::new(0.4, 5);
+        for id in 0..50 {
+            assert_eq!(a.annotate(id, 0, 2), a.annotate(id, 0, 2));
+        }
+    }
+
+    #[test]
+    fn error_rate_is_respected_empirically() {
+        let a = SimulatedAnnotator::new(0.2, 9);
+        let wrong = (0..5000).filter(|&id| a.annotate(id, 1, 2) != 1).count();
+        let rate = wrong as f64 / 5000.0;
+        assert!((rate - 0.2).abs() < 0.02, "empirical error rate {rate}");
+    }
+
+    #[test]
+    fn majority_basic() {
+        assert_eq!(majority_vote(&[1, 1, 0], 2), VoteOutcome::Majority(1));
+        assert_eq!(majority_vote(&[0, 0, 0], 2), VoteOutcome::Majority(0));
+        assert_eq!(majority_vote(&[0, 1], 2), VoteOutcome::Tie);
+        assert_eq!(majority_vote(&[0, 1, 2], 3), VoteOutcome::Tie);
+        assert_eq!(majority_vote(&[2], 3), VoteOutcome::Majority(2));
+    }
+
+    #[test]
+    fn panel_majority_beats_single_annotator() {
+        // With 3 annotators at 20% error, majority error = 3p²(1−p)+p³ ≈ 10.4%.
+        let panel = AnnotatorPanel::uniform(3, 0.2, 3);
+        let wrong = (0..4000)
+            .filter(|&id| panel.clean(id, 1, 2, None) != Some(SoftLabel::onehot(1, 2)))
+            .count();
+        let rate = wrong as f64 / 4000.0;
+        assert!(rate < 0.15, "panel error rate {rate}");
+    }
+
+    #[test]
+    fn suggestion_breaks_and_makes_ties() {
+        // Two annotators that disagree + a suggestion → suggestion decides.
+        let a_right = SimulatedAnnotator::new(0.0, 1);
+        let a_wrong = SimulatedAnnotator::new(0.999, 2);
+        let panel = AnnotatorPanel::from_annotators(vec![a_right, a_wrong]);
+        // Find a sample where the bad annotator is actually wrong.
+        let id = (0..100)
+            .find(|&id| panel.annotators[1].annotate(id, 0, 2) != 0)
+            .unwrap();
+        assert_eq!(panel.clean(id, 0, 2, None), None); // 1-1 tie
+        assert_eq!(
+            panel.clean(id, 0, 2, Some(0)),
+            Some(SoftLabel::onehot(0, 2))
+        );
+    }
+
+    #[test]
+    fn suggestion_alone_acts_as_single_labeler() {
+        let panel = AnnotatorPanel::from_annotators(vec![]);
+        assert_eq!(panel.clean(3, 1, 2, Some(0)), Some(SoftLabel::onehot(0, 2)));
+        assert_eq!(panel.clean(3, 1, 2, None), None);
+    }
+}

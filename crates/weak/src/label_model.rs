@@ -1,0 +1,214 @@
+//! The generative label model combining labeling-function votes.
+//!
+//! Snorkel's label model estimates each LF's accuracy without ground
+//! truth and produces a posterior over classes per sample. We implement
+//! the standard lightweight variant:
+//!
+//! 1. initialize every LF's accuracy at a prior (0.7),
+//! 2. E-step: form per-sample posteriors by weighted log-odds voting,
+//! 3. M-step: re-estimate each LF's accuracy as its expected agreement
+//!    with the current posteriors,
+//! 4. repeat for a fixed number of rounds (2 suffices at this scale).
+//!
+//! The output probabilistic labels are exactly what the paper's pipeline
+//! consumes as `Z_p`; their quality is controlled upstream by the LFs'
+//! `quality` parameter.
+
+use crate::lf::LabelingFunction;
+use chef_linalg::vector;
+use chef_model::{Dataset, SoftLabel};
+
+/// Accuracy-weighted vote combiner over binary labeling functions.
+#[derive(Debug, Clone)]
+pub struct LabelModel {
+    accuracies: Vec<f64>,
+    rounds: usize,
+    temperature: f64,
+}
+
+impl LabelModel {
+    /// Create a label model for `num_lfs` labeling functions.
+    ///
+    /// Posteriors are calibrated by dividing the accumulated log-odds by
+    /// `√num_lfs` before the softmax: the naive product-of-independent-LFs
+    /// posterior is badly over-confident because LF errors correlate
+    /// (they all read the same features), and the paper's pipeline needs
+    /// genuinely *probabilistic* labels as its starting point.
+    pub fn new(num_lfs: usize) -> Self {
+        Self {
+            accuracies: vec![0.7; num_lfs],
+            rounds: 2,
+            temperature: (num_lfs.max(1) as f64).sqrt(),
+        }
+    }
+
+    /// Override the calibration temperature (≥ 1 softens posteriors).
+    pub fn with_temperature(mut self, temperature: f64) -> Self {
+        assert!(temperature > 0.0, "temperature must be positive");
+        self.temperature = temperature;
+        self
+    }
+
+    /// Estimated per-LF accuracies (after [`Self::fit_predict`]).
+    pub fn accuracies(&self) -> &[f64] {
+        &self.accuracies
+    }
+
+    /// Collect the vote matrix: `votes[i][j]` is LF `j`'s vote on sample
+    /// `i` (`None` = abstain).
+    fn collect_votes(
+        lfs: &[Box<dyn LabelingFunction>],
+        data: &Dataset,
+    ) -> Vec<Vec<Option<usize>>> {
+        (0..data.len())
+            .map(|i| lfs.iter().map(|lf| lf.vote(data.feature(i))).collect())
+            .collect()
+    }
+
+    /// Posterior for one sample given current accuracies: weighted
+    /// log-odds with weight `log(acc/(1−acc))` per non-abstaining vote.
+    fn posterior(&self, votes: &[Option<usize>], num_classes: usize) -> SoftLabel {
+        let mut log_scores = vec![0.0; num_classes];
+        let mut any = false;
+        for (j, v) in votes.iter().enumerate() {
+            if let Some(c) = v {
+                any = true;
+                let acc = self.accuracies[j].clamp(0.05, 0.95);
+                let w = (acc / (1.0 - acc)).ln();
+                log_scores[*c] += w;
+                // Spread the complementary mass over the other classes.
+                let penalty = w / (num_classes - 1) as f64;
+                for (k, s) in log_scores.iter_mut().enumerate() {
+                    if k != *c {
+                        *s -= penalty;
+                    }
+                }
+            }
+        }
+        if !any {
+            return SoftLabel::uniform(num_classes);
+        }
+        vector::scale(1.0 / self.temperature, &mut log_scores);
+        SoftLabel::new(vector::softmax(&log_scores))
+    }
+
+    /// Fit LF accuracies on `data` and return one probabilistic label per
+    /// sample.
+    ///
+    /// # Panics
+    /// Panics if an LF's class count disagrees with the dataset's.
+    pub fn fit_predict(
+        &mut self,
+        lfs: &[Box<dyn LabelingFunction>],
+        data: &Dataset,
+    ) -> Vec<SoftLabel> {
+        assert_eq!(lfs.len(), self.accuracies.len(), "LabelModel: LF count");
+        for lf in lfs {
+            assert_eq!(lf.num_classes(), data.num_classes(), "LabelModel: classes");
+        }
+        let votes = Self::collect_votes(lfs, data);
+        let mut posteriors: Vec<SoftLabel> = Vec::new();
+        for _ in 0..=self.rounds {
+            // E-step.
+            posteriors = votes
+                .iter()
+                .map(|v| self.posterior(v, data.num_classes()))
+                .collect();
+            // M-step: expected agreement of each LF with the posteriors.
+            for j in 0..lfs.len() {
+                let mut agree = 0.0;
+                let mut total = 0.0;
+                for (i, v) in votes.iter().enumerate() {
+                    if let Some(c) = v[j] {
+                        agree += posteriors[i].prob(c);
+                        total += 1.0;
+                    }
+                }
+                if total > 0.0 {
+                    self.accuracies[j] = (agree / total).clamp(0.05, 0.95);
+                }
+            }
+        }
+        posteriors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lf::HyperplaneLf;
+    use chef_linalg::Matrix;
+
+    fn lf(wx: f64, wy: f64) -> Box<dyn LabelingFunction> {
+        Box::new(HyperplaneLf::new(vec![wx, wy], 0.0, 0.0, 2))
+    }
+
+    fn line_data(n: usize) -> Dataset {
+        // Points along the x axis: class = sign(x).
+        let mut raw = Vec::new();
+        let mut labels = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..n {
+            let x = if i % 2 == 0 { 1.0 } else { -1.0 };
+            raw.extend_from_slice(&[x + 0.01 * i as f64, 0.3]);
+            let t = usize::from(x > 0.0);
+            labels.push(SoftLabel::onehot(t, 2));
+            truth.push(Some(t));
+        }
+        Dataset::new(
+            Matrix::from_vec(n, 2, raw),
+            labels,
+            vec![true; n],
+            truth,
+            2,
+        )
+    }
+
+    #[test]
+    fn unanimous_lfs_give_confident_labels() {
+        let lfs = vec![lf(1.0, 0.0), lf(1.0, 0.1), lf(1.0, -0.1)];
+        let data = line_data(40);
+        let mut lm = LabelModel::new(3);
+        let out = lm.fit_predict(&lfs, &data);
+        for (i, l) in out.iter().enumerate() {
+            let truth = data.ground_truth(i).unwrap();
+            assert!(l.prob(truth) > 0.8, "sample {i}: {:?}", l.probs());
+        }
+    }
+
+    #[test]
+    fn accuracy_estimates_rank_good_above_bad() {
+        // Two aligned LFs and one anti-aligned LF; the label model should
+        // discover that the contrarian is worse.
+        let lfs = vec![lf(1.0, 0.0), lf(1.0, 0.05), lf(-1.0, 0.0)];
+        let data = line_data(60);
+        let mut lm = LabelModel::new(3);
+        let _ = lm.fit_predict(&lfs, &data);
+        let acc = lm.accuracies();
+        assert!(acc[0] > acc[2], "{acc:?}");
+        assert!(acc[1] > acc[2], "{acc:?}");
+    }
+
+    #[test]
+    fn all_abstaining_gives_uniform() {
+        let abstainer = HyperplaneLf::new(vec![0.0, 0.0], 0.0, 1.0, 2);
+        let lfs: Vec<Box<dyn LabelingFunction>> = vec![Box::new(abstainer)];
+        let data = line_data(10);
+        let mut lm = LabelModel::new(1);
+        let out = lm.fit_predict(&lfs, &data);
+        for l in &out {
+            assert_eq!(l.probs(), &[0.5, 0.5]);
+        }
+    }
+
+    #[test]
+    fn outputs_are_valid_probabilities() {
+        let lfs = vec![lf(1.0, 0.3), lf(0.2, 1.0)];
+        let data = line_data(30);
+        let mut lm = LabelModel::new(2);
+        for l in lm.fit_predict(&lfs, &data) {
+            let s: f64 = l.probs().iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

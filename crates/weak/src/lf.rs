@@ -1,0 +1,159 @@
+//! Labeling functions: programmatic, noisy, abstaining voters.
+//!
+//! Snorkel-style weak supervision composes many cheap heuristics, each of
+//! which labels part of the data with moderate accuracy. Our synthetic
+//! equivalent is a noisy hyperplane in embedding space: it is *derived
+//! from* the class geometry with a controlled corruption level (mirroring
+//! how the paper's tools derive LFs from associated text), abstains far
+//! from its decision boundary, and never looks at per-sample ground truth
+//! at vote time.
+
+use chef_linalg::vector;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A weak voter: maps features to a class or abstains.
+pub trait LabelingFunction: Send + Sync {
+    /// Vote for a class, or `None` to abstain.
+    fn vote(&self, x: &[f64]) -> Option<usize>;
+    /// Number of classes this LF votes over.
+    fn num_classes(&self) -> usize;
+}
+
+/// A noisy linear heuristic with an abstention band.
+///
+/// Votes class 1 when `wᵀx + b > margin`, class 0 when `< −margin`, and
+/// abstains in between. The direction `w` is a corrupted copy of a
+/// reference direction (e.g. the difference of class centroids), with the
+/// corruption level controlling the LF's accuracy.
+#[derive(Debug, Clone)]
+pub struct HyperplaneLf {
+    weights: Vec<f64>,
+    bias: f64,
+    margin: f64,
+    num_classes: usize,
+}
+
+impl HyperplaneLf {
+    /// Build directly from a hyperplane.
+    pub fn new(weights: Vec<f64>, bias: f64, margin: f64, num_classes: usize) -> Self {
+        assert!(!weights.is_empty(), "HyperplaneLf: empty weights");
+        assert!(margin >= 0.0, "HyperplaneLf: negative margin");
+        assert_eq!(num_classes, 2, "HyperplaneLf votes over binary tasks");
+        Self {
+            weights,
+            bias,
+            margin,
+            num_classes,
+        }
+    }
+
+    /// Derive an LF from a reference direction by mixing in noise:
+    /// `w = quality·ŵ_ref + (1 − quality)·ξ` with `ξ` a random unit
+    /// vector. `quality = 1` reproduces the reference heuristic exactly;
+    /// `quality = 0` is an uninformative random hyperplane.
+    pub fn derive(reference: &[f64], bias: f64, quality: f64, margin: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&quality), "quality must be in [0,1]");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dim = reference.len();
+        let mut refdir = reference.to_vec();
+        let rn = vector::norm2(&refdir);
+        if rn > 0.0 {
+            vector::scale(1.0 / rn, &mut refdir);
+        }
+        let mut noise: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let nn = vector::norm2(&noise);
+        if nn > 0.0 {
+            vector::scale(1.0 / nn, &mut noise);
+        }
+        let weights = vector::lincomb(quality, &refdir, 1.0 - quality, &noise);
+        Self::new(weights, bias, margin, 2)
+    }
+
+    /// The signed decision value `wᵀx + b`.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        vector::dot(&self.weights, x) + self.bias
+    }
+}
+
+impl LabelingFunction for HyperplaneLf {
+    fn vote(&self, x: &[f64]) -> Option<usize> {
+        let s = self.score(x);
+        if s > self.margin {
+            Some(1)
+        } else if s < -self.margin {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn votes_follow_the_hyperplane() {
+        let lf = HyperplaneLf::new(vec![1.0, 0.0], 0.0, 0.1, 2);
+        assert_eq!(lf.vote(&[1.0, 5.0]), Some(1));
+        assert_eq!(lf.vote(&[-1.0, 5.0]), Some(0));
+        assert_eq!(lf.vote(&[0.05, 5.0]), None); // abstention band
+    }
+
+    #[test]
+    fn perfect_quality_reproduces_reference() {
+        let reference = vec![0.0, 2.0];
+        let lf = HyperplaneLf::derive(&reference, 0.0, 1.0, 0.0, 3);
+        // Same direction up to normalization: positive along +y.
+        assert_eq!(lf.vote(&[0.0, 1.0]), Some(1));
+        assert_eq!(lf.vote(&[0.0, -1.0]), Some(0));
+    }
+
+    #[test]
+    fn zero_quality_ignores_reference() {
+        let reference = vec![1.0, 0.0];
+        let lf = HyperplaneLf::derive(&reference, 0.0, 0.0, 0.0, 3);
+        // Direction is pure noise; it almost surely differs from the
+        // reference direction.
+        let cos = vector::dot(&lf.weights, &reference)
+            / (vector::norm2(&lf.weights) * vector::norm2(&reference));
+        assert!(cos.abs() < 0.999);
+    }
+
+    #[test]
+    fn derivation_is_deterministic_per_seed() {
+        let r = vec![1.0, -1.0, 0.5];
+        let a = HyperplaneLf::derive(&r, 0.1, 0.7, 0.2, 9);
+        let b = HyperplaneLf::derive(&r, 0.1, 0.7, 0.2, 9);
+        assert_eq!(a.weights, b.weights);
+        let c = HyperplaneLf::derive(&r, 0.1, 0.7, 0.2, 10);
+        assert_ne!(a.weights, c.weights);
+    }
+
+    #[test]
+    fn higher_quality_means_better_alignment() {
+        // The quality knob controls how well the derived hyperplane
+        // aligns with the reference direction, averaged over seeds.
+        let reference: Vec<f64> = (0..16).map(|i| ((i * 37) % 7) as f64 - 3.0).collect();
+        let mean_cos = |q: f64| {
+            let mut total = 0.0;
+            for seed in 0..40u64 {
+                let lf = HyperplaneLf::derive(&reference, 0.0, q, 0.0, seed);
+                total += vector::dot(&lf.weights, &reference)
+                    / (vector::norm2(&lf.weights) * vector::norm2(&reference));
+            }
+            total / 40.0
+        };
+        let low = mean_cos(0.1);
+        let mid = mean_cos(0.5);
+        let high = mean_cos(0.95);
+        assert!(high > mid && mid > low, "low {low}, mid {mid}, high {high}");
+        assert!(high > 0.95, "high-quality alignment {high}");
+        assert!(low < 0.5, "low-quality alignment {low}");
+    }
+}

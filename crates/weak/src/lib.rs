@@ -1,0 +1,34 @@
+//! # chef-weak
+//!
+//! Weak-supervision substrate for the CHEF reproduction.
+//!
+//! The paper obtains probabilistic training labels from weak-supervision
+//! tooling (Snorkel-style labeling functions, interactive weak supervision
+//! for text, GOGGLES for images) and cleaned labels from crowds of human
+//! annotators. Both are gated resources, so this crate builds the closest
+//! synthetic equivalents:
+//!
+//! * [`lf`] — labeling functions: noisy hyperplane heuristics over the
+//!   embedding space with per-LF accuracy and abstention, playing the role
+//!   of the paper's automatically-derived LFs;
+//! * [`label_model`] — a generative label model that estimates each LF's
+//!   accuracy from agreement statistics (one EM-style refinement round,
+//!   the core of Snorkel's approach) and combines votes into probabilistic
+//!   labels by weighted log-odds;
+//! * [`weaken`] — the entry point that rewrites a clean training set into
+//!   the paper's two regimes: random probabilistic labels for the
+//!   *fully-clean* datasets and label-model outputs for the
+//!   *crowdsourced* ones;
+//! * [`annotator`] — simulated human annotators with configurable error
+//!   rates plus the majority-vote aggregation of §4.3 (including the
+//!   "keep the probabilistic label on ties" rule of Appendix F.1).
+
+pub mod annotator;
+pub mod label_model;
+pub mod lf;
+pub mod weaken;
+
+pub use annotator::{majority_vote, AnnotatorPanel, SimulatedAnnotator, VoteOutcome};
+pub use label_model::LabelModel;
+pub use lf::{HyperplaneLf, LabelingFunction};
+pub use weaken::{label_model_labels, random_probabilistic_labels, weaken_split, WeakenConfig};

@@ -1,0 +1,202 @@
+//! Turning clean training sets into weakly-labeled ones.
+//!
+//! The paper's two regimes (§5.1, "Producing probabilistic labels"):
+//!
+//! * **Fully-clean datasets** (MIMIC, Retina, Chexpert): no text is
+//!   available for labeling functions and GOGGLES does not scale, so the
+//!   paper assigns *random probabilistic labels* to all training samples.
+//! * **Crowdsourced datasets** (Fashion, Fact, Twitter): labeling
+//!   functions derived from associated text produce the probabilistic
+//!   labels. Here the "text" is a noisy view of the embedding, so LFs are
+//!   noisy hyperplanes derived from the class geometry (see [`crate::lf`])
+//!   combined by the label model.
+//!
+//! Either way, every training label is replaced and the sample is marked
+//! uncleaned (`Z_p`), which is the starting state of the cleaning loop.
+
+use crate::label_model::LabelModel;
+use crate::lf::{HyperplaneLf, LabelingFunction};
+use chef_data::{DatasetKind, DatasetSpec, Split};
+use chef_linalg::vector;
+use chef_model::{Dataset, SoftLabel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`weaken_split`].
+#[derive(Debug, Clone, Copy)]
+pub struct WeakenConfig {
+    /// Number of labeling functions for the crowdsourced regime.
+    pub num_lfs: usize,
+    /// Abstention margin of each LF.
+    pub margin: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WeakenConfig {
+    fn default() -> Self {
+        Self {
+            num_lfs: 8,
+            margin: 0.25,
+            seed: 7,
+        }
+    }
+}
+
+/// Difference of class centroids — the reference direction from which
+/// noisy LFs are derived (a stand-in for "signals in the associated
+/// text"; it uses only the observable recorded labels, not hidden truth).
+fn centroid_direction(data: &Dataset) -> (Vec<f64>, f64) {
+    let d = data.dim();
+    let mut mu0 = vec![0.0; d];
+    let mut mu1 = vec![0.0; d];
+    let (mut n0, mut n1) = (0.0, 0.0);
+    for i in 0..data.len() {
+        if data.label(i).argmax() == 1 {
+            n1 += 1.0;
+            vector::axpy(1.0, data.feature(i), &mut mu1);
+        } else {
+            n0 += 1.0;
+            vector::axpy(1.0, data.feature(i), &mut mu0);
+        }
+    }
+    if n0 > 0.0 {
+        vector::scale(1.0 / n0, &mut mu0);
+    }
+    if n1 > 0.0 {
+        vector::scale(1.0 / n1, &mut mu1);
+    }
+    let dir = vector::sub(&mu1, &mu0);
+    // Bias that centres the decision boundary between the centroids,
+    // expressed for the *normalized* direction used by HyperplaneLf.
+    let n = vector::norm2(&dir).max(1e-12);
+    let mid = vector::lincomb(0.5, &mu0, 0.5, &mu1);
+    let bias = -vector::dot(&dir, &mid) / n;
+    (dir, bias)
+}
+
+/// Replace all training labels of `split` with probabilistic labels
+/// according to the dataset's [`DatasetKind`], marking every training
+/// sample uncleaned. Validation/test sets are untouched.
+pub fn weaken_split(split: &mut Split, spec: &DatasetSpec, cfg: &WeakenConfig) {
+    match spec.kind {
+        DatasetKind::FullyClean => random_probabilistic_labels(&mut split.train, cfg.seed),
+        DatasetKind::Crowdsourced => {
+            label_model_labels(&mut split.train, spec.weak_quality, cfg);
+        }
+    }
+}
+
+/// The paper's fully-clean regime: uniform-random probability vectors,
+/// uncorrelated with ground truth.
+pub fn random_probabilistic_labels(train: &mut Dataset, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_1abe1);
+    let c = train.num_classes();
+    for i in 0..train.len() {
+        let weights: Vec<f64> = (0..c).map(|_| rng.gen_range(0.01..1.0)).collect();
+        train.set_label(i, SoftLabel::from_weights(&weights));
+        train.mark_uncleaned(i);
+    }
+}
+
+/// The crowdsourced regime: derive `num_lfs` noisy hyperplane LFs from the
+/// class geometry at the given quality, fit the label model, install its
+/// posteriors.
+pub fn label_model_labels(train: &mut Dataset, quality: f64, cfg: &WeakenConfig) {
+    let (reference, bias) = centroid_direction(train);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x1f5_cafe);
+    let lfs: Vec<Box<dyn LabelingFunction>> = (0..cfg.num_lfs)
+        .map(|j| {
+            // Per-LF quality jitter so the label model has something to
+            // learn; mean equals the spec's weak_quality.
+            let q = (quality + rng.gen_range(-0.15..0.15)).clamp(0.0, 1.0);
+            Box::new(HyperplaneLf::derive(
+                &reference,
+                bias,
+                q,
+                cfg.margin,
+                cfg.seed.wrapping_add(j as u64 * 7919),
+            )) as Box<dyn LabelingFunction>
+        })
+        .collect();
+    let mut lm = LabelModel::new(lfs.len());
+    let posteriors = lm.fit_predict(&lfs, train);
+    for (i, p) in posteriors.into_iter().enumerate() {
+        train.set_label(i, p);
+        train.mark_uncleaned(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chef_data::{generate, paper_suite};
+
+    #[test]
+    fn fully_clean_regime_is_uninformative() {
+        let spec = paper_suite(200)
+            .into_iter()
+            .find(|s| s.name == "MIMIC")
+            .unwrap();
+        let mut split = generate(&spec, 3);
+        weaken_split(&mut split, &spec, &WeakenConfig::default());
+        // Every training sample is uncleaned with a non-degenerate label.
+        assert_eq!(split.train.uncleaned_indices().len(), split.train.len());
+        // Error rate of random labels hovers around 50%.
+        let err = split.train.weak_label_error_rate().unwrap();
+        assert!(err > 0.3 && err < 0.7, "error rate {err}");
+    }
+
+    #[test]
+    fn crowdsourced_regime_is_informative_but_noisy() {
+        let spec = paper_suite(100)
+            .into_iter()
+            .find(|s| s.name == "Twitter")
+            .unwrap();
+        let mut split = generate(&spec, 5);
+        weaken_split(&mut split, &spec, &WeakenConfig::default());
+        let err = split.train.weak_label_error_rate().unwrap();
+        assert!(err < 0.45, "weak labels should beat chance: {err}");
+        assert!(err > 0.02, "weak labels must stay noisy: {err}");
+        // Labels are genuinely probabilistic, not one-hot.
+        let soft = split
+            .train
+            .uncleaned_indices()
+            .iter()
+            .filter(|&&i| !split.train.label(i).is_deterministic())
+            .count();
+        assert!(soft > split.train.len() / 2);
+    }
+
+    #[test]
+    fn val_and_test_untouched() {
+        let spec = paper_suite(200)
+            .into_iter()
+            .find(|s| s.name == "Fact")
+            .unwrap();
+        let mut split = generate(&spec, 9);
+        let val_before: Vec<_> = (0..split.val.len())
+            .map(|i| split.val.label(i).clone())
+            .collect();
+        weaken_split(&mut split, &spec, &WeakenConfig::default());
+        for (i, l) in val_before.iter().enumerate() {
+            assert_eq!(split.val.label(i), l);
+            assert!(split.val.is_clean(i));
+        }
+    }
+
+    #[test]
+    fn weakening_is_deterministic_per_seed() {
+        let spec = paper_suite(200)
+            .into_iter()
+            .find(|s| s.name == "Fashion")
+            .unwrap();
+        let mut a = generate(&spec, 2);
+        let mut b = generate(&spec, 2);
+        weaken_split(&mut a, &spec, &WeakenConfig::default());
+        weaken_split(&mut b, &spec, &WeakenConfig::default());
+        for i in 0..a.train.len() {
+            assert_eq!(a.train.label(i), b.train.label(i));
+        }
+    }
+}

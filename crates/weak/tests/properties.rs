@@ -1,0 +1,128 @@
+//! Property-based tests for the weak-supervision substrate.
+
+use chef_linalg::Matrix;
+use chef_model::{Dataset, SoftLabel};
+use chef_weak::{majority_vote, AnnotatorPanel, HyperplaneLf, LabelModel, LabelingFunction, VoteOutcome};
+use proptest::prelude::*;
+
+fn line_data(n: usize) -> Dataset {
+    let mut raw = Vec::new();
+    let mut labels = Vec::new();
+    let mut truth = Vec::new();
+    for i in 0..n {
+        let x = if i % 2 == 0 { 1.0 } else { -1.0 };
+        raw.extend_from_slice(&[x, 0.1 * i as f64]);
+        let t = usize::from(x > 0.0);
+        labels.push(SoftLabel::onehot(t, 2));
+        truth.push(Some(t));
+    }
+    Dataset::new(Matrix::from_vec(n, 2, raw), labels, vec![true; n], truth, 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn majority_vote_agrees_with_counting(
+        votes in prop::collection::vec(0usize..3, 1..12),
+    ) {
+        let outcome = majority_vote(&votes, 3);
+        let mut counts = [0usize; 3];
+        for &v in &votes {
+            counts[v] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let winners = counts.iter().filter(|&&c| c == max).count();
+        match outcome {
+            VoteOutcome::Majority(c) => {
+                prop_assert_eq!(winners, 1);
+                prop_assert_eq!(counts[c], max);
+            }
+            VoteOutcome::Tie => prop_assert!(winners > 1),
+        }
+    }
+
+    #[test]
+    fn odd_binary_panels_never_tie(
+        votes in prop::collection::vec(0usize..2, 1..12),
+    ) {
+        prop_assume!(votes.len() % 2 == 1);
+        prop_assert!(matches!(majority_vote(&votes, 2), VoteOutcome::Majority(_)));
+    }
+
+    #[test]
+    fn annotator_consistency_and_validity(
+        error in 0.0f64..0.9,
+        seed in any::<u64>(),
+        truth in 0usize..3,
+        sample in 0usize..10_000,
+    ) {
+        let panel = AnnotatorPanel::uniform(3, error, seed);
+        let a = panel.clean(sample, truth, 3, None);
+        let b = panel.clean(sample, truth, 3, None);
+        prop_assert_eq!(a.clone(), b); // deterministic per (panel, sample)
+        if let Some(label) = a {
+            prop_assert!(label.is_deterministic());
+            prop_assert!(label.argmax() < 3);
+        }
+    }
+
+    #[test]
+    fn suggestion_is_decisive_on_even_panels(
+        seed in any::<u64>(),
+        truth in 0usize..2,
+        suggestion in 0usize..2,
+        sample in 0usize..1000,
+    ) {
+        // 2 annotators + suggestion = 3 binary votes → never ambiguous.
+        let panel = AnnotatorPanel::uniform(2, 0.3, seed);
+        let out = panel.clean(sample, truth, 2, Some(suggestion));
+        prop_assert!(out.is_some());
+    }
+
+    #[test]
+    fn label_model_outputs_are_probabilities(
+        w0 in -1.0f64..1.0,
+        w1 in -1.0f64..1.0,
+        margin in 0.0f64..0.5,
+        n in 6usize..40,
+    ) {
+        prop_assume!(w0.abs() + w1.abs() > 0.1);
+        let lfs: Vec<Box<dyn LabelingFunction>> = vec![
+            Box::new(HyperplaneLf::new(vec![w0, w1], 0.0, margin, 2)),
+            Box::new(HyperplaneLf::new(vec![w1, w0], 0.0, margin, 2)),
+        ];
+        let data = line_data(n);
+        let mut lm = LabelModel::new(2);
+        let out = lm.fit_predict(&lfs, &data);
+        prop_assert_eq!(out.len(), n);
+        for l in &out {
+            prop_assert!((l.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        for &acc in lm.accuracies() {
+            prop_assert!((0.05..=0.95).contains(&acc));
+        }
+    }
+
+    #[test]
+    fn lf_abstention_band_is_monotone(
+        w0 in -2.0f64..2.0,
+        w1 in -2.0f64..2.0,
+        x0 in -3.0f64..3.0,
+        x1 in -3.0f64..3.0,
+        m1 in 0.0f64..1.0,
+        m2 in 0.0f64..1.0,
+    ) {
+        prop_assume!(w0.abs() + w1.abs() > 0.1);
+        let (small, large) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        let narrow = HyperplaneLf::new(vec![w0, w1], 0.0, small, 2);
+        let wide = HyperplaneLf::new(vec![w0, w1], 0.0, large, 2);
+        // A wider margin can only turn votes into abstentions, never
+        // change a vote's class or invent a vote.
+        match (narrow.vote(&[x0, x1]), wide.vote(&[x0, x1])) {
+            (None, Some(_)) => prop_assert!(false, "wide margin voted where narrow abstained"),
+            (Some(a), Some(b)) => prop_assert_eq!(a, b),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Bringing your own data: CSV import/export round trip.
+//!
+//! Real deployments export pooled embeddings + weak labels from their
+//! Python stack; `chef_data::csv` reads them straight into the pipeline.
+//! This example writes a synthetic split to CSV (standing in for your
+//! exporter), reads it back, and cleans it — the full adoption path.
+//!
+//! ```text
+//! cargo run --release --example custom_dataset
+//! ```
+
+use chef_core::{InflSelector, Pipeline, PipelineConfig};
+use chef_data::{generate, paper_suite, read_split, write_split};
+use chef_model::LogisticRegression;
+use chef_weak::{weaken_split, WeakenConfig};
+
+fn main() {
+    // Pretend this is your exporter: any CSV with the documented header
+    // works (`dim=<d>,classes=<C>`, then features, label probs, clean
+    // flag, optional truth per row).
+    let spec = paper_suite(20)
+        .into_iter()
+        .find(|s| s.name == "Fact")
+        .expect("suite contains Fact");
+    let mut split = generate(&spec, 7);
+    weaken_split(&mut split, &spec, &WeakenConfig::default());
+    let dir = std::env::temp_dir().join("chef_custom_dataset");
+    write_split(&split, &dir, "my_data").expect("export");
+    println!("wrote CSVs to {}", dir.display());
+
+    // ---- A downstream user starts here. ----
+    let split = read_split(&dir, "my_data").expect("import");
+    println!(
+        "imported {} train / {} val / {} test samples ({} features, {} classes)",
+        split.train.len(),
+        split.val.len(),
+        split.test.len(),
+        split.train.dim(),
+        split.train.num_classes()
+    );
+
+    let model = LogisticRegression::new(split.train.dim(), split.train.num_classes());
+    let mut selector = InflSelector::incremental();
+    let config = PipelineConfig {
+        budget: 30,
+        round_size: 10,
+        ..PipelineConfig::default()
+    };
+    let report = Pipeline::new(config).run(
+        &model,
+        split.train,
+        &split.val,
+        &split.test,
+        &mut selector,
+    );
+    println!(
+        "cleaned {} labels: test F1 {:.4} → {:.4}",
+        report.cleaned_total,
+        report.initial_test_f1,
+        report.final_test_f1()
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,192 @@
+//! End-to-end integration: data generation → weak supervision → CHEF
+//! pipeline → evaluation, across all crates.
+
+use chef_core::{
+    AnnotationConfig, ConstructorKind, InflSelector, LabelStrategy, Pipeline, PipelineConfig,
+};
+use chef_data::{generate, paper_suite, DatasetKind, DatasetSpec};
+use chef_model::{LogisticRegression, WeightedObjective};
+use chef_train::{DeltaGradConfig, SgdConfig};
+use chef_weak::{weaken_split, WeakenConfig};
+
+fn spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "itest",
+        kind: DatasetKind::FullyClean,
+        train: 400,
+        val: 80,
+        test: 80,
+        dim: 12,
+        num_classes: 2,
+        class_sep: 1.2,
+        positive_rate: 0.5,
+        truth_noise: 0.0,
+        weak_quality: 0.5,
+        annotator_error: 0.05,
+    }
+}
+
+fn config(budget: usize, b: usize) -> PipelineConfig {
+    PipelineConfig {
+        budget,
+        round_size: b,
+        objective: WeightedObjective::new(0.8, 0.1),
+        sgd: SgdConfig {
+            lr: 0.1,
+            epochs: 15,
+            batch_size: 64,
+            seed: 5,
+            cache_provenance: true,
+        },
+        constructor: ConstructorKind::Retrain,
+        annotation: AnnotationConfig {
+            strategy: LabelStrategy::SuggestionOnly,
+            error_rate: 0.05,
+            seed: 3,
+        },
+        target_val_f1: None,
+        warm_start: false,
+    }
+}
+
+#[test]
+fn cleaning_improves_a_randomly_labeled_dataset() {
+    let spec = spec();
+    let mut split = generate(&spec, 1);
+    weaken_split(&mut split, &spec, &WeakenConfig::default());
+    // Random labels: roughly half the argmaxes are wrong.
+    let err = split.train.weak_label_error_rate().unwrap();
+    assert!(err > 0.3, "weak error rate {err}");
+
+    let model = LogisticRegression::new(split.train.dim(), 2);
+    let mut selector = InflSelector::incremental();
+    let report = Pipeline::new(config(60, 10)).run(
+        &model,
+        split.train,
+        &split.val,
+        &split.test,
+        &mut selector,
+    );
+    assert_eq!(report.rounds.len(), 6);
+    assert!(
+        report.final_test_f1() > report.initial_test_f1 + 0.02,
+        "test F1 {:.4} → {:.4}",
+        report.initial_test_f1,
+        report.final_test_f1()
+    );
+}
+
+#[test]
+fn deltagrad_l_constructor_matches_retrain_quality_end_to_end() {
+    let spec = spec();
+    let mut split = generate(&spec, 2);
+    weaken_split(&mut split, &spec, &WeakenConfig::default());
+    let model = LogisticRegression::new(split.train.dim(), 2);
+
+    let mut cfg_dg = config(40, 10);
+    cfg_dg.constructor = ConstructorKind::DeltaGradL(DeltaGradConfig::default());
+
+    let mut s1 = InflSelector::full();
+    let mut s2 = InflSelector::full();
+    let retrain = Pipeline::new(config(40, 10)).run(
+        &model,
+        split.train.clone(),
+        &split.val,
+        &split.test,
+        &mut s1,
+    );
+    let deltagrad = Pipeline::new(cfg_dg).run(
+        &model,
+        split.train,
+        &split.val,
+        &split.test,
+        &mut s2,
+    );
+    assert!(
+        (retrain.final_test_f1() - deltagrad.final_test_f1()).abs() < 0.1,
+        "Retrain {:.4} vs DeltaGrad-L {:.4}",
+        retrain.final_test_f1(),
+        deltagrad.final_test_f1()
+    );
+}
+
+#[test]
+fn early_termination_saves_budget() {
+    let spec = spec();
+    let mut split = generate(&spec, 3);
+    weaken_split(&mut split, &spec, &WeakenConfig::default());
+    let model = LogisticRegression::new(split.train.dim(), 2);
+
+    // Find a reachable target: run once without a target, take a mid-run
+    // value.
+    let mut probe = InflSelector::full();
+    let unbounded = Pipeline::new(config(60, 10)).run(
+        &model,
+        split.train.clone(),
+        &split.val,
+        &split.test,
+        &mut probe,
+    );
+    let mid_val = unbounded.rounds[2].val_f1;
+
+    let mut cfg = config(60, 10);
+    cfg.target_val_f1 = Some(mid_val);
+    let mut selector = InflSelector::full();
+    let bounded = Pipeline::new(cfg).run(
+        &model,
+        split.train,
+        &split.val,
+        &split.test,
+        &mut selector,
+    );
+    assert!(bounded.early_terminated);
+    assert!(bounded.rounds.len() <= 3, "{} rounds", bounded.rounds.len());
+    assert!(bounded.final_val_f1() >= mid_val);
+}
+
+#[test]
+fn whole_paper_suite_runs_one_round_each() {
+    for spec in paper_suite(200) {
+        let mut split = generate(&spec, 4);
+        weaken_split(&mut split, &spec, &WeakenConfig::default());
+        let model = LogisticRegression::new(split.train.dim(), 2);
+        let mut selector = InflSelector::incremental();
+        let mut cfg = config(5, 5);
+        cfg.annotation.error_rate = spec.annotator_error;
+        let report = Pipeline::new(cfg).run(
+            &model,
+            split.train,
+            &split.val,
+            &split.test,
+            &mut selector,
+        );
+        assert_eq!(report.rounds.len(), 1, "{}", spec.name);
+        assert!(report.final_test_f1().is_finite());
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let spec = spec();
+    let mut split = generate(&spec, 5);
+    weaken_split(&mut split, &spec, &WeakenConfig::default());
+    let model = LogisticRegression::new(split.train.dim(), 2);
+    let run = || {
+        let mut selector = InflSelector::incremental();
+        Pipeline::new(config(30, 10)).run(
+            &model,
+            split.train.clone(),
+            &split.val,
+            &split.test,
+            &mut selector,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.final_w, b.final_w);
+    assert_eq!(a.cleaned_total, b.cleaned_total);
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.selected, rb.selected);
+        assert_eq!(ra.val_f1, rb.val_f1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Failure injection and degenerate-input robustness.
+//!
+//! A production label-cleaning service sees pathological inputs: single
+//! class datasets, adversarial annotators, budgets larger than the data,
+//! extreme weights. The pipeline must degrade gracefully — finite
+//! metrics, no panics, budgets respected — rather than assume the
+//! friendly conditions of the paper's experiments.
+
+use chef_core::{
+    AnnotationConfig, ConstructorKind, InflSelector, LabelStrategy, Pipeline, PipelineConfig,
+};
+use chef_linalg::Matrix;
+use chef_model::{Dataset, LogisticRegression, Model, SoftLabel, WeightedObjective};
+use chef_train::SgdConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn blob_data(n: usize, seed: u64, positive_rate: f64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut raw = Vec::new();
+    let mut labels = Vec::new();
+    let mut truth = Vec::new();
+    for _ in 0..n {
+        let c = usize::from(rng.gen_range(0.0..1.0) < positive_rate);
+        let sign = if c == 1 { 1.0 } else { -1.0 };
+        raw.push(sign + rng.gen_range(-1.0..1.0));
+        raw.push(sign + rng.gen_range(-1.0..1.0));
+        let p = rng.gen_range(0.2..0.8);
+        labels.push(SoftLabel::new(vec![p, 1.0 - p]));
+        truth.push(Some(c));
+    }
+    Dataset::new(
+        Matrix::from_vec(n, 2, raw),
+        labels,
+        vec![false; n],
+        truth,
+        2,
+    )
+}
+
+fn base_config() -> PipelineConfig {
+    PipelineConfig {
+        budget: 20,
+        round_size: 5,
+        objective: WeightedObjective::new(0.8, 0.1),
+        sgd: SgdConfig {
+            lr: 0.1,
+            epochs: 8,
+            batch_size: 32,
+            seed: 1,
+            cache_provenance: true,
+        },
+        constructor: ConstructorKind::Retrain,
+        annotation: AnnotationConfig {
+            strategy: LabelStrategy::SuggestionOnly,
+            error_rate: 0.05,
+            seed: 2,
+        },
+        target_val_f1: None,
+        warm_start: false,
+    }
+}
+
+fn run(cfg: PipelineConfig, train: Dataset, val: &Dataset, test: &Dataset) -> chef_core::PipelineReport {
+    let model = LogisticRegression::new(train.dim(), train.num_classes());
+    let mut selector = InflSelector::incremental();
+    Pipeline::new(cfg).run(&model, train, val, test, &mut selector)
+}
+
+#[test]
+fn budget_larger_than_dataset_terminates() {
+    let train = blob_data(15, 1, 0.5);
+    let val = blob_data(20, 2, 0.5);
+    let mut cfg = base_config();
+    cfg.budget = 500; // far beyond the pool
+    cfg.round_size = 7;
+    let report = run(cfg, train, &val, &val);
+    // Every uncleanable sample is consumed exactly once; loop exits.
+    let selected: usize = report.rounds.iter().map(|r| r.selected.len()).sum();
+    assert!(selected <= 15);
+    assert!(report.final_test_f1().is_finite());
+}
+
+#[test]
+fn single_class_dataset_survives() {
+    // All ground truth negative → F1 of the positive class is 0, but the
+    // pipeline must not panic or emit NaN.
+    let train = blob_data(60, 3, 0.0);
+    let val = blob_data(30, 4, 0.0);
+    let report = run(base_config(), train, &val, &val);
+    assert!(report.final_test_f1().is_finite());
+    assert_eq!(report.final_test_f1(), 0.0);
+}
+
+#[test]
+fn adversarial_annotators_cannot_break_the_loop() {
+    // Annotators at near-maximal error install wrong labels; quality may
+    // drop but invariants (budget, flags, determinism) must hold.
+    let train = blob_data(80, 5, 0.5);
+    let val = blob_data(40, 6, 0.5);
+    let mut cfg = base_config();
+    cfg.annotation.strategy = LabelStrategy::HumansOnly(3);
+    cfg.annotation.error_rate = 0.9;
+    let report = run(cfg, train, &val, &val);
+    assert_eq!(
+        report.cleaned_total + report.rounds.iter().map(|r| r.ambiguous).sum::<usize>(),
+        report.rounds.iter().map(|r| r.selected.len()).sum::<usize>()
+    );
+    assert!(report.final_test_f1().is_finite());
+}
+
+#[test]
+fn gamma_extremes_run_end_to_end() {
+    for gamma in [0.0, 1e-9, 1.0] {
+        let train = blob_data(60, 7, 0.5);
+        let val = blob_data(30, 8, 0.5);
+        let mut cfg = base_config();
+        cfg.objective = WeightedObjective::new(gamma, 0.1);
+        let report = run(cfg, train, &val, &val);
+        assert!(
+            report.final_test_f1().is_finite(),
+            "gamma {gamma} produced non-finite F1"
+        );
+    }
+}
+
+#[test]
+fn huge_feature_magnitudes_stay_finite() {
+    // Softmax saturates; losses clamp; influence stays finite.
+    let mut train = blob_data(50, 9, 0.5);
+    let scaled: Vec<f64> = train.feature(0).iter().map(|v| v * 1e6).collect();
+    train.push(&scaled, SoftLabel::new(vec![0.3, 0.7]), false, Some(0));
+    let val = blob_data(25, 10, 0.5);
+    let report = run(base_config(), train, &val, &val);
+    assert!(report.final_w.iter().all(|v| v.is_finite()));
+    assert!(report.final_test_f1().is_finite());
+}
+
+#[test]
+fn tiny_validation_set_is_usable() {
+    let train = blob_data(60, 11, 0.5);
+    let val = blob_data(2, 12, 0.5);
+    let report = run(base_config(), train, &val, &val);
+    assert!(report.final_test_f1().is_finite());
+}
+
+#[test]
+fn round_size_one_walks_one_sample_at_a_time() {
+    let train = blob_data(40, 13, 0.5);
+    let val = blob_data(20, 14, 0.5);
+    let mut cfg = base_config();
+    cfg.budget = 5;
+    cfg.round_size = 1;
+    let report = run(cfg, train, &val, &val);
+    assert_eq!(report.rounds.len(), 5);
+    for r in &report.rounds {
+        assert_eq!(r.selected.len(), 1);
+    }
+}
+
+#[test]
+fn duplicate_features_do_not_confuse_selection() {
+    // Many identical rows with different labels: ranking must still be a
+    // permutation and the pipeline must converge.
+    let mut rng = SmallRng::seed_from_u64(15);
+    let n = 40;
+    let mut raw = Vec::new();
+    let mut labels = Vec::new();
+    let mut truth = Vec::new();
+    for i in 0..n {
+        raw.extend_from_slice(&[1.0, -1.0]); // identical features
+        let p = rng.gen_range(0.1..0.9);
+        labels.push(SoftLabel::new(vec![p, 1.0 - p]));
+        truth.push(Some(i % 2));
+    }
+    let train = Dataset::new(
+        Matrix::from_vec(n, 2, raw),
+        labels,
+        vec![false; n],
+        truth,
+        2,
+    );
+    let val = blob_data(20, 16, 0.5);
+    let report = run(base_config(), train, &val, &val);
+    let mut seen = std::collections::HashSet::new();
+    for r in &report.rounds {
+        for s in &r.selected {
+            assert!(seen.insert(s.index));
+        }
+    }
+}
+
+#[test]
+fn all_labels_already_deterministic_still_cleanable() {
+    // Deterministic-but-uncleaned labels (the TARS regime): delta to the
+    // own argmax is zero, but the flip direction still ranks.
+    let mut train = blob_data(50, 17, 0.5);
+    for i in 0..train.len() {
+        let r = train.label(i).rounded();
+        train.set_label(i, r);
+    }
+    let val = blob_data(25, 18, 0.5);
+    let report = run(base_config(), train, &val, &val);
+    assert!(report.cleaned_total > 0);
+    assert!(report.final_test_f1().is_finite());
+}
+
+#[test]
+fn mlp_pipeline_handles_degenerate_start() {
+    // Non-convex path with an init seed that starts near-degenerate.
+    let train = blob_data(60, 19, 0.5);
+    let val = blob_data(30, 20, 0.5);
+    let model = chef_model::Mlp::new(2, 4, 2);
+    let mut cfg = base_config();
+    cfg.sgd.lr = 0.05;
+    let mut selector = InflSelector::full();
+    let report = Pipeline::new(cfg).run(&model, train, &val, &val, &mut selector);
+    assert!(report.final_w.iter().all(|v| v.is_finite()));
+    assert_eq!(model.num_params(), report.final_w.len());
+}
