@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the test suite in both feature
+# configurations (parallel selector hot path on and off).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (default features)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy (serial: --no-default-features)"
+cargo clippy -p chef-model -p chef-core -p chef-bench --all-targets --no-default-features -- -D warnings
+
+echo "==> cargo test (default features: parallel)"
+cargo test -q --workspace
+
+echo "==> cargo test (serial: --no-default-features)"
+# --no-default-features applies to the packages that own the `parallel`
+# feature; the rest of the workspace is unaffected by it.
+cargo test -q -p chef-model -p chef-core -p chef-bench --no-default-features
+
+echo "ci.sh: all green"

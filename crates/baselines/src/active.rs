@@ -114,7 +114,10 @@ mod tests {
             let p = model.predict(&w, data.feature(i));
             p.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         };
-        let max_sel = ia.iter().map(|&i| conf(i)).fold(f64::NEG_INFINITY, f64::max);
+        let max_sel = ia
+            .iter()
+            .map(|&i| conf(i))
+            .fold(f64::NEG_INFINITY, f64::max);
         let min_unsel = pool
             .iter()
             .filter(|i| !ia.contains(i))

@@ -138,11 +138,7 @@ impl SampleSelector for Duti {
             .map(|&i| {
                 let before = ctx.data.label(i).probs();
                 let after = relaxed.label(i).probs();
-                let movement: f64 = before
-                    .iter()
-                    .zip(after)
-                    .map(|(a, b)| (a - b).abs())
-                    .sum();
+                let movement: f64 = before.iter().zip(after).map(|(a, b)| (a - b).abs()).sum();
                 (i, movement, relaxed.label(i).argmax())
             })
             .collect();
@@ -173,7 +169,10 @@ mod tests {
             vec![-5.0, -5.0, -5.0],
         ] {
             let p = project_to_simplex(&input);
-            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{input:?} → {p:?}");
+            assert!(
+                (p.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+                "{input:?} → {p:?}"
+            );
             assert!(p.iter().all(|&v| v >= 0.0));
         }
         // Already on the simplex → unchanged.

@@ -24,7 +24,14 @@ impl SampleSelector for InflD {
     }
 
     fn select(&mut self, ctx: &SelectorContext<'_>) -> Vec<Selection> {
-        let v = influence_vector(ctx.model, ctx.objective, ctx.data, ctx.val, ctx.w, &self.cfg);
+        let v = influence_vector(
+            ctx.model,
+            ctx.objective,
+            ctx.data,
+            ctx.val,
+            ctx.w,
+            &self.cfg,
+        );
         let mut g = vec![0.0; ctx.model.num_params()];
         let mut scored: Vec<(usize, f64)> = ctx
             .pool

@@ -90,8 +90,8 @@ impl O2U {
 
         for (t, batch) in plan.iter() {
             let epoch = t / per_epoch;
-            let phase = (epoch % self.cfg.cycle_epochs) as f64
-                / self.cfg.cycle_epochs.max(1) as f64;
+            let phase =
+                (epoch % self.cfg.cycle_epochs) as f64 / self.cfg.cycle_epochs.max(1) as f64;
             // Triangular schedule: start at lr_max, decay linearly to
             // lr_min over the cycle (the O2U "overfit → underfit" sweep
             // runs high-to-low per cycle).
@@ -183,7 +183,10 @@ mod tests {
         let picks = sel.select(&ctx);
         let picked: Vec<usize> = picks.iter().map(|s| s.index).collect();
         let hits = (0..6).filter(|i| picked.contains(i)).count();
-        assert!(hits >= 4, "only {hits}/6 poisoned samples in top 12: {picked:?}");
+        assert!(
+            hits >= 4,
+            "only {hits}/6 poisoned samples in top 12: {picked:?}"
+        );
     }
 
     #[test]

@@ -36,7 +36,14 @@ impl SampleSelector for Tars {
     }
 
     fn select(&mut self, ctx: &SelectorContext<'_>) -> Vec<Selection> {
-        let v = influence_vector(ctx.model, ctx.objective, ctx.data, ctx.val, ctx.w, &self.cfg);
+        let v = influence_vector(
+            ctx.model,
+            ctx.objective,
+            ctx.data,
+            ctx.val,
+            ctx.w,
+            &self.cfg,
+        );
         let c_count = ctx.model.num_classes();
         let mut g = vec![0.0; ctx.model.num_params()];
         let mut scored: Vec<(usize, f64, usize)> = ctx

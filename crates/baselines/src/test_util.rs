@@ -6,10 +6,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// A small weakly-labeled two-cluster problem plus a clean validation set.
-pub fn fixture(
-    n: usize,
-    seed: u64,
-) -> (LogisticRegression, WeightedObjective, Dataset, Dataset) {
+pub fn fixture(n: usize, seed: u64) -> (LogisticRegression, WeightedObjective, Dataset, Dataset) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut raw = Vec::new();
     let mut labels = Vec::new();

@@ -1,8 +1,8 @@
 //! Microbenchmark: conjugate-gradient `H⁻¹v` solves (the per-round fixed
 //! cost of every influence-based selector, paper §4.1.1).
 
-use chef_core::influence::{influence_vector, InflConfig};
 use chef_bench::prepare;
+use chef_core::influence::{influence_vector, InflConfig};
 use chef_model::{LogisticRegression, Model, WeightedObjective};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;

@@ -22,10 +22,7 @@ fn bench_constructors(c: &mut Criterion) {
         cache_provenance: true,
     };
     let retrain = ModelConstructor::new(ConstructorKind::Retrain, sgd);
-    let dg = ModelConstructor::new(
-        ConstructorKind::DeltaGradL(DeltaGradConfig::default()),
-        sgd,
-    );
+    let dg = ModelConstructor::new(ConstructorKind::DeltaGradL(DeltaGradConfig::default()), sgd);
     let init = retrain.initial_train(&model, &obj, &data);
     let mut cleaned = data.clone();
     let changed: Vec<usize> = (0..10).collect();
@@ -37,10 +34,28 @@ fn bench_constructors(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_constructor");
     group.sample_size(10);
     group.bench_function("retrain", |b| {
-        b.iter(|| retrain.update(&model, &obj, &data, black_box(&cleaned), &changed, &init.trace))
+        b.iter(|| {
+            retrain.update(
+                &model,
+                &obj,
+                &data,
+                black_box(&cleaned),
+                &changed,
+                &init.trace,
+            )
+        })
     });
     group.bench_function("deltagrad_l", |b| {
-        b.iter(|| dg.update(&model, &obj, &data, black_box(&cleaned), &changed, &init.trace))
+        b.iter(|| {
+            dg.update(
+                &model,
+                &obj,
+                &data,
+                black_box(&cleaned),
+                &changed,
+                &init.trace,
+            )
+        })
     });
     group.finish();
 }

@@ -1,9 +1,15 @@
 //! Microbenchmark behind Table 2: one selector round, Full vs Increm-Infl
-//! (bounds + pruned exact evaluation), on a drifted model state.
+//! (bounds + pruned exact evaluation), on a drifted model state — each
+//! selector in both its dispatching (parallel with the default feature
+//! set) and forced-serial form, so a single run shows the threading gain
+//! next to the algorithmic pruning gain. For the dedicated scaling sweep
+//! see the `par_speedup` binary.
 
 use chef_bench::prepare;
 use chef_core::increm::IncremInfl;
-use chef_core::influence::{influence_vector, rank_infl_with_vector, InflConfig};
+use chef_core::influence::{
+    influence_vector, rank_infl_with_vector, rank_infl_with_vector_serial, InflConfig,
+};
 use chef_model::{LogisticRegression, Model, WeightedObjective};
 use chef_train::{train, SgdConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -26,17 +32,7 @@ fn bench_selectors(c: &mut Criterion) {
     let w0 = train(&model, &obj, data, &model.initial_params(0), &sgd).w;
     let increm = IncremInfl::initialize(&model, data, &w0);
     // Drift the model a little (more epochs), as in later rounds.
-    let w_k = train(
-        &model,
-        &obj,
-        data,
-        &w0,
-        &SgdConfig {
-            epochs: 2,
-            ..sgd
-        },
-    )
-    .w;
+    let w_k = train(&model, &obj, data, &w0, &SgdConfig { epochs: 2, ..sgd }).w;
     let v = influence_vector(&model, &obj, data, val, &w_k, &InflConfig::default());
     let pool = data.uncleaned_indices();
 
@@ -45,11 +41,17 @@ fn bench_selectors(c: &mut Criterion) {
     group.bench_function("full", |b| {
         b.iter(|| rank_infl_with_vector(&model, data, &w_k, black_box(&v), &pool, obj.gamma))
     });
+    group.bench_function("full_serial", |b| {
+        b.iter(|| rank_infl_with_vector_serial(&model, data, &w_k, black_box(&v), &pool, obj.gamma))
+    });
     group.bench_function("increm_infl", |b| {
         b.iter(|| increm.select(&model, data, &w_k, black_box(&v), &pool, 10, obj.gamma))
     });
     group.bench_function("increm_bounds_only", |b| {
         b.iter(|| increm.candidates(&model, data, &w_k, black_box(&v), &pool, 10, obj.gamma))
+    });
+    group.bench_function("increm_bounds_only_serial", |b| {
+        b.iter(|| increm.candidates_serial(&model, data, &w_k, black_box(&v), &pool, 10, obj.gamma))
     });
     group.finish();
 }

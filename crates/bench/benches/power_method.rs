@@ -27,7 +27,9 @@ impl LinearOperator for SampleHessian<'_> {
 fn bench_power(c: &mut Criterion) {
     let dim = 32;
     let model = LogisticRegression::new(dim, 2);
-    let w: Vec<f64> = (0..model.num_params()).map(|i| (i as f64 * 0.1).sin()).collect();
+    let w: Vec<f64> = (0..model.num_params())
+        .map(|i| (i as f64 * 0.1).sin())
+        .collect();
     let x: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.3).cos()).collect();
     let y = SoftLabel::uniform(2);
 

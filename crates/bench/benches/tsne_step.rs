@@ -11,7 +11,11 @@ fn blobs(n: usize, dim: usize, seed: u64) -> Matrix {
     let mut rng = SmallRng::seed_from_u64(seed);
     let raw: Vec<f64> = (0..n * dim)
         .map(|i| {
-            let c = if (i / dim).is_multiple_of(2) { -3.0 } else { 3.0 };
+            let c = if (i / dim).is_multiple_of(2) {
+                -3.0
+            } else {
+                3.0
+            };
             c + rng.gen_range(-1.0..1.0)
         })
         .collect();

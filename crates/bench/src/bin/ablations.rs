@@ -58,10 +58,15 @@ fn cg_vs_lissa(scale: usize) {
     };
     let cg_top = top(&v_cg);
 
-    let header: Vec<String> = ["solver", "depth x repeats", "time (ms)", "top-10 overlap with CG"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "solver",
+        "depth x repeats",
+        "time (ms)",
+        "top-10 overlap with CG",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = vec![vec![
         "CG (default)".to_string(),
         "-".to_string(),
@@ -141,10 +146,16 @@ fn deltagrad_t0(scale: usize) {
     let retrain = train(&model, &obj, &cleaned, &model.initial_params(0), &sgd);
     let retrain_ms = retrain_start.elapsed().as_secs_f64() * 1e3;
 
-    let header: Vec<String> = ["T0", "rel. param distance", "explicit iters", "time (ms)", "speedup vs retrain"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "T0",
+        "rel. param distance",
+        "explicit iters",
+        "time (ms)",
+        "speedup vs retrain",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for t0 in [1usize, 2, 5, 10, 20, 50] {
         let cfg = DeltaGradConfig { j0: 10, t0, m0: 2 };
@@ -173,7 +184,9 @@ fn deltagrad_t0(scale: usize) {
         ]);
     }
     print_table(
-        &format!("Ablation 1 — DeltaGrad exact-evaluation period T0 (retrain = {retrain_ms:.1} ms)"),
+        &format!(
+            "Ablation 1 — DeltaGrad exact-evaluation period T0 (retrain = {retrain_ms:.1} ms)"
+        ),
         &header,
         &rows,
     );
@@ -197,10 +210,15 @@ fn hessian_batch(scale: usize) {
     top_exact.truncate(10);
     let exact_set: Vec<usize> = top_exact.iter().map(|s| s.index).collect();
 
-    let header: Vec<String> = ["hessian batch", "CG time (ms)", "top-10 overlap with exact", "rel. v error"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "hessian batch",
+        "CG time (ms)",
+        "top-10 overlap with exact",
+        "rel. v error",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for batch in [128usize, 512, 2048, 8192] {
         let cfg = InflConfig {
@@ -212,10 +230,7 @@ fn hessian_batch(scale: usize) {
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let mut top = rank_infl_with_vector(&model, data, &base.w, &v, &pool, obj.gamma);
         top.truncate(10);
-        let overlap = top
-            .iter()
-            .filter(|s| exact_set.contains(&s.index))
-            .count();
+        let overlap = top.iter().filter(|s| exact_set.contains(&s.index)).count();
         let err = vector::distance(&v, &v_exact) / vector::norm2(&v_exact).max(1e-12);
         rows.push(vec![
             batch.to_string(),
@@ -225,7 +240,10 @@ fn hessian_batch(scale: usize) {
         ]);
     }
     print_table(
-        &format!("Ablation 2 — Hessian subsample size for the CG solve (n = {})", data.len()),
+        &format!(
+            "Ablation 2 — Hessian subsample size for the CG solve (n = {})",
+            data.len()
+        ),
         &header,
         &rows,
     );
@@ -239,17 +257,7 @@ fn increm_slack(scale: usize) {
     let val = &prepared.split.val;
     let mut increm = IncremInfl::initialize(&model, data, &base.w);
     // Drift the model by two further epochs.
-    let w_k = train(
-        &model,
-        &obj,
-        data,
-        &base.w,
-        &SgdConfig {
-            epochs: 2,
-            ..sgd
-        },
-    )
-    .w;
+    let w_k = train(&model, &obj, data, &base.w, &SgdConfig { epochs: 2, ..sgd }).w;
     let v = influence_vector(&model, &obj, data, val, &w_k, &InflConfig::default());
     let pool = data.uncleaned_indices();
     let mut full = rank_infl_with_vector(&model, data, &w_k, &v, &pool, obj.gamma);
@@ -283,10 +291,14 @@ fn increm_slack(scale: usize) {
 
 fn label_model_temperature(scale: usize) {
     let spec = chef_data::by_name("Twitter", scale).unwrap();
-    let header: Vec<String> = ["temperature", "weak error rate", "mean label entropy (nats)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "temperature",
+        "weak error rate",
+        "mean label entropy (nats)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for temp in [1.0f64, 2.0, 2.83, 5.0, 10.0] {
         let mut split = chef_data::generate(&spec, 3);

@@ -97,10 +97,7 @@ fn main() {
         let mut rows = Vec::new();
         let mut csv_rows = Vec::new();
         for spec in &suite {
-            let mut row = vec![
-                spec.name.to_string(),
-                fmt_mean_std(&uncleaned[spec.name]),
-            ];
+            let mut row = vec![spec.name.to_string(), fmt_mean_std(&uncleaned[spec.name])];
             for m in &methods {
                 row.push(cell_of(spec.name, *m, b));
             }

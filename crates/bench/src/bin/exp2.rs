@@ -73,7 +73,14 @@ fn measure(dataset: &str, scale: usize, reps: usize, b: usize) -> Measurement {
     let mut w_eval = w.clone();
     for _ in 0..rounds {
         let pool = data.uncleaned_indices();
-        let v = influence_vector(&model, &cfg.objective, &data, val, &w_eval, &InflConfig::default());
+        let v = influence_vector(
+            &model,
+            &cfg.objective,
+            &data,
+            val,
+            &w_eval,
+            &InflConfig::default(),
+        );
         let (scores, _) = increm.select(&model, &data, &w_eval, &v, &pool, b, cfg.objective.gamma);
         let selections: Vec<Selection> = scores
             .iter()
@@ -109,9 +116,17 @@ fn measure(dataset: &str, scale: usize, reps: usize, b: usize) -> Measurement {
     for _ in 0..reps {
         // Full: one CG solve + exact influence of every pool sample.
         let t0 = Instant::now();
-        let v = influence_vector(&model, &cfg.objective, &data, val, &w_eval, &InflConfig::default());
+        let v = influence_vector(
+            &model,
+            &cfg.objective,
+            &data,
+            val,
+            &w_eval,
+            &InflConfig::default(),
+        );
         let tg = Instant::now();
-        let mut full = rank_infl_with_vector(&model, &data, &w_eval, &v, &pool, cfg.objective.gamma);
+        let mut full =
+            rank_infl_with_vector(&model, &data, &w_eval, &v, &pool, cfg.objective.gamma);
         let grad_full = tg.elapsed();
         full.truncate(b);
         out.time_inf_full.push(t0.elapsed().as_secs_f64());
@@ -120,11 +135,19 @@ fn measure(dataset: &str, scale: usize, reps: usize, b: usize) -> Measurement {
         // Increm-Infl: CG solve + Theorem-1 bounds + exact influence of
         // the candidates only.
         let t0 = Instant::now();
-        let v = influence_vector(&model, &cfg.objective, &data, val, &w_eval, &InflConfig::default());
+        let v = influence_vector(
+            &model,
+            &cfg.objective,
+            &data,
+            val,
+            &w_eval,
+            &InflConfig::default(),
+        );
         let (cands, stats) =
             increm.candidates(&model, &data, &w_eval, &v, &pool, b, cfg.objective.gamma);
         let tg = Instant::now();
-        let mut inc = rank_infl_with_vector(&model, &data, &w_eval, &v, &cands, cfg.objective.gamma);
+        let mut inc =
+            rank_infl_with_vector(&model, &data, &w_eval, &v, &cands, cfg.objective.gamma);
         let grad_inc = tg.elapsed();
         inc.truncate(b);
         out.time_inf_increm.push(t0.elapsed().as_secs_f64());

@@ -56,8 +56,8 @@ fn main() {
     for r in &results {
         let key = (r.cell.dataset.clone(), r.cell.b);
         f1.entry(key.clone()).or_default().push(r.cleaned_f1);
-        let total = r.report.total_select_time().as_secs_f64()
-            + r.report.total_update_time().as_secs_f64();
+        let total =
+            r.report.total_select_time().as_secs_f64() + r.report.total_update_time().as_secs_f64();
         time.entry(key).or_default().push(total);
         uncleaned
             .entry(r.cell.dataset.clone())
@@ -65,7 +65,11 @@ fn main() {
             .push(r.uncleaned_f1);
     }
 
-    let mut header = vec!["dataset".to_string(), "metric".to_string(), "uncleaned".to_string()];
+    let mut header = vec![
+        "dataset".to_string(),
+        "metric".to_string(),
+        "uncleaned".to_string(),
+    ];
     header.extend(bs.iter().map(|b| format!("b={b}")));
     let mut rows = Vec::new();
     for d in datasets {

@@ -108,10 +108,7 @@ fn main() {
         header.extend(methods.iter().map(|m| m.paper_name().to_string()));
         let mut rows = Vec::new();
         for spec in &suite {
-            let mut row = vec![
-                spec.name.to_string(),
-                fmt_mean_std(&uncleaned[spec.name]),
-            ];
+            let mut row = vec![spec.name.to_string(), fmt_mean_std(&uncleaned[spec.name])];
             for m in methods {
                 row.push(
                     grid.get(&(spec.name.to_string(), *m, b))

@@ -120,8 +120,8 @@ fn main() {
                 nega.points.push(p);
             }
         }
-        let mut s_series = Series::new("most influential sample S", "crimson")
-            .with_marker(Marker::Cross);
+        let mut s_series =
+            Series::new("most influential sample S", "crimson").with_marker(Marker::Cross);
         s_series.radius = 7.0;
         s_series.points.push((s_row[0], s_row[1]));
         plot.push(posi);

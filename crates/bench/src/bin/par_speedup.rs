@@ -1,0 +1,167 @@
+//! Serial-vs-parallel wall time for the selector hot path.
+//!
+//! Times one Infl ranking pass (`rank_infl_with_vector`) and one
+//! Increm-Infl bound pass (`IncremInfl::candidates`) at n ∈ {10k, 50k,
+//! 200k} candidates, comparing the always-compiled `*_serial` entry
+//! points against the dispatching (parallel when the `parallel` feature
+//! is on) public API. Results go to `BENCH_selector.json` at the
+//! workspace root, together with the hardware context — a speedup below
+//! the core count is only meaningful relative to `available_cores` and
+//! `rayon_threads`, both recorded.
+//!
+//! Usage: `cargo run --release -p chef-bench --bin par_speedup`
+//! (set `RAYON_NUM_THREADS` to pin the pool size).
+
+use chef_bench::prepare;
+use chef_core::increm::IncremInfl;
+use chef_core::influence::{
+    influence_vector, rank_infl_with_vector, rank_infl_with_vector_serial, InflConfig,
+};
+use chef_data::{DatasetKind, DatasetSpec};
+use chef_model::{LogisticRegression, Model, WeightedObjective};
+use chef_train::{train, SgdConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Synthetic MIMIC-like spec with exactly `n` training samples.
+fn spec_for(n: usize) -> DatasetSpec {
+    DatasetSpec {
+        name: "par_speedup",
+        kind: DatasetKind::FullyClean,
+        train: n,
+        val: 500,
+        test: 100,
+        dim: 32,
+        num_classes: 2,
+        class_sep: 1.0,
+        positive_rate: 0.45,
+        truth_noise: 0.0,
+        weak_quality: 0.5,
+        annotator_error: 0.05,
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+struct Case {
+    n: usize,
+    rank_serial_ms: f64,
+    rank_parallel_ms: f64,
+    bounds_serial_ms: f64,
+    bounds_parallel_ms: f64,
+}
+
+fn run_case(n: usize, reps: usize) -> Case {
+    let prepared = prepare(&spec_for(n), 1);
+    let data = &prepared.split.train;
+    let val = &prepared.split.val;
+    let model = LogisticRegression::new(data.dim(), 2);
+    let obj = WeightedObjective::new(0.8, 0.2);
+    let sgd = SgdConfig {
+        lr: 0.1,
+        epochs: 3,
+        batch_size: 1024,
+        seed: 2,
+        cache_provenance: false,
+    };
+    let w0 = train(&model, &obj, data, &model.initial_params(0), &sgd).w;
+    let increm = IncremInfl::initialize(&model, data, &w0);
+    let w_k = train(&model, &obj, data, &w0, &SgdConfig { epochs: 1, ..sgd }).w;
+    let v = influence_vector(&model, &obj, data, val, &w_k, &InflConfig::default());
+    let pool = data.uncleaned_indices();
+    assert_eq!(pool.len(), n, "entire training set should be uncleaned");
+
+    let rank_serial_ms = time_ms(reps, || {
+        rank_infl_with_vector_serial(&model, data, &w_k, &v, &pool, obj.gamma)
+    });
+    let rank_parallel_ms = time_ms(reps, || {
+        rank_infl_with_vector(&model, data, &w_k, &v, &pool, obj.gamma)
+    });
+    let bounds_serial_ms = time_ms(reps, || {
+        increm.candidates_serial(&model, data, &w_k, &v, &pool, 10, obj.gamma)
+    });
+    let bounds_parallel_ms = time_ms(reps, || {
+        increm.candidates(&model, data, &w_k, &v, &pool, 10, obj.gamma)
+    });
+    Case {
+        n,
+        rank_serial_ms,
+        rank_parallel_ms,
+        bounds_serial_ms,
+        bounds_parallel_ms,
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // At least one rep, or every timing stays +inf and the JSON is garbage.
+    let reps: usize = chef_bench::arg_value(&args, "--reps", 3).max(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let threads = rayon::current_num_threads();
+    let parallel_feature = cfg!(feature = "parallel");
+    println!(
+        "par_speedup: cores={cores} rayon_threads={threads} parallel_feature={parallel_feature}"
+    );
+
+    let mut cases = Vec::new();
+    for n in [10_000usize, 50_000, 200_000] {
+        let c = run_case(n, reps);
+        println!(
+            "n={:>7}  rank: serial {:.2} ms / parallel {:.2} ms ({:.2}x)   bounds: serial {:.2} ms / parallel {:.2} ms ({:.2}x)",
+            c.n,
+            c.rank_serial_ms,
+            c.rank_parallel_ms,
+            c.rank_serial_ms / c.rank_parallel_ms,
+            c.bounds_serial_ms,
+            c.bounds_parallel_ms,
+            c.bounds_serial_ms / c.bounds_parallel_ms,
+        );
+        cases.push(c);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"par_speedup\",\n");
+    json.push_str("  \"unit\": \"ms (best of reps)\",\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"hardware\": {{ \"available_cores\": {cores}, \"rayon_threads\": {threads}, \"parallel_feature\": {parallel_feature} }},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (k, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"n\": {}, \"rank_infl\": {{ \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3} }}, \"increm_bounds\": {{ \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3} }} }}{}\n",
+            c.n,
+            c.rank_serial_ms,
+            c.rank_parallel_ms,
+            c.rank_serial_ms / c.rank_parallel_ms,
+            c.bounds_serial_ms,
+            c.bounds_parallel_ms,
+            c.bounds_serial_ms / c.bounds_parallel_ms,
+            if k + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = workspace_root().join("BENCH_selector.json");
+    std::fs::write(&path, json).expect("write BENCH_selector.json");
+    println!("wrote {}", path.display());
+}

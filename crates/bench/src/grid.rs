@@ -70,7 +70,11 @@ pub fn run_cell(prepared: &PreparedDataset, cell: &Cell) -> CellResult {
     let pipeline = Pipeline::new(cfg);
     let mut selector = make_selector(cell.method, cell.seed, cell.neural);
     let report = if cell.neural {
-        let model = Mlp::new(prepared.split.train.dim(), 16, prepared.split.train.num_classes());
+        let model = Mlp::new(
+            prepared.split.train.dim(),
+            16,
+            prepared.split.train.num_classes(),
+        );
         run_with_model(&model, &pipeline, prepared, selector.as_mut())
     } else {
         let model = LogisticRegression::new(

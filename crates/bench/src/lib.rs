@@ -27,5 +27,5 @@ pub mod report;
 
 pub use grid::{cell_config, run_cell, run_grid, Cell, CellResult};
 pub use methods::{make_selector, Method};
-pub use prep::{default_pipeline_config, prepare, prepare_rounded, PreparedDataset};
+pub use prep::{arg_value, default_pipeline_config, prepare, prepare_rounded, PreparedDataset};
 pub use report::{fmt_cell, fmt_mean_std, print_table, results_dir, write_results_csv};

@@ -91,10 +91,7 @@ mod tests {
     fn prepare_produces_uncleaned_training_set() {
         let spec = &paper_suite(400)[0];
         let p = prepare(spec, 1);
-        assert_eq!(
-            p.split.train.uncleaned_indices().len(),
-            p.split.train.len()
-        );
+        assert_eq!(p.split.train.uncleaned_indices().len(), p.split.train.len());
         assert!(p.split.val.len() >= 15);
     }
 

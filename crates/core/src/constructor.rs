@@ -194,10 +194,16 @@ mod tests {
         let init = retrain_ctor.initial_train(&model, &obj, &data);
 
         let mut cleaned = data.clone();
-        let changed: Vec<usize> = (0..6).collect();
-        for &i in &changed {
-            let t = data.ground_truth(i).unwrap();
+        // Clean to the reference label where one exists; a sample without
+        // ground truth abstains (is skipped) instead of panicking, the
+        // same policy as the production annotation phase.
+        let mut changed = Vec::new();
+        for i in 0..6 {
+            let Some(t) = data.ground_truth(i) else {
+                continue;
+            };
             cleaned.clean_label(i, SoftLabel::onehot(t, 2));
+            changed.push(i);
         }
 
         let a = retrain_ctor.update(&model, &obj, &data, &cleaned, &changed, &init.trace);

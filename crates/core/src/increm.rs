@@ -29,6 +29,12 @@
 use crate::influence::{rank_infl_with_vector, InflScore};
 use chef_model::{Dataset, Model};
 
+/// Minimum pool size before the `parallel` feature fans the provenance
+/// initialization / bound pass out to the thread pool. Length-only, so
+/// the chosen code path is machine-independent.
+#[cfg(feature = "parallel")]
+const PAR_GRAIN: usize = 128;
+
 /// Pre-computed per-sample provenance (the "initialization step" state).
 #[derive(Debug, Clone)]
 struct Provenance {
@@ -41,6 +47,55 @@ struct Provenance {
     hessian_norms0: Vec<f64>,
     /// `‖−∇²_w log p⁽ʲ⁾(w⁽⁰⁾, x̃)‖` per sample per class.
     class_hessian_norms0: Vec<Vec<f64>>,
+}
+
+/// One sample's provenance, produced independently per sample so the
+/// initialization step can fan out over the thread pool.
+struct ProvenanceRow {
+    grad0: Vec<f64>,
+    class_grads0: Vec<f64>,
+    hessian_norm0: f64,
+    class_hessian_norms0: Vec<f64>,
+}
+
+/// Compute sample `i`'s provenance at `w0`. `g` is a reusable gradient
+/// buffer of length `model.num_params()`.
+fn provenance_row<M: Model + ?Sized>(
+    model: &M,
+    data: &Dataset,
+    w0: &[f64],
+    i: usize,
+    g: &mut [f64],
+) -> ProvenanceRow {
+    let m = model.num_params();
+    let c_count = model.num_classes();
+    let x = data.feature(i);
+    let y = data.label(i);
+    model.grad(w0, x, y, g);
+    let grad0 = g.to_vec();
+    let mut cg = vec![0.0; c_count * m];
+    for c in 0..c_count {
+        model.class_grad(w0, x, c, g);
+        cg[c * m..(c + 1) * m].copy_from_slice(g);
+    }
+    ProvenanceRow {
+        grad0,
+        class_grads0: cg,
+        hessian_norm0: model.hessian_norm(w0, x, y),
+        class_hessian_norms0: (0..c_count)
+            .map(|c| model.class_hessian_norm(w0, x, c))
+            .collect(),
+    }
+}
+
+/// Per-sample result of the Theorem 1 bound pass: the best frozen
+/// influence with its upper bound and the smallest lower bound over
+/// classes.
+struct Entry {
+    index: usize,
+    i0: f64,
+    ub: f64,
+    lb_min: f64,
 }
 
 /// Work counters for one Increm-Infl round.
@@ -65,32 +120,47 @@ pub struct IncremInfl {
 impl IncremInfl {
     /// Initialization step: pre-compute provenance for every training
     /// sample at the initial model `w⁽⁰⁾`.
+    ///
+    /// With the `parallel` feature (default) the per-sample rows are
+    /// computed across the thread pool; every row is independent (no
+    /// floating-point reduction), so the provenance is bit-identical to
+    /// the serial computation.
     pub fn initialize<M: Model + ?Sized>(model: &M, data: &Dataset, w0: &[f64]) -> Self {
         let m = model.num_params();
-        let c_count = model.num_classes();
         let n = data.len();
+        #[cfg(feature = "parallel")]
+        let rows: Vec<ProvenanceRow> = if n >= PAR_GRAIN {
+            use rayon::prelude::*;
+            (0..n)
+                .into_par_iter()
+                .map_init(
+                    || vec![0.0; m],
+                    |g, i| provenance_row(model, data, w0, i, g),
+                )
+                .collect()
+        } else {
+            let mut g = vec![0.0; m];
+            (0..n)
+                .map(|i| provenance_row(model, data, w0, i, &mut g))
+                .collect()
+        };
+        #[cfg(not(feature = "parallel"))]
+        let rows: Vec<ProvenanceRow> = {
+            let mut g = vec![0.0; m];
+            (0..n)
+                .map(|i| provenance_row(model, data, w0, i, &mut g))
+                .collect()
+        };
+
         let mut grads0 = Vec::with_capacity(n);
         let mut class_grads0 = Vec::with_capacity(n);
         let mut hessian_norms0 = Vec::with_capacity(n);
         let mut class_hessian_norms0 = Vec::with_capacity(n);
-        let mut g = vec![0.0; m];
-        for i in 0..n {
-            let x = data.feature(i);
-            let y = data.label(i);
-            model.grad(w0, x, y, &mut g);
-            grads0.push(g.clone());
-            let mut cg = vec![0.0; c_count * m];
-            for c in 0..c_count {
-                model.class_grad(w0, x, c, &mut g);
-                cg[c * m..(c + 1) * m].copy_from_slice(&g);
-            }
-            class_grads0.push(cg);
-            hessian_norms0.push(model.hessian_norm(w0, x, y));
-            class_hessian_norms0.push(
-                (0..c_count)
-                    .map(|c| model.class_hessian_norm(w0, x, c))
-                    .collect(),
-            );
+        for row in rows {
+            grads0.push(row.grad0);
+            class_grads0.push(row.class_grads0);
+            hessian_norms0.push(row.hessian_norm0);
+            class_hessian_norms0.push(row.class_hessian_norms0);
         }
         Self {
             provenance: Provenance {
@@ -133,15 +203,85 @@ impl IncremInfl {
             acc += d * chef_linalg::vector::dot(v_pos, &cg[c * m..(c + 1) * m]);
         }
         if gamma < 1.0 {
-            acc += (1.0 - gamma)
-                * chef_linalg::vector::dot(v_pos, &self.provenance.grads0[i]);
+            acc += (1.0 - gamma) * chef_linalg::vector::dot(v_pos, &self.provenance.grads0[i]);
         }
         -acc
+    }
+
+    /// Evaluate the Theorem 1 interval for one pool sample. The dot
+    /// products against the provenance gradients are hoisted out of the
+    /// class loop: everything below them is O(C) arithmetic on cached
+    /// scalars, which is what makes the bound pass cheap relative to
+    /// exact influence evaluation (Appendix E's complexity argument).
+    /// `class_dots` is a reusable length-`C` scratch buffer.
+    #[allow(clippy::too_many_arguments)]
+    fn bound_entry(
+        &self,
+        data: &Dataset,
+        m: usize,
+        v_pos: &[f64],
+        e1: f64,
+        e2: f64,
+        gamma: f64,
+        i: usize,
+        class_dots: &mut [f64],
+    ) -> Entry {
+        let c_count = class_dots.len();
+        let g_dot = chef_linalg::vector::dot(v_pos, &self.provenance.grads0[i]);
+        let cg = &self.provenance.class_grads0[i];
+        for (c, d) in class_dots.iter_mut().enumerate() {
+            *d = chef_linalg::vector::dot(v_pos, &cg[c * m..(c + 1) * m]);
+        }
+        let norms = &self.provenance.class_hessian_norms0[i];
+        let mu = self.provenance.hessian_norms0[i];
+        let gterm = (1.0 - gamma) / 2.0;
+        let mut best_i0 = f64::INFINITY;
+        let mut best_ub = f64::INFINITY;
+        let mut lb_min = f64::INFINITY;
+        for c in 0..c_count {
+            let delta = data.label(i).delta_to(c);
+            let mut acc = 0.0;
+            let mut signed = 0.0;
+            let mut absolute = 0.0;
+            for (k, &d) in delta.iter().enumerate() {
+                acc += d * class_dots[k];
+                signed += d * norms[k];
+                absolute += d.abs() * norms[k];
+            }
+            if gamma < 1.0 {
+                acc += (1.0 - gamma) * g_dot;
+            }
+            let i0 = -acc;
+            let mut lo = 0.5 * (signed * e1 - absolute * e2) + gterm * (e1 - e2) * mu;
+            let mut hi = 0.5 * (signed * e1 + absolute * e2) + gterm * (e1 + e2) * mu;
+            if self.slack != 1.0 {
+                let mid = 0.5 * (lo + hi);
+                let half = 0.5 * (hi - lo) * self.slack;
+                lo = mid - half;
+                hi = mid + half;
+            }
+            if i0 < best_i0 {
+                best_i0 = i0;
+                best_ub = i0 + hi;
+            }
+            lb_min = lb_min.min(i0 + lo);
+        }
+        Entry {
+            index: i,
+            i0: best_i0,
+            ub: best_ub,
+            lb_min,
+        }
     }
 
     /// Algorithm 1: return the candidate set `Z_inf⁽ᵏ⁾ ⊆ pool` that is
     /// guaranteed (under the Hessian-freeze approximation) to contain the
     /// top-`b` most influential samples at `w_k`.
+    ///
+    /// With the `parallel` feature (default) pools of at least 128
+    /// samples run the bound pass across the thread pool; the entries
+    /// carry no cross-sample reduction, so the candidate set is
+    /// bit-identical to [`Self::candidates_serial`].
     #[allow(clippy::too_many_arguments)]
     pub fn candidates<M: Model + ?Sized>(
         &self,
@@ -153,6 +293,39 @@ impl IncremInfl {
         b: usize,
         gamma: f64,
     ) -> (Vec<usize>, IncremStats) {
+        self.candidates_impl(model, data, w_k, v_pos, pool, b, gamma, true)
+    }
+
+    /// Single-threaded [`Self::candidates`]. Always compiled; used as
+    /// the equivalence baseline and by the speedup bench.
+    #[allow(clippy::too_many_arguments)]
+    pub fn candidates_serial<M: Model + ?Sized>(
+        &self,
+        model: &M,
+        data: &Dataset,
+        w_k: &[f64],
+        v_pos: &[f64],
+        pool: &[usize],
+        b: usize,
+        gamma: f64,
+    ) -> (Vec<usize>, IncremStats) {
+        self.candidates_impl(model, data, w_k, v_pos, pool, b, gamma, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn candidates_impl<M: Model + ?Sized>(
+        &self,
+        model: &M,
+        data: &Dataset,
+        w_k: &[f64],
+        v_pos: &[f64],
+        pool: &[usize],
+        b: usize,
+        gamma: f64,
+        allow_parallel: bool,
+    ) -> (Vec<usize>, IncremStats) {
+        #[cfg(not(feature = "parallel"))]
+        let _ = allow_parallel;
         let m = model.num_params();
         let c_count = model.num_classes();
         let dw = chef_linalg::vector::sub(w_k, &self.provenance.w0);
@@ -161,66 +334,34 @@ impl IncremInfl {
         let e2 = chef_linalg::vector::norm2(v_pos) * chef_linalg::vector::norm2(&dw);
 
         // Per sample: the best (smallest) frozen influence over classes,
-        // with its interval. The dot products against the provenance
-        // gradients are hoisted out of the class loop: everything below
-        // them is O(C) arithmetic on cached scalars, which is what makes
-        // the bound pass cheap relative to exact influence evaluation
-        // (Appendix E's complexity argument).
-        struct Entry {
-            index: usize,
-            i0: f64,
-            ub: f64,
-            lb_min: f64,
-        }
-        let mut entries: Vec<Entry> = Vec::with_capacity(pool.len());
-        let mut class_dots = vec![0.0; c_count];
-        for &i in pool {
-            let g_dot = chef_linalg::vector::dot(v_pos, &self.provenance.grads0[i]);
-            let cg = &self.provenance.class_grads0[i];
-            for (c, d) in class_dots.iter_mut().enumerate() {
-                *d = chef_linalg::vector::dot(v_pos, &cg[c * m..(c + 1) * m]);
-            }
-            let norms = &self.provenance.class_hessian_norms0[i];
-            let mu = self.provenance.hessian_norms0[i];
-            let gterm = (1.0 - gamma) / 2.0;
-            let mut best_i0 = f64::INFINITY;
-            let mut best_ub = f64::INFINITY;
-            let mut lb_min = f64::INFINITY;
-            for c in 0..c_count {
-                let delta = data.label(i).delta_to(c);
-                let mut acc = 0.0;
-                let mut signed = 0.0;
-                let mut absolute = 0.0;
-                for (k, &d) in delta.iter().enumerate() {
-                    acc += d * class_dots[k];
-                    signed += d * norms[k];
-                    absolute += d.abs() * norms[k];
-                }
-                if gamma < 1.0 {
-                    acc += (1.0 - gamma) * g_dot;
-                }
-                let i0 = -acc;
-                let mut lo = 0.5 * (signed * e1 - absolute * e2) + gterm * (e1 - e2) * mu;
-                let mut hi = 0.5 * (signed * e1 + absolute * e2) + gterm * (e1 + e2) * mu;
-                if self.slack != 1.0 {
-                    let mid = 0.5 * (lo + hi);
-                    let half = 0.5 * (hi - lo) * self.slack;
-                    lo = mid - half;
-                    hi = mid + half;
-                }
-                if i0 < best_i0 {
-                    best_i0 = i0;
-                    best_ub = i0 + hi;
-                }
-                lb_min = lb_min.min(i0 + lo);
-            }
-            entries.push(Entry {
-                index: i,
-                i0: best_i0,
-                ub: best_ub,
-                lb_min,
-            });
-        }
+        // with its interval (`bound_entry`). Entries are independent, so
+        // with the `parallel` feature large pools fan out over the thread
+        // pool with one `class_dots` scratch per worker chunk — results
+        // are bit-identical to the serial pass (no cross-sample
+        // reduction) and arrive in pool order either way.
+        #[cfg(feature = "parallel")]
+        let entries: Vec<Entry> = if allow_parallel && pool.len() >= PAR_GRAIN {
+            use rayon::prelude::*;
+            pool.par_iter()
+                .map_init(
+                    || vec![0.0; c_count],
+                    |class_dots, &i| self.bound_entry(data, m, v_pos, e1, e2, gamma, i, class_dots),
+                )
+                .collect()
+        } else {
+            let mut class_dots = vec![0.0; c_count];
+            pool.iter()
+                .map(|&i| self.bound_entry(data, m, v_pos, e1, e2, gamma, i, &mut class_dots))
+                .collect()
+        };
+        #[cfg(not(feature = "parallel"))]
+        let entries: Vec<Entry> = {
+            let mut class_dots = vec![0.0; c_count];
+            pool.iter()
+                .map(|&i| self.bound_entry(data, m, v_pos, e1, e2, gamma, i, &mut class_dots))
+                .collect()
+        };
+        let mut entries = entries;
 
         // Top-b smallest I₀ (Algorithm 1 line 3) and the largest upper
         // bound L among them (line 4).
@@ -294,10 +435,7 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
-    fn fixture(
-        n: usize,
-        seed: u64,
-    ) -> (LogisticRegression, WeightedObjective, Dataset, Dataset) {
+    fn fixture(n: usize, seed: u64) -> (LogisticRegression, WeightedObjective, Dataset, Dataset) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut raw = Vec::new();
         let mut labels = Vec::new();

@@ -165,8 +165,49 @@ pub fn rank_infl<M: Model + ?Sized>(
     rank_infl_with_vector(model, data, w, &v, candidates, objective.gamma)
 }
 
+/// Minimum number of candidates before [`rank_infl_with_vector`] fans
+/// scoring out over the thread pool. Each candidate costs `C + 1` dense
+/// gradients, so a lower grain than chef-model's accumulation gate pays
+/// off. Length-only, so the chosen code path is machine-independent.
+#[cfg(feature = "parallel")]
+const PAR_GRAIN: usize = 128;
+
+/// Score one candidate: best (most negative) Eq. 6 influence over the
+/// `C` class perturbations. Shared by the serial and parallel rankers.
+fn score_candidate<M: Model + ?Sized>(
+    model: &M,
+    data: &Dataset,
+    w: &[f64],
+    v: &[f64],
+    index: usize,
+    gamma: f64,
+    scratch: &mut InflScratch,
+) -> InflScore {
+    let mut best_class = 0;
+    let mut best = f64::INFINITY;
+    for c in 0..model.num_classes() {
+        let s = influence_of_label(model, data, w, v, index, c, gamma, scratch);
+        if s < best {
+            best = s;
+            best_class = c;
+        }
+    }
+    InflScore {
+        index,
+        suggested: best_class,
+        score: best,
+    }
+}
+
 /// [`rank_infl`] with a precomputed influence vector (lets callers share
 /// one CG solve across selector variants).
+///
+/// With the `parallel` feature (default), candidate sets of at least
+/// `PAR_GRAIN` are scored across the thread pool with one [`InflScratch`]
+/// per worker chunk. Per-candidate scores carry no cross-sample
+/// reduction, so parallel scores are bit-identical to serial ones; only
+/// the tie order of exactly-equal scores could differ, and the final
+/// sort is over the same values either way.
 pub fn rank_infl_with_vector<M: Model + ?Sized>(
     model: &M,
     data: &Dataset,
@@ -175,26 +216,37 @@ pub fn rank_infl_with_vector<M: Model + ?Sized>(
     candidates: &[usize],
     gamma: f64,
 ) -> Vec<InflScore> {
+    #[cfg(feature = "parallel")]
+    if candidates.len() >= PAR_GRAIN {
+        use rayon::prelude::*;
+        let mut scores: Vec<InflScore> = candidates
+            .par_iter()
+            .map_init(
+                || InflScratch::new(model),
+                |scratch, &i| score_candidate(model, data, w, v, i, gamma, scratch),
+            )
+            .collect();
+        scores.sort_by(|a, b| a.score.total_cmp(&b.score));
+        return scores;
+    }
+    rank_infl_with_vector_serial(model, data, w, v, candidates, gamma)
+}
+
+/// Single-threaded [`rank_infl_with_vector`]. Always compiled; the
+/// public entry point falls back to it below the parallel grain size,
+/// and the speedup bench calls it directly as the baseline.
+pub fn rank_infl_with_vector_serial<M: Model + ?Sized>(
+    model: &M,
+    data: &Dataset,
+    w: &[f64],
+    v: &[f64],
+    candidates: &[usize],
+    gamma: f64,
+) -> Vec<InflScore> {
     let mut scratch = InflScratch::new(model);
-    let c_count = model.num_classes();
     let mut scores: Vec<InflScore> = candidates
         .iter()
-        .map(|&i| {
-            let mut best_class = 0;
-            let mut best = f64::INFINITY;
-            for c in 0..c_count {
-                let s = influence_of_label(model, data, w, v, i, c, gamma, &mut scratch);
-                if s < best {
-                    best = s;
-                    best_class = c;
-                }
-            }
-            InflScore {
-                index: i,
-                suggested: best_class,
-                score: best,
-            }
-        })
+        .map(|&i| score_candidate(model, data, w, v, i, gamma, &mut scratch))
         .collect();
     scores.sort_by(|a, b| a.score.total_cmp(&b.score));
     scores

@@ -41,7 +41,10 @@ pub mod selector;
 pub use annotation::{AnnotationConfig, AnnotationOutcome, AnnotationPhase, LabelStrategy};
 pub use constructor::{ConstructorKind, ModelConstructor};
 pub use increm::{IncremInfl, IncremStats};
-pub use influence::{influence_vector, rank_infl, InflConfig, InflScore};
+pub use influence::{
+    influence_vector, rank_infl, rank_infl_with_vector, rank_infl_with_vector_serial, InflConfig,
+    InflScore,
+};
 pub use lissa::{lissa_influence_vector, lissa_solve, LissaConfig};
 pub use metrics::{accuracy, confusion_matrix, evaluate_f1, f1_score, macro_f1, Evaluation};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, RoundReport};

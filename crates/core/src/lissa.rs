@@ -22,8 +22,8 @@
 //! for strictly-streaming access to the data — the variant a deployment
 //! with out-of-core training sets would use.
 
-use chef_model::{Dataset, Model, WeightedObjective};
 use chef_linalg::vector;
+use chef_model::{Dataset, Model, WeightedObjective};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -210,7 +210,9 @@ mod tests {
         let top = |v: &[f64]| {
             let mut r = rank_infl_with_vector(&model, &data, &w, v, &pool, obj.gamma);
             r.truncate(10);
-            r.into_iter().map(|s| s.index).collect::<std::collections::HashSet<_>>()
+            r.into_iter()
+                .map(|s| s.index)
+                .collect::<std::collections::HashSet<_>>()
         };
         let overlap = top(&v_cg).intersection(&top(&v_li)).count();
         assert!(overlap >= 7, "top-10 overlap only {overlap}");

@@ -139,10 +139,7 @@ mod tests {
         let n = points.len();
         Dataset::new(
             Matrix::from_vec(n, 1, points.iter().map(|p| p.0).collect()),
-            points
-                .iter()
-                .map(|p| SoftLabel::onehot(p.1, 2))
-                .collect(),
+            points.iter().map(|p| SoftLabel::onehot(p.1, 2)).collect(),
             vec![true; n],
             points.iter().map(|p| Some(p.1)).collect(),
             2,

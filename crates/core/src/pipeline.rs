@@ -111,9 +111,7 @@ impl PipelineReport {
 
     /// Validation F1 after the last round.
     pub fn final_val_f1(&self) -> f64 {
-        self.rounds
-            .last()
-            .map_or(self.initial_val_f1, |r| r.val_f1)
+        self.rounds.last().map_or(self.initial_val_f1, |r| r.val_f1)
     }
 
     /// Accumulated selector time across rounds.
@@ -163,13 +161,8 @@ impl Pipeline {
         let init = ctor.initial_train(model, &cfg.objective, &data);
         let mut trace = init.trace;
         let mut w_raw = init.w;
-        let (mut w_eval, _) = select_early_stop(
-            model,
-            &cfg.objective,
-            val,
-            &trace.epoch_checkpoints,
-            &w_raw,
-        );
+        let (mut w_eval, _) =
+            select_early_stop(model, &cfg.objective, val, &trace.epoch_checkpoints, &w_raw);
         let initial_val_f1 = evaluate_f1(model, &w_eval, val).f1;
         let initial_test_f1 = evaluate_f1(model, &w_eval, test).f1;
 
@@ -240,18 +233,12 @@ impl Pipeline {
             cleaned_total += changed.len();
 
             // ---- Model constructor phase. ----
-            let update =
-                ctor.update(model, &cfg.objective, &old_data, &data, &changed, &trace);
+            let update = ctor.update(model, &cfg.objective, &old_data, &data, &changed, &trace);
             let update_time = update.elapsed;
             w_raw = update.w;
             trace = update.trace;
-            let (we, _) = select_early_stop(
-                model,
-                &cfg.objective,
-                val,
-                &trace.epoch_checkpoints,
-                &w_raw,
-            );
+            let (we, _) =
+                select_early_stop(model, &cfg.objective, val, &trace.epoch_checkpoints, &w_raw);
             w_eval = we;
 
             let val_f1 = evaluate_f1(model, &w_eval, val).f1;

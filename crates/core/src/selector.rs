@@ -97,7 +97,14 @@ impl SampleSelector for InflSelector {
     }
 
     fn select(&mut self, ctx: &SelectorContext<'_>) -> Vec<Selection> {
-        let v = influence_vector(ctx.model, ctx.objective, ctx.data, ctx.val, ctx.w, &self.cfg);
+        let v = influence_vector(
+            ctx.model,
+            ctx.objective,
+            ctx.data,
+            ctx.val,
+            ctx.w,
+            &self.cfg,
+        );
         if self.use_increm && self.increm.is_none() {
             // Initialization step: freeze provenance at w⁽⁰⁾.
             self.increm = Some(IncremInfl::initialize(ctx.model, ctx.data, ctx.w));
@@ -116,8 +123,14 @@ impl SampleSelector for InflSelector {
             scores
         } else {
             self.last_stats = None;
-            let mut s =
-                rank_infl_with_vector(ctx.model, ctx.data, ctx.w, &v, ctx.pool, ctx.objective.gamma);
+            let mut s = rank_infl_with_vector(
+                ctx.model,
+                ctx.data,
+                ctx.w,
+                &v,
+                ctx.pool,
+                ctx.objective.gamma,
+            );
             s.truncate(ctx.b);
             s
         };

@@ -22,7 +22,13 @@ fn dataset(points: Vec<(f64, f64, bool)>, probs: Vec<f64>) -> Dataset {
         labels.push(SoftLabel::new(vec![*p, 1.0 - *p]));
         truth.push(Some(usize::from(*t)));
     }
-    Dataset::new(Matrix::from_vec(n, 2, raw), labels, vec![false; n], truth, 2)
+    Dataset::new(
+        Matrix::from_vec(n, 2, raw),
+        labels,
+        vec![false; n],
+        truth,
+        2,
+    )
 }
 
 fn val_set(points: &[(f64, f64, bool)]) -> Dataset {

@@ -82,9 +82,7 @@ pub fn write_dataset(data: &Dataset, path: impl AsRef<Path>) -> Result<(), CsvEr
 /// Parse a dataset from CSV text.
 pub fn dataset_from_csv(text: &str) -> Result<Dataset, CsvError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty file"))?;
+    let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty file"))?;
     let mut dim = None;
     let mut classes = None;
     for part in header.split(',') {
@@ -226,7 +224,9 @@ mod tests {
         let mut split = crate::generate(&spec, 3);
         split.train.set_label(0, SoftLabel::new(vec![0.25, 0.75]));
         split.train.mark_uncleaned(0);
-        split.train.push(&[1.0, 2.0, 3.0, 4.0], SoftLabel::uniform(2), false, None);
+        split
+            .train
+            .push(&[1.0, 2.0, 3.0, 4.0], SoftLabel::uniform(2), false, None);
         split.train
     }
 

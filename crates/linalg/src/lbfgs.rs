@@ -200,7 +200,10 @@ mod tests {
         }
         let bs = buf.hessian_vec(&last_s);
         for (got, want) in bs.iter().zip(&last_y) {
-            assert!((got - want).abs() < 1e-8, "secant violated: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 1e-8,
+                "secant violated: {got} vs {want}"
+            );
         }
     }
 

@@ -62,7 +62,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "Matrix::from_rows: ragged input");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.

@@ -182,7 +182,11 @@ mod tests {
 
     #[test]
     fn eigenvector_satisfies_definition() {
-        let a = Matrix::from_rows(&[vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]);
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
         let cfg = PowerConfig {
             max_iters: 2000,
             tol: 1e-14,

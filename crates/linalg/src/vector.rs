@@ -200,7 +200,10 @@ mod tests {
     fn add_sub_lincomb() {
         assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]), vec![2.0, -3.0]);
         assert_eq!(add(&[3.0, 2.0], &[1.0, 5.0]), vec![4.0, 7.0]);
-        assert_eq!(lincomb(2.0, &[1.0, 0.0], -1.0, &[0.0, 3.0]), vec![2.0, -3.0]);
+        assert_eq!(
+            lincomb(2.0, &[1.0, 0.0], -1.0, &[0.0, 3.0]),
+            vec![2.0, -3.0]
+        );
     }
 
     #[test]

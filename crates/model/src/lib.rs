@@ -33,4 +33,4 @@ pub use label::SoftLabel;
 pub use logreg::LogisticRegression;
 pub use mlp::Mlp;
 pub use model::Model;
-pub use objective::{HessianOperator, WeightedObjective};
+pub use objective::{HessianOperator, WeightedObjective, PAR_GRAIN};

@@ -256,7 +256,13 @@ mod tests {
         let m = Mlp::new(2, 3, 2);
         let w = m.init_params(3);
         let mut out = vec![1.0; m.num_params()];
-        m.hvp(&w, &[0.5, 0.5], &SoftLabel::uniform(2), &vec![0.0; m.num_params()], &mut out);
+        m.hvp(
+            &w,
+            &[0.5, 0.5],
+            &SoftLabel::uniform(2),
+            &vec![0.0; m.num_params()],
+            &mut out,
+        );
         assert!(out.iter().all(|&v| v == 0.0));
     }
 

@@ -16,6 +16,48 @@ use crate::label::SoftLabel;
 use crate::model::Model;
 use chef_linalg::{vector, LinearOperator};
 
+/// Minimum number of per-sample terms before the `parallel` feature fans
+/// an accumulation out to the thread pool. Below this the scoped-thread
+/// overhead outweighs the work, so the serial path runs. The gate
+/// depends only on the input length — never the machine — so which code
+/// path computes a result is reproducible everywhere.
+pub const PAR_GRAIN: usize = 512;
+
+/// Parallel weighted accumulation `out = Σ_j weight(j) · term_j`, where
+/// `term(j, scratch)` writes the `j`-th length-`m` vector into `scratch`.
+///
+/// Each worker chunk folds into a thread-local accumulator (one scratch +
+/// one partial-sum allocation per chunk, not per term) and the per-chunk
+/// partial sums are combined **in chunk order**, so the floating-point
+/// reduction order is deterministic for a given input length regardless
+/// of the thread count.
+#[cfg(feature = "parallel")]
+fn par_weighted_sum<T, W>(m: usize, len: usize, term: T, weight: W, out: &mut [f64])
+where
+    T: Fn(usize, &mut [f64]) + Sync,
+    W: Fn(usize) -> f64 + Sync,
+{
+    use rayon::prelude::*;
+    let (sum, _scratch) = (0..len)
+        .into_par_iter()
+        .fold(
+            || (vec![0.0; m], vec![0.0; m]),
+            |(mut sum, mut scratch), j| {
+                term(j, &mut scratch);
+                vector::axpy(weight(j), &scratch, &mut sum);
+                (sum, scratch)
+            },
+        )
+        .reduce(
+            || (vec![0.0; m], Vec::new()),
+            |(mut a, s), (b, _)| {
+                vector::axpy(1.0, &b, &mut a);
+                (a, s)
+            },
+        );
+    out.copy_from_slice(&sum);
+}
+
 /// Weighted, L2-regularized empirical risk (paper Eq. 1).
 #[derive(Debug, Clone, Copy)]
 pub struct WeightedObjective {
@@ -68,7 +110,38 @@ impl WeightedObjective {
 
     /// Minibatch gradient
     /// `∇F(w, B) = (1/|B|) Σ_{z∈B} γ_z ∇F(w, z) + λw` into `out`.
+    ///
+    /// With the `parallel` feature (default) batches of at least
+    /// [`PAR_GRAIN`] samples are accumulated across the thread pool with
+    /// a deterministic chunk-ordered reduction; smaller batches (and
+    /// `--no-default-features` builds) use [`Self::batch_grad_serial`].
     pub fn batch_grad<M: Model + ?Sized>(
+        &self,
+        model: &M,
+        data: &Dataset,
+        batch: &[usize],
+        w: &[f64],
+        out: &mut [f64],
+    ) {
+        #[cfg(feature = "parallel")]
+        if batch.len() >= PAR_GRAIN {
+            par_weighted_sum(
+                model.num_params(),
+                batch.len(),
+                |j, g| model.grad(w, data.feature(batch[j]), data.label(batch[j]), g),
+                |j| data.weight(batch[j], self.gamma),
+                out,
+            );
+            vector::scale(1.0 / batch.len() as f64, out);
+            vector::axpy(self.l2, w, out);
+            return;
+        }
+        self.batch_grad_serial(model, data, batch, w, out)
+    }
+
+    /// Single-threaded [`Self::batch_grad`]. Always compiled; the public
+    /// entry point falls back to it below the parallel grain size.
+    pub fn batch_grad_serial<M: Model + ?Sized>(
         &self,
         model: &M,
         data: &Dataset,
@@ -90,7 +163,35 @@ impl WeightedObjective {
 
     /// Full-dataset Hessian-vector product
     /// `H(w) v = (1/N) Σ γ_z H(w, z) v + λ v` into `out`.
+    ///
+    /// Parallelized above [`PAR_GRAIN`] samples like [`Self::batch_grad`].
     pub fn hvp<M: Model + ?Sized>(
+        &self,
+        model: &M,
+        data: &Dataset,
+        w: &[f64],
+        v: &[f64],
+        out: &mut [f64],
+    ) {
+        #[cfg(feature = "parallel")]
+        if data.len() >= PAR_GRAIN {
+            par_weighted_sum(
+                model.num_params(),
+                data.len(),
+                |i, h| model.hvp(w, data.feature(i), data.label(i), v, h),
+                |i| data.weight(i, self.gamma),
+                out,
+            );
+            vector::scale(1.0 / data.len() as f64, out);
+            vector::axpy(self.l2, v, out);
+            return;
+        }
+        self.hvp_serial(model, data, w, v, out)
+    }
+
+    /// Single-threaded [`Self::hvp`]. Always compiled; the public entry
+    /// point falls back to it below the parallel grain size.
+    pub fn hvp_serial<M: Model + ?Sized>(
         &self,
         model: &M,
         data: &Dataset,
@@ -114,6 +215,33 @@ impl WeightedObjective {
     /// estimator of Koh & Liang): `(1/|batch|) Σ_{i∈batch} γ_z H(w, z_i) v
     /// + λ v` into `out`.
     pub fn batch_hvp<M: Model + ?Sized>(
+        &self,
+        model: &M,
+        data: &Dataset,
+        batch: &[usize],
+        w: &[f64],
+        v: &[f64],
+        out: &mut [f64],
+    ) {
+        #[cfg(feature = "parallel")]
+        if batch.len() >= PAR_GRAIN {
+            par_weighted_sum(
+                model.num_params(),
+                batch.len(),
+                |j, h| model.hvp(w, data.feature(batch[j]), data.label(batch[j]), v, h),
+                |j| data.weight(batch[j], self.gamma),
+                out,
+            );
+            vector::scale(1.0 / batch.len() as f64, out);
+            vector::axpy(self.l2, v, out);
+            return;
+        }
+        self.batch_hvp_serial(model, data, batch, w, v, out)
+    }
+
+    /// Single-threaded [`Self::batch_hvp`]. Always compiled; the public
+    /// entry point falls back to it below the parallel grain size.
+    pub fn batch_hvp_serial<M: Model + ?Sized>(
         &self,
         model: &M,
         data: &Dataset,
@@ -146,7 +274,33 @@ impl WeightedObjective {
     }
 
     /// Gradient of [`Self::val_loss`]: `∇_w F(w, Z_val)` into `out`.
+    ///
+    /// Parallelized above [`PAR_GRAIN`] samples like [`Self::batch_grad`].
     pub fn val_grad<M: Model + ?Sized>(
+        &self,
+        model: &M,
+        val: &Dataset,
+        w: &[f64],
+        out: &mut [f64],
+    ) {
+        #[cfg(feature = "parallel")]
+        if val.len() >= PAR_GRAIN {
+            par_weighted_sum(
+                model.num_params(),
+                val.len(),
+                |i, g| model.grad(w, val.feature(i), val.label(i), g),
+                |_| 1.0,
+                out,
+            );
+            vector::scale(1.0 / val.len() as f64, out);
+            return;
+        }
+        self.val_grad_serial(model, val, w, out)
+    }
+
+    /// Single-threaded [`Self::val_grad`]. Always compiled; the public
+    /// entry point falls back to it below the parallel grain size.
+    pub fn val_grad_serial<M: Model + ?Sized>(
         &self,
         model: &M,
         val: &Dataset,
@@ -372,14 +526,47 @@ mod tests {
         let model = LogisticRegression::new(2, 2);
         let obj = WeightedObjective::new(0.8, 0.2);
         let w = vec![1.0; model.num_params()];
-        assert!(
-            (obj.batch_loss(&model, &data, &[], &w) - 0.1 * w.len() as f64).abs() < 1e-12
-        );
+        assert!((obj.batch_loss(&model, &data, &[], &w) - 0.1 * w.len() as f64).abs() < 1e-12);
         let mut g = vec![0.0; model.num_params()];
         obj.batch_grad(&model, &data, &[], &w, &mut g);
         for gi in &g {
             assert!((gi - 0.2).abs() < 1e-12);
         }
+    }
+
+    /// The chunk-ordered parallel reduction may associate the sum
+    /// differently than the flat serial loop, so equality is up to
+    /// floating-point drift far below anything the selector can resolve.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_accumulation_matches_serial() {
+        let n = PAR_GRAIN * 2 + 17;
+        let data = toy_data(n, 4, 11);
+        let model = LogisticRegression::new(4, 2);
+        let obj = WeightedObjective::new(0.7, 0.03);
+        let m = model.num_params();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let w: Vec<f64> = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let v: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let batch: Vec<usize> = (0..n).collect();
+        let close = |a: &[f64], b: &[f64], what: &str| {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-10, "{what}: {x} vs {y}");
+            }
+        };
+        let (mut pa, mut se) = (vec![0.0; m], vec![0.0; m]);
+        obj.batch_grad(&model, &data, &batch, &w, &mut pa);
+        obj.batch_grad_serial(&model, &data, &batch, &w, &mut se);
+        close(&pa, &se, "batch_grad");
+        obj.hvp(&model, &data, &w, &v, &mut pa);
+        obj.hvp_serial(&model, &data, &w, &v, &mut se);
+        close(&pa, &se, "hvp");
+        obj.batch_hvp(&model, &data, &batch, &w, &v, &mut pa);
+        obj.batch_hvp_serial(&model, &data, &batch, &w, &v, &mut se);
+        close(&pa, &se, "batch_hvp");
+        obj.val_grad(&model, &data, &w, &mut pa);
+        obj.val_grad_serial(&model, &data, &w, &mut se);
+        close(&pa, &se, "val_grad");
     }
 
     #[test]
@@ -389,10 +576,7 @@ mod tests {
         let w = vec![0.1; model.num_params()];
         let a = WeightedObjective::new(0.1, 0.5);
         let b = WeightedObjective::new(1.0, 0.0);
-        assert_eq!(
-            a.val_loss(&model, &data, &w),
-            b.val_loss(&model, &data, &w)
-        );
+        assert_eq!(a.val_loss(&model, &data, &w), b.val_loss(&model, &data, &w));
         let mut ga = vec![0.0; model.num_params()];
         let mut gb = vec![0.0; model.num_params()];
         a.val_grad(&model, &data, &w, &mut ga);

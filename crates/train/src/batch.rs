@@ -81,15 +81,15 @@ impl BatchPlan {
     /// The minibatches of one epoch, in iteration order.
     pub fn epoch_batches(&self, epoch: usize) -> Vec<Vec<usize>> {
         let order = self.epoch_order(epoch);
-        order
-            .chunks(self.batch_size)
-            .map(|c| c.to_vec())
-            .collect()
+        order.chunks(self.batch_size).map(|c| c.to_vec()).collect()
     }
 
     /// The minibatch of global iteration `t` (`0 ≤ t < total_iterations`).
     pub fn batch_at(&self, t: usize) -> Vec<usize> {
-        assert!(t < self.total_iterations(), "BatchPlan: iteration out of range");
+        assert!(
+            t < self.total_iterations(),
+            "BatchPlan: iteration out of range"
+        );
         let per = self.batches_per_epoch();
         let epoch = t / per;
         let slot = t % per;

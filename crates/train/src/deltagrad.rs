@@ -217,10 +217,15 @@ mod tests {
 
     fn clean_some(data: &Dataset, k: usize) -> (Dataset, Vec<usize>) {
         let mut new_data = data.clone();
-        let changed: Vec<usize> = (0..k).collect();
-        for &i in &changed {
-            let truth = data.ground_truth(i).unwrap();
+        // Samples without a reference label abstain (are skipped) rather
+        // than panicking — mirrors the production annotation policy.
+        let mut changed = Vec::new();
+        for i in 0..k {
+            let Some(truth) = data.ground_truth(i) else {
+                continue;
+            };
             new_data.clean_label(i, SoftLabel::onehot(truth, 2));
+            changed.push(i);
         }
         (new_data, changed)
     }
@@ -323,13 +328,21 @@ mod tests {
             &DeltaGradConfig::default(),
         );
         let mut data2 = data1.clone();
-        let changed2: Vec<usize> = (4..8).collect();
-        for &i in &changed2 {
-            let truth = data.ground_truth(i).unwrap();
+        let mut changed2 = Vec::new();
+        for i in 4..8 {
+            let Some(truth) = data.ground_truth(i) else {
+                continue;
+            };
             data2.clean_label(i, SoftLabel::onehot(truth, 2));
+            changed2.push(i);
         }
         let dg2 = deltagrad_update(
-            &model, &obj, &data1, &data2, &changed2, &dg1.trace,
+            &model,
+            &obj,
+            &data1,
+            &data2,
+            &changed2,
+            &dg1.trace,
             &DeltaGradConfig::default(),
         );
         let retrain = train(&model, &obj, &data2, &model.init_params(), &cfg);

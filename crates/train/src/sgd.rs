@@ -158,13 +158,7 @@ mod tests {
             labels.push(SoftLabel::onehot(c, 2));
             truth.push(Some(c));
         }
-        Dataset::new(
-            Matrix::from_vec(n, 2, raw),
-            labels,
-            vec![true; n],
-            truth,
-            2,
-        )
+        Dataset::new(Matrix::from_vec(n, 2, raw), labels, vec![true; n], truth, 2)
     }
 
     #[test]
@@ -184,7 +178,13 @@ mod tests {
         let data = separable_data(300, 2);
         let model = LogisticRegression::new(2, 2);
         let obj = WeightedObjective::new(1.0, 0.01);
-        let out = train(&model, &obj, &data, &model.init_params(), &SgdConfig::default());
+        let out = train(
+            &model,
+            &obj,
+            &data,
+            &model.init_params(),
+            &SgdConfig::default(),
+        );
         let correct = (0..data.len())
             .filter(|&i| Some(model.predict_class(&out.w, data.feature(i))) == data.ground_truth(i))
             .count();
@@ -258,7 +258,8 @@ mod tests {
         };
         let out = train(&model, &obj, &data, &model.init_params(), &cfg);
         let trace = out.trace.unwrap();
-        let (best_w, best_e) = select_early_stop(&model, &obj, &val, &trace.epoch_checkpoints, &out.w);
+        let (best_w, best_e) =
+            select_early_stop(&model, &obj, &val, &trace.epoch_checkpoints, &out.w);
         let best_loss = obj.val_loss(&model, &val, &best_w);
         for w in &trace.epoch_checkpoints {
             assert!(obj.val_loss(&model, &val, w) >= best_loss - 1e-12);

@@ -104,8 +104,8 @@ proptest! {
         let base = train(&model, &obj, &data, &model.initial_params(0), &cfg);
         let mut new_data = data.clone();
         let mut changed = Vec::new();
-        for i in 0..data.len() {
-            if edit[i] && changed.len() < 5 {
+        for (i, &flip) in edit.iter().enumerate().take(data.len()) {
+            if flip && changed.len() < 5 {
                 new_data.clean_label(i, SoftLabel::onehot(new_class, 2));
                 changed.push(i);
             }

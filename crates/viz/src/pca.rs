@@ -135,10 +135,7 @@ mod tests {
         let (proj, _, evals) = pca(&data, 1);
         let n = proj.rows();
         let mean: f64 = (0..n).map(|i| proj[(i, 0)]).sum::<f64>() / n as f64;
-        let var: f64 = (0..n)
-            .map(|i| (proj[(i, 0)] - mean).powi(2))
-            .sum::<f64>()
-            / (n - 1) as f64;
+        let var: f64 = (0..n).map(|i| (proj[(i, 0)] - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         assert!(
             (var - evals[0]).abs() < 1e-6 * evals[0],
             "var {var} vs eigenvalue {}",

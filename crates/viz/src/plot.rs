@@ -84,7 +84,12 @@ impl ScatterPlot {
 
     /// Data bounding box `(xmin, xmax, ymin, ymax)`; unit box if empty.
     fn bounds(&self) -> (f64, f64, f64, f64) {
-        let mut b = (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        let mut b = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
         for s in &self.series {
             for &(x, y) in &s.points {
                 b.0 = b.0.min(x);
@@ -191,11 +196,7 @@ impl ScatterPlot {
 }
 
 /// Write rows of named columns as CSV (header + `rows`).
-pub fn write_csv(
-    path: impl AsRef<Path>,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_csv(path: impl AsRef<Path>, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     let mut out = String::new();
     out.push_str(&header.join(","));
     out.push('\n');
@@ -243,10 +244,7 @@ mod tests {
         write_csv(
             &path,
             &["a", "b"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["3".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
         )
         .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

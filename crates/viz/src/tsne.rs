@@ -320,8 +320,7 @@ mod tests {
         let (data, _) = blobs(15, 2);
         let emb = tsne(&data, &quick_cfg());
         for k in 0..2 {
-            let mean: f64 =
-                (0..emb.rows()).map(|i| emb.row(i)[k]).sum::<f64>() / emb.rows() as f64;
+            let mean: f64 = (0..emb.rows()).map(|i| emb.row(i)[k]).sum::<f64>() / emb.rows() as f64;
             assert!(mean.abs() < 1e-9, "dimension {k} mean {mean}");
         }
         assert!(emb.as_slice().iter().all(|v| v.is_finite()));
@@ -366,7 +365,10 @@ mod tests {
                 .filter(|&&p| p > 1e-12)
                 .map(|&p| p * p.ln())
                 .sum::<f64>();
-            assert!((entropy - target).abs() < 1e-3, "row {i}: entropy {entropy}");
+            assert!(
+                (entropy - target).abs() < 1e-3,
+                "row {i}: entropy {entropy}"
+            );
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
     }

@@ -74,9 +74,7 @@ pub fn majority_vote(votes: &[usize], num_classes: usize) -> VoteOutcome {
         assert!(v < num_classes, "majority_vote: vote out of range");
         counts[v] += 1;
     }
-    let best = chef_linalg::vector::argmax(
-        &counts.iter().map(|&c| c as f64).collect::<Vec<_>>(),
-    );
+    let best = chef_linalg::vector::argmax(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>());
     let top = counts[best];
     // Strict majority means the top count is unique.
     if counts.iter().filter(|&&c| c == top).count() == 1 {

@@ -56,10 +56,7 @@ impl LabelModel {
 
     /// Collect the vote matrix: `votes[i][j]` is LF `j`'s vote on sample
     /// `i` (`None` = abstain).
-    fn collect_votes(
-        lfs: &[Box<dyn LabelingFunction>],
-        data: &Dataset,
-    ) -> Vec<Vec<Option<usize>>> {
+    fn collect_votes(lfs: &[Box<dyn LabelingFunction>], data: &Dataset) -> Vec<Vec<Option<usize>>> {
         (0..data.len())
             .map(|i| lfs.iter().map(|lf| lf.vote(data.feature(i))).collect())
             .collect()
@@ -155,13 +152,7 @@ mod tests {
             labels.push(SoftLabel::onehot(t, 2));
             truth.push(Some(t));
         }
-        Dataset::new(
-            Matrix::from_vec(n, 2, raw),
-            labels,
-            vec![true; n],
-            truth,
-            2,
-        )
+        Dataset::new(Matrix::from_vec(n, 2, raw), labels, vec![true; n], truth, 2)
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use chef_linalg::Matrix;
 use chef_model::{Dataset, SoftLabel};
-use chef_weak::{majority_vote, AnnotatorPanel, HyperplaneLf, LabelModel, LabelingFunction, VoteOutcome};
+use chef_weak::{
+    majority_vote, AnnotatorPanel, HyperplaneLf, LabelModel, LabelingFunction, VoteOutcome,
+};
 use proptest::prelude::*;
 
 fn line_data(n: usize) -> Dataset {

@@ -33,8 +33,16 @@ fn main() {
 
     let model = LogisticRegression::new(split.train.dim(), split.train.num_classes());
     let strategies = [
-        ("Infl (one)  — 3 crowd workers", LabelStrategy::HumansOnly(3), 3),
-        ("Infl (two)  — suggestion only", LabelStrategy::SuggestionOnly, 0),
+        (
+            "Infl (one)  — 3 crowd workers",
+            LabelStrategy::HumansOnly(3),
+            3,
+        ),
+        (
+            "Infl (two)  — suggestion only",
+            LabelStrategy::SuggestionOnly,
+            0,
+        ),
         (
             "Infl (three) — suggestion + 2 workers",
             LabelStrategy::SuggestionPlusHumans(2),

@@ -46,13 +46,8 @@ fn main() {
         round_size: 10,
         ..PipelineConfig::default()
     };
-    let report = Pipeline::new(config).run(
-        &model,
-        split.train,
-        &split.val,
-        &split.test,
-        &mut selector,
-    );
+    let report =
+        Pipeline::new(config).run(&model, split.train, &split.val, &split.test, &mut selector);
     println!(
         "cleaned {} labels: test F1 {:.4} → {:.4}",
         report.cleaned_total,

@@ -59,13 +59,8 @@ fn main() {
     // 4. Run.
     let model = LogisticRegression::new(split.train.dim(), split.train.num_classes());
     let mut selector = InflSelector::incremental();
-    let report = Pipeline::new(config).run(
-        &model,
-        split.train,
-        &split.val,
-        &split.test,
-        &mut selector,
-    );
+    let report =
+        Pipeline::new(config).run(&model, split.train, &split.val, &split.test, &mut selector);
 
     // 5. Inspect.
     println!(

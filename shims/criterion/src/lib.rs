@@ -1,0 +1,256 @@
+//! Offline drop-in replacement for the subset of [`criterion`] this
+//! workspace's benches use.
+//!
+//! The build container cannot reach crates.io, so the real criterion
+//! cannot be fetched. This shim keeps the bench sources compatible
+//! (`criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`)
+//! and reports wall-clock statistics to stdout:
+//!
+//! ```text
+//! selector_round/full        time: median 1.23 ms  mean 1.25 ms  (20 samples)
+//! ```
+//!
+//! Methodology: one untimed warm-up call, then `sample_size` timed
+//! samples; each sample times a single closure invocation unless the
+//! closure is faster than ~100 µs, in which case invocations are batched
+//! per sample to keep timer quantization below 1%. No statistical
+//! outlier analysis, plots, or baselines.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`group/function/parameter`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Something usable as a bench name: `&str` or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Render to the printed name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting `sample_size` samples after a warm-up
+    /// call. The routine's output is black-boxed so the optimizer cannot
+    /// delete the computation.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        // Pick a per-sample batch so one sample lasts ≳100 µs.
+        let probe = {
+            let t = Instant::now();
+            black_box(routine());
+            t.elapsed()
+        };
+        let batch = if probe < Duration::from_micros(100) {
+            (Duration::from_micros(100).as_nanos() / probe.as_nanos().max(1)).clamp(1, 10_000)
+                as usize
+        } else {
+            1
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_name());
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.criterion.report(&name, &bencher.samples);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (prints nothing extra; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Parse CLI arguments (accepted and ignored: the shim always runs
+    /// every benchmark).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut bencher);
+        self.report(name, &bencher.samples);
+        self
+    }
+
+    fn report(&mut self, name: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{name:<50} time: median {}  mean {}  ({} samples)",
+            fmt_duration(median),
+            fmt_duration(mean),
+            sorted.len()
+        );
+    }
+}
+
+/// Human-scaled duration formatting (ns/µs/ms/s).
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Mirror of `criterion_group!`: bundle bench functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_and_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("trivial", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sized", 4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with("s"));
+    }
+}

@@ -1,0 +1,404 @@
+//! Offline drop-in replacement for the subset of [`rayon`] this
+//! workspace uses, implemented on `std::thread::scope`.
+//!
+//! The build container cannot reach crates.io, so the real rayon cannot
+//! be fetched; this shim keeps the same call-site API (`par_iter`,
+//! `into_par_iter`, `map`, `map_init`, `fold`+`reduce`, `for_each`,
+//! `sum`, `collect`) while making one *stronger* guarantee the selector
+//! hot path relies on:
+//!
+//! **Deterministic chunking.** An input of length `n` is always split
+//! into `min(n, 64)` contiguous chunks whose boundaries depend only on
+//! `n` — never on the worker count. Chunk results are combined in chunk
+//! order. Consequently `fold(..).reduce(..)` produces the *same*
+//! floating-point reduction order no matter how many threads run (or
+//! whether `RAYON_NUM_THREADS=1`), so parallel gradient sums are
+//! reproducible run-to-run and machine-to-machine.
+//!
+//! Scheduling is work-sharing rather than work-stealing: workers pull
+//! the next unclaimed chunk off an atomic counter, which load-balances
+//! uneven chunks to within one chunk's granularity. Threads are scoped
+//! per top-level call; callers on hot inner loops should gate small
+//! inputs (see `chef-model`'s `PAR_GRAIN`).
+//!
+//! [`rayon`]: https://docs.rs/rayon
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Upper bound on the number of chunks an input is split into. 64 keeps
+/// per-call bookkeeping trivial while load-balancing up to 64 workers;
+/// chunk boundaries depend only on input length so reductions are
+/// deterministic across thread counts.
+const MAX_CHUNKS: usize = 64;
+
+/// Number of worker threads: `RAYON_NUM_THREADS` if set and positive,
+/// otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Deterministic chunk boundaries for an input of length `len`:
+/// `min(len, MAX_CHUNKS)` contiguous ranges differing in size by at most
+/// one element.
+fn chunk_bounds(len: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = len.min(MAX_CHUNKS);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let size = base + usize::from(c < extra);
+        bounds.push(start..start + size);
+        start += size;
+    }
+    bounds
+}
+
+/// Run `work` over every chunk of `0..len` and return the per-chunk
+/// results **in chunk order**. Runs inline when only one worker is
+/// available or there is only one chunk.
+fn run_chunks<R, F>(len: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let bounds = chunk_bounds(len);
+    let workers = current_num_threads().min(bounds.len());
+    if workers <= 1 {
+        return bounds.into_iter().map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = bounds.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                let Some(range) = bounds.get(c) else { break };
+                let out = work(range.clone());
+                *slots[c].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap()
+                .expect("worker completed every claimed chunk")
+        })
+        .collect()
+}
+
+/// A parallel pipeline over an indexable source: `len` items produced by
+/// `f(i)`. `map` composes producers; terminal operations fan the index
+/// space out over the thread pool.
+pub struct Par<T, F> {
+    len: usize,
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T, F> Par<T, F>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    fn new(len: usize, f: F) -> Self {
+        Self {
+            len,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of items the pipeline will produce.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pipeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Transform each item (lazy; composes with the producer).
+    pub fn map<U, G>(self, g: G) -> Par<U, impl Fn(usize) -> U + Sync>
+    where
+        U: Send,
+        G: Fn(T) -> U + Sync,
+    {
+        let f = self.f;
+        Par::new(self.len, move |i| g(f(i)))
+    }
+
+    /// Transform each item with per-worker-chunk state created by `init`
+    /// (rayon's `map_init`): `init` runs once per chunk, `g` reuses the
+    /// state across that chunk's items. Terminal — returns the mapped
+    /// items in input order.
+    pub fn map_init<S, U, INIT, G>(self, init: INIT, g: G) -> ParCollected<U>
+    where
+        U: Send,
+        INIT: Fn() -> S + Sync,
+        G: Fn(&mut S, T) -> U + Sync,
+    {
+        let f = &self.f;
+        let parts = run_chunks(self.len, move |range| {
+            let mut state = init();
+            range.map(|i| g(&mut state, f(i))).collect::<Vec<U>>()
+        });
+        ParCollected {
+            items: parts.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Evaluate the pipeline into a collection (order-preserving).
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        let f = &self.f;
+        let parts = run_chunks(self.len, move |range| range.map(f).collect::<Vec<T>>());
+        C::from(parts.into_iter().flatten().collect())
+    }
+
+    /// Run `g` on every item (no ordering guarantee between chunks).
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(T) + Sync,
+    {
+        let f = &self.f;
+        run_chunks(self.len, move |range| range.for_each(|i| g(f(i))));
+    }
+
+    /// Chunk-local fold (rayon's `fold`): `identity` seeds one
+    /// accumulator per chunk, `fold_op` absorbs that chunk's items in
+    /// order. Combine the per-chunk accumulators with
+    /// [`ParFolded::reduce`].
+    pub fn fold<Acc, ID, FO>(self, identity: ID, fold_op: FO) -> ParFolded<Acc>
+    where
+        Acc: Send,
+        ID: Fn() -> Acc + Sync,
+        FO: Fn(Acc, T) -> Acc + Sync,
+    {
+        let f = &self.f;
+        let accs = run_chunks(self.len, move |range| {
+            range.fold(identity(), |acc, i| fold_op(acc, f(i)))
+        });
+        ParFolded { accs }
+    }
+
+    /// Parallel reduction: identity-seeded per chunk, chunk results
+    /// combined in chunk order (deterministic).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        self.fold(&identity, &op)
+            .accs
+            .into_iter()
+            .fold(identity(), op)
+    }
+
+    /// Parallel sum (chunk partial sums added in chunk order).
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<T> + std::iter::Sum<S>,
+    {
+        let f = &self.f;
+        run_chunks(self.len, move |range| range.map(f).sum::<S>())
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Items already evaluated by a terminal `map_init`; only `collect` (and
+/// friends) remain.
+pub struct ParCollected<T> {
+    items: Vec<T>,
+}
+
+impl<T> ParCollected<T> {
+    /// The evaluated items, in input order.
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+/// Per-chunk accumulators produced by [`Par::fold`], combined in chunk
+/// order by [`Self::reduce`].
+pub struct ParFolded<Acc> {
+    accs: Vec<Acc>,
+}
+
+impl<Acc> ParFolded<Acc> {
+    /// Sequentially combine the chunk accumulators (deterministic order).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> Acc
+    where
+        ID: Fn() -> Acc,
+        OP: Fn(Acc, Acc) -> Acc,
+    {
+        self.accs.into_iter().fold(identity(), op)
+    }
+}
+
+/// `.par_iter()` on slices (and through deref, `Vec`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Pipeline type.
+    type Iter;
+
+    /// Parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = Par<&'a T, Box<dyn Fn(usize) -> &'a T + Sync + 'a>>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        Par::new(self.len(), Box::new(move |i| &self[i]))
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = Par<&'a T, Box<dyn Fn(usize) -> &'a T + Sync + 'a>>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.as_slice().par_iter()
+    }
+}
+
+/// `.into_par_iter()` on owned/range sources.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Pipeline type.
+    type Iter;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = Par<usize, Box<dyn Fn(usize) -> usize + Sync>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        let start = self.start;
+        Par::new(self.len(), Box::new(move |i| start + i))
+    }
+}
+
+/// Everything call sites need in scope (mirrors `rayon::prelude`).
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for len in [0usize, 1, 5, 63, 64, 65, 1000, 12345] {
+            let bounds = chunk_bounds(len);
+            let mut covered = 0;
+            for (k, r) in bounds.iter().enumerate() {
+                assert_eq!(r.start, covered, "len {len} chunk {k}");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+            assert!(bounds.len() <= MAX_CHUNKS);
+        }
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (3..103).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 100);
+        assert_eq!(squares[0], 9);
+        assert_eq!(squares[99], 102 * 102);
+    }
+
+    #[test]
+    fn fold_reduce_is_deterministic_and_correct() {
+        let v: Vec<f64> = (0..50_000).map(|i| (i as f64).sin()).collect();
+        let reference: f64 = {
+            // Same chunked order as the parallel path, computed serially.
+            let parts: Vec<f64> = chunk_bounds(v.len())
+                .into_iter()
+                .map(|r| r.map(|i| v[i]).sum())
+                .collect();
+            parts.iter().sum()
+        };
+        for _ in 0..3 {
+            let par: f64 = v
+                .par_iter()
+                .fold(|| 0.0, |acc, &x| acc + x)
+                .reduce(|| 0.0, |a, b| a + b);
+            assert_eq!(par.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn map_init_runs_once_per_chunk() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v
+            .par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0usize
+                },
+                |state, &x| {
+                    *state += 1;
+                    x
+                },
+            )
+            .collect();
+        assert_eq!(out, v);
+        assert!(inits.load(Ordering::Relaxed) <= MAX_CHUNKS);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let total: usize = (0..1_000usize).into_par_iter().sum();
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0..4096).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4096);
+    }
+}

@@ -60,13 +60,8 @@ fn run_with(selector: &mut dyn SampleSelector, seed: u64) -> (f64, f64, Vec<usiz
     let mut split = generate(&spec, seed);
     weaken_split(&mut split, &spec, &WeakenConfig::default());
     let model = LogisticRegression::new(split.train.dim(), 2);
-    let report = Pipeline::new(config()).run(
-        &model,
-        split.train,
-        &split.val,
-        &split.test,
-        selector,
-    );
+    let report =
+        Pipeline::new(config()).run(&model, split.train, &split.val, &split.test, selector);
     let selected: Vec<usize> = report
         .rounds
         .iter()

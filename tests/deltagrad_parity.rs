@@ -46,11 +46,7 @@ fn three_rounds_of_deltagrad_l_stay_close_to_retraining() {
     for round in 0..3 {
         // Clean 8 samples to ground truth.
         let old = data.clone();
-        let changed: Vec<usize> = data
-            .uncleaned_indices()
-            .into_iter()
-            .take(8)
-            .collect();
+        let changed: Vec<usize> = data.uncleaned_indices().into_iter().take(8).collect();
         for &i in &changed {
             let t = data.ground_truth(i).unwrap();
             data.clean_label(i, SoftLabel::onehot(t, 2));

@@ -4,8 +4,8 @@
 
 use chef_core::increm::IncremInfl;
 use chef_core::influence::{influence_vector, rank_infl_with_vector, InflConfig};
-use chef_core::{AnnotationConfig, AnnotationPhase, LabelStrategy, ModelConstructor, Selection};
 use chef_core::ConstructorKind;
+use chef_core::{AnnotationConfig, AnnotationPhase, LabelStrategy, ModelConstructor, Selection};
 use chef_data::generate;
 use chef_model::{LogisticRegression, WeightedObjective};
 use chef_train::SgdConfig;
@@ -91,9 +91,9 @@ fn increm_equals_full_after_five_rounds() {
             &st.w,
             &InflConfig::default(),
         );
-        let (inc, stats) = st
-            .increm
-            .select(&st.model, &st.data, &st.w, &v, &pool, 10, st.obj.gamma);
+        let (inc, stats) =
+            st.increm
+                .select(&st.model, &st.data, &st.w, &v, &pool, 10, st.obj.gamma);
         let mut full = rank_infl_with_vector(&st.model, &st.data, &st.w, &v, &pool, st.obj.gamma);
         full.truncate(10);
         let a: Vec<usize> = inc.iter().map(|s| s.index).collect();
@@ -123,9 +123,9 @@ fn pruning_power_grows_with_dataset_size() {
             &st.w,
             &InflConfig::default(),
         );
-        let (_, stats) = st
-            .increm
-            .candidates(&st.model, &st.data, &st.w, &v, &pool, 10, st.obj.gamma);
+        let (_, stats) =
+            st.increm
+                .candidates(&st.model, &st.data, &st.w, &v, &pool, 10, st.obj.gamma);
         stats.candidates as f64 / stats.pool as f64
     };
     let small = frac(100); // ~780 training samples

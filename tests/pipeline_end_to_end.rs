@@ -95,13 +95,8 @@ fn deltagrad_l_constructor_matches_retrain_quality_end_to_end() {
         &split.test,
         &mut s1,
     );
-    let deltagrad = Pipeline::new(cfg_dg).run(
-        &model,
-        split.train,
-        &split.val,
-        &split.test,
-        &mut s2,
-    );
+    let deltagrad =
+        Pipeline::new(cfg_dg).run(&model, split.train, &split.val, &split.test, &mut s2);
     assert!(
         (retrain.final_test_f1() - deltagrad.final_test_f1()).abs() < 0.1,
         "Retrain {:.4} vs DeltaGrad-L {:.4}",
@@ -132,13 +127,8 @@ fn early_termination_saves_budget() {
     let mut cfg = config(60, 10);
     cfg.target_val_f1 = Some(mid_val);
     let mut selector = InflSelector::full();
-    let bounded = Pipeline::new(cfg).run(
-        &model,
-        split.train,
-        &split.val,
-        &split.test,
-        &mut selector,
-    );
+    let bounded =
+        Pipeline::new(cfg).run(&model, split.train, &split.val, &split.test, &mut selector);
     assert!(bounded.early_terminated);
     assert!(bounded.rounds.len() <= 3, "{} rounds", bounded.rounds.len());
     assert!(bounded.final_val_f1() >= mid_val);
@@ -153,13 +143,8 @@ fn whole_paper_suite_runs_one_round_each() {
         let mut selector = InflSelector::incremental();
         let mut cfg = config(5, 5);
         cfg.annotation.error_rate = spec.annotator_error;
-        let report = Pipeline::new(cfg).run(
-            &model,
-            split.train,
-            &split.val,
-            &split.test,
-            &mut selector,
-        );
+        let report =
+            Pipeline::new(cfg).run(&model, split.train, &split.val, &split.test, &mut selector);
         assert_eq!(report.rounds.len(), 1, "{}", spec.name);
         assert!(report.final_test_f1().is_finite());
     }

@@ -61,7 +61,12 @@ fn base_config() -> PipelineConfig {
     }
 }
 
-fn run(cfg: PipelineConfig, train: Dataset, val: &Dataset, test: &Dataset) -> chef_core::PipelineReport {
+fn run(
+    cfg: PipelineConfig,
+    train: Dataset,
+    val: &Dataset,
+    test: &Dataset,
+) -> chef_core::PipelineReport {
     let model = LogisticRegression::new(train.dim(), train.num_classes());
     let mut selector = InflSelector::incremental();
     Pipeline::new(cfg).run(&model, train, val, test, &mut selector)
@@ -104,7 +109,11 @@ fn adversarial_annotators_cannot_break_the_loop() {
     let report = run(cfg, train, &val, &val);
     assert_eq!(
         report.cleaned_total + report.rounds.iter().map(|r| r.ambiguous).sum::<usize>(),
-        report.rounds.iter().map(|r| r.selected.len()).sum::<usize>()
+        report
+            .rounds
+            .iter()
+            .map(|r| r.selected.len())
+            .sum::<usize>()
     );
     assert!(report.final_test_f1().is_finite());
 }
