@@ -20,12 +20,13 @@
 //! ```
 
 use chef_bench::prep::arg_value;
-use chef_bench::{prepare, print_table, write_results_csv, Cell, Method};
+use chef_bench::{prepare, print_table, results_dir, write_results_csv, Cell, Method};
 use chef_core::increm::IncremInfl;
 use chef_core::influence::{influence_vector, rank_infl_with_vector, InflConfig};
 use chef_core::{AnnotationConfig, AnnotationPhase, ModelConstructor, Selection};
 use chef_linalg::RunningStats;
 use chef_model::LogisticRegression;
+use chef_obs::JsonWriter;
 use std::time::Instant;
 
 struct Measurement {
@@ -183,6 +184,7 @@ fn main() {
     .map(|s| s.to_string())
     .collect();
     let mut rows = Vec::new();
+    let mut measurements = Vec::new();
     for d in datasets {
         let m = measure(d, scale, reps, b);
         let ms = |s: &RunningStats| format!("{:.2}\u{b1}{:.2}", s.mean() * 1e3, s.std_dev() * 1e3);
@@ -199,6 +201,7 @@ fn main() {
             format!("{}/{}", m.candidates, m.pool),
             m.identical.to_string(),
         ]);
+        measurements.push((d, m));
     }
     print_table(
         &format!("Table 2 — selector timing, Full vs Increm-Infl (b={b}, scale 1/{scale})"),
@@ -208,4 +211,53 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let path = write_results_csv("table2", &header_refs, &rows);
     eprintln!("wrote {}", path.display());
+
+    // telemetry.v1 companion document: the same measurements with
+    // machine-readable units and the hardware context (DESIGN.md §10).
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", chef_obs::SCHEMA_VERSION);
+    w.field_str("kind", "table2");
+    w.key("context");
+    w.begin_object();
+    w.field_u64("available_cores", chef_obs::available_cores() as u64);
+    w.field_u64("rayon_threads", rayon::current_num_threads() as u64);
+    w.field_bool("parallel_feature", cfg!(feature = "parallel"));
+    w.field_bool("telemetry_feature", cfg!(feature = "telemetry"));
+    w.field_u64("scale", scale as u64);
+    w.field_u64("reps", reps as u64);
+    w.field_u64("b", b as u64);
+    w.end_object();
+    w.key("results");
+    w.begin_array();
+    for (d, m) in &measurements {
+        w.begin_object();
+        w.field_str("dataset", d);
+        w.field_u64("pool", m.pool as u64);
+        w.field_u64("scored", m.candidates as u64);
+        w.field_u64("pruned", (m.pool - m.candidates) as u64);
+        w.field_f64(
+            "bound_hit_rate",
+            (m.pool - m.candidates) as f64 / m.pool.max(1) as f64,
+        );
+        for (key, stats) in [
+            ("time_inf_full_ms", &m.time_inf_full),
+            ("time_inf_increm_ms", &m.time_inf_increm),
+            ("time_grad_full_ms", &m.time_grad_full),
+            ("time_grad_increm_ms", &m.time_grad_increm),
+        ] {
+            w.key(key);
+            w.begin_object();
+            w.field_f64("mean", stats.mean() * 1e3);
+            w.field_f64("std", stats.std_dev() * 1e3);
+            w.end_object();
+        }
+        w.field_bool("identical_top_b", m.identical);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let tpath = results_dir().join("table2_telemetry.json");
+    std::fs::write(&tpath, w.finish() + "\n").expect("write table2_telemetry.json");
+    eprintln!("wrote {}", tpath.display());
 }

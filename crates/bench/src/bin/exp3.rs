@@ -10,8 +10,9 @@
 //! ```
 
 use chef_bench::prep::arg_value;
-use chef_bench::{prepare, print_table, run_cell, write_results_csv, Cell, Method};
+use chef_bench::{prepare, print_table, results_dir, run_cell, write_results_csv, Cell, Method};
 use chef_data::paper_suite;
+use chef_obs::JsonWriter;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -29,6 +30,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     let mut speedups = Vec::new();
+    let mut cell_docs: Vec<(String, &'static str, Option<String>)> = Vec::new();
 
     for spec in &suite {
         let prepared = prepare(spec, 0);
@@ -62,6 +64,7 @@ fn main() {
             totals.push(acc);
             csv_rows.push(row.clone());
             rows.push(row);
+            cell_docs.push((spec.name.to_string(), name, result.telemetry_json));
         }
         if totals.len() == 2 && totals[1] > 0.0 {
             speedups.push((spec.name, totals[0] / totals[1]));
@@ -82,4 +85,39 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let path = write_results_csv("figure2", &header_refs, &csv_rows);
     eprintln!("wrote {}", path.display());
+
+    // telemetry.v1 companion: one full per-cell export (rounds with
+    // exact-vs-replay step counts, spans, histograms) per dataset ×
+    // constructor, embedded verbatim (DESIGN.md §10). Requires the
+    // `telemetry` feature; without it the cells export nothing and the
+    // document records only the context.
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", chef_obs::SCHEMA_VERSION);
+    w.field_str("kind", "figure2");
+    w.key("context");
+    w.begin_object();
+    w.field_u64("available_cores", chef_obs::available_cores() as u64);
+    w.field_bool("parallel_feature", cfg!(feature = "parallel"));
+    w.field_bool("telemetry_feature", cfg!(feature = "telemetry"));
+    w.field_u64("scale", scale as u64);
+    w.field_u64("rounds", rounds as u64);
+    w.field_u64("b", b as u64);
+    w.end_object();
+    w.key("cells");
+    w.begin_array();
+    for (dataset, constructor, doc) in &cell_docs {
+        let Some(doc) = doc else { continue };
+        w.begin_object();
+        w.field_str("dataset", dataset);
+        w.field_str("constructor", constructor);
+        w.key("telemetry");
+        w.raw(doc);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let tpath = results_dir().join("figure2_telemetry.json");
+    std::fs::write(&tpath, w.finish() + "\n").expect("write figure2_telemetry.json");
+    eprintln!("wrote {}", tpath.display());
 }

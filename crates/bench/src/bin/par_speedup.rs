@@ -5,9 +5,15 @@
 //! 200k} candidates, comparing the always-compiled `*_serial` entry
 //! points against the dispatching (parallel when the `parallel` feature
 //! is on) public API. Results go to `BENCH_selector.json` at the
-//! workspace root, together with the hardware context — a speedup below
-//! the core count is only meaningful relative to `available_cores` and
-//! `rayon_threads`, both recorded.
+//! workspace root as a telemetry.v1 document (see DESIGN.md §10) whose
+//! `context` records the hardware — a speedup below the core count is
+//! only meaningful relative to `available_cores` and `rayon_threads`.
+//!
+//! The timed kernels carry no instrumentation at all (counters are
+//! derived at phase level, see DESIGN.md §10), so the measured numbers
+//! are identical with the `telemetry` feature on or off — the feature
+//! flag is recorded in `context.telemetry_feature` to make that
+//! checkable.
 //!
 //! Usage: `cargo run --release -p chef-bench --bin par_speedup`
 //! (set `RAYON_NUM_THREADS` to pin the pool size).
@@ -19,6 +25,7 @@ use chef_core::influence::{
 };
 use chef_data::{DatasetKind, DatasetSpec};
 use chef_model::{LogisticRegression, Model, WeightedObjective};
+use chef_obs::JsonWriter;
 use chef_train::{train, SgdConfig};
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -138,30 +145,42 @@ fn main() {
         cases.push(c);
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"par_speedup\",\n");
-    json.push_str("  \"unit\": \"ms (best of reps)\",\n");
-    json.push_str(&format!("  \"reps\": {reps},\n"));
-    json.push_str(&format!(
-        "  \"hardware\": {{ \"available_cores\": {cores}, \"rayon_threads\": {threads}, \"parallel_feature\": {parallel_feature} }},\n"
-    ));
-    json.push_str("  \"results\": [\n");
-    for (k, c) in cases.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{ \"n\": {}, \"rank_infl\": {{ \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3} }}, \"increm_bounds\": {{ \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3} }} }}{}\n",
-            c.n,
-            c.rank_serial_ms,
-            c.rank_parallel_ms,
-            c.rank_serial_ms / c.rank_parallel_ms,
-            c.bounds_serial_ms,
-            c.bounds_parallel_ms,
-            c.bounds_serial_ms / c.bounds_parallel_ms,
-            if k + 1 < cases.len() { "," } else { "" },
-        ));
+    // telemetry.v1 envelope: common header (schema/kind/context), then the
+    // kind-specific `results` payload. See DESIGN.md §10.
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", chef_obs::SCHEMA_VERSION);
+    w.field_str("kind", "par_speedup");
+    w.key("context");
+    w.begin_object();
+    w.field_u64("available_cores", cores as u64);
+    w.field_u64("rayon_threads", threads as u64);
+    w.field_bool("parallel_feature", parallel_feature);
+    w.field_bool("telemetry_feature", cfg!(feature = "telemetry"));
+    w.field_u64("reps", reps as u64);
+    w.field_str("unit", "ms (best of reps)");
+    w.end_object();
+    w.key("results");
+    w.begin_array();
+    for c in &cases {
+        w.begin_object();
+        w.field_u64("n", c.n as u64);
+        for (section, serial, parallel) in [
+            ("rank_infl", c.rank_serial_ms, c.rank_parallel_ms),
+            ("increm_bounds", c.bounds_serial_ms, c.bounds_parallel_ms),
+        ] {
+            w.key(section);
+            w.begin_object();
+            w.field_f64("serial_ms", serial);
+            w.field_f64("parallel_ms", parallel);
+            w.field_f64("speedup", serial / parallel);
+            w.end_object();
+        }
+        w.end_object();
     }
-    json.push_str("  ]\n}\n");
+    w.end_array();
+    w.end_object();
     let path = workspace_root().join("BENCH_selector.json");
-    std::fs::write(&path, json).expect("write BENCH_selector.json");
+    std::fs::write(&path, w.finish() + "\n").expect("write BENCH_selector.json");
     println!("wrote {}", path.display());
 }

@@ -3,7 +3,7 @@
 
 use crate::methods::{make_selector, Method};
 use crate::prep::{default_pipeline_config, PreparedDataset};
-use chef_core::{AnnotationConfig, Pipeline, PipelineConfig, PipelineReport};
+use chef_core::{AnnotationConfig, Pipeline, PipelineConfig, PipelineReport, Telemetry};
 use chef_model::{LogisticRegression, Mlp, Model, WeightedObjective};
 use rayon::prelude::*;
 
@@ -37,6 +37,9 @@ pub struct CellResult {
     pub cleaned_f1: f64,
     /// Full pipeline report (timings, rounds).
     pub report: PipelineReport,
+    /// Exported telemetry.v1 document for this cell (None when the
+    /// `telemetry` feature is off).
+    pub telemetry_json: Option<String>,
 }
 
 /// Build the pipeline configuration of a cell.
@@ -65,8 +68,14 @@ pub fn cell_config(prepared: &PreparedDataset, cell: &Cell) -> PipelineConfig {
 }
 
 /// Run one cell on an already-prepared dataset.
+///
+/// Every cell runs with its own enabled [`Telemetry`] handle (cells run
+/// concurrently, so a shared registry would interleave rounds), and the
+/// exported document rides along on the result.
 pub fn run_cell(prepared: &PreparedDataset, cell: &Cell) -> CellResult {
-    let cfg = cell_config(prepared, cell);
+    let mut cfg = cell_config(prepared, cell);
+    let telemetry = Telemetry::enabled();
+    cfg.telemetry = telemetry.clone();
     let pipeline = Pipeline::new(cfg);
     let mut selector = make_selector(cell.method, cell.seed, cell.neural);
     let report = if cell.neural {
@@ -88,6 +97,7 @@ pub fn run_cell(prepared: &PreparedDataset, cell: &Cell) -> CellResult {
         uncleaned_f1: report.initial_test_f1,
         cleaned_f1: report.final_test_f1(),
         report,
+        telemetry_json: telemetry.export_json("bench.cell"),
     }
 }
 
@@ -152,6 +162,14 @@ mod tests {
         assert!((0.0..=1.0).contains(&r.uncleaned_f1));
         assert!((0.0..=1.0).contains(&r.cleaned_f1));
         assert_eq!(r.report.rounds.len(), 2);
+        #[cfg(feature = "telemetry")]
+        {
+            let json = r.telemetry_json.as_deref().expect("telemetry export");
+            assert!(json.contains("\"schema\":\"telemetry.v1\""));
+            assert!(json.contains("\"kind\":\"bench.cell\""));
+        }
+        #[cfg(not(feature = "telemetry"))]
+        assert!(r.telemetry_json.is_none());
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub fn default_pipeline_config(n_train: usize, seed: u64) -> PipelineConfig {
         },
         target_val_f1: None,
         warm_start: false,
+        telemetry: chef_core::Telemetry::disabled(),
     }
 }
 

@@ -16,7 +16,7 @@
 
 use crate::selector::Selection;
 use chef_model::Dataset;
-use chef_weak::AnnotatorPanel;
+use chef_weak::{majority_vote, AnnotatorPanel, VoteOutcome};
 
 /// How cleaned labels are produced from panel votes and suggestions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +72,24 @@ pub enum AnnotationOutcome {
     Ambiguous,
 }
 
+/// Vote-level counters for one annotation round, consumed by the
+/// pipeline's telemetry layer (the `annotation` object of telemetry.v1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnnotationStats {
+    /// Samples handed to the phase this round (`cleaned + abstains`).
+    pub requested: usize,
+    /// Total individual votes cast (humans plus suggestions).
+    pub votes: usize,
+    /// Samples whose ballot was non-unanimous — the panel disagreed even
+    /// if a strict majority still emerged.
+    pub conflicts: usize,
+    /// Samples left probabilistic: vote ties, empty ballots, or missing
+    /// ground truth (each still consumes a budget slot, Appendix F.1).
+    pub abstains: usize,
+    /// Samples whose label was replaced and up-weighted.
+    pub cleaned: usize,
+}
+
 /// Stateful annotation phase (panel is reused across rounds so each
 /// annotator stays self-consistent).
 #[derive(Debug, Clone)]
@@ -104,8 +122,21 @@ impl AnnotationPhase {
     /// Returns one [`AnnotationOutcome`] per selection, in order. Cleaned
     /// samples get a deterministic label and weight 1 (`clean_label`).
     pub fn annotate(&self, data: &mut Dataset, selections: &[Selection]) -> Vec<AnnotationOutcome> {
+        self.annotate_with_stats(data, selections).0
+    }
+
+    /// [`Self::annotate`] plus the round's vote-level telemetry counters.
+    pub fn annotate_with_stats(
+        &self,
+        data: &mut Dataset,
+        selections: &[Selection],
+    ) -> (Vec<AnnotationOutcome>, AnnotationStats) {
         let c = data.num_classes();
-        selections
+        let mut stats = AnnotationStats {
+            requested: selections.len(),
+            ..AnnotationStats::default()
+        };
+        let outcomes = selections
             .iter()
             .map(|sel| {
                 let suggestion = match self.cfg.strategy {
@@ -113,18 +144,32 @@ impl AnnotationPhase {
                     _ => sel.suggested,
                 };
                 let Some(truth) = data.ground_truth(sel.index) else {
+                    stats.abstains += 1;
                     return AnnotationOutcome::Ambiguous;
                 };
-                match self.panel.clean(sel.index, truth, c, suggestion) {
-                    Some(label) => {
-                        let cleaned_class = label.argmax();
-                        data.clean_label(sel.index, label);
-                        AnnotationOutcome::Cleaned(cleaned_class)
+                let votes = self.panel.votes(sel.index, truth, c, suggestion);
+                stats.votes += votes.len();
+                if votes.is_empty() {
+                    stats.abstains += 1;
+                    return AnnotationOutcome::Ambiguous;
+                }
+                if votes.iter().any(|&v| v != votes[0]) {
+                    stats.conflicts += 1;
+                }
+                match majority_vote(&votes, c) {
+                    VoteOutcome::Majority(class) => {
+                        stats.cleaned += 1;
+                        data.clean_label(sel.index, chef_model::SoftLabel::onehot(class, c));
+                        AnnotationOutcome::Cleaned(class)
                     }
-                    None => AnnotationOutcome::Ambiguous,
+                    VoteOutcome::Tie => {
+                        stats.abstains += 1;
+                        AnnotationOutcome::Ambiguous
+                    }
                 }
             })
-            .collect()
+            .collect();
+        (outcomes, stats)
     }
 }
 

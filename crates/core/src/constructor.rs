@@ -10,7 +10,9 @@
 //! labels (the paper's modifications 1–4 to Eq. 4).
 
 use chef_model::{Dataset, Model, WeightedObjective};
-use chef_train::{deltagrad_update, train, DeltaGradConfig, SgdConfig, TrainTrace};
+use chef_train::{
+    deltagrad_update, train_traced, DeltaGradConfig, DeltaGradStats, SgdConfig, TrainTrace,
+};
 use std::time::{Duration, Instant};
 
 /// Which constructor to use after each cleaning round.
@@ -31,11 +33,13 @@ pub struct ConstructorOutcome {
     pub trace: TrainTrace,
     /// Wall-clock time of the construction.
     pub elapsed: Duration,
+    /// Replay counters (present iff the DeltaGrad-L path ran).
+    pub stats: Option<DeltaGradStats>,
 }
 
 /// The model constructor: owns the SGD configuration shared by both paths
 /// so timings are comparable (same plan, same epochs, same caching).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ModelConstructor {
     /// Construction strategy.
     pub kind: ConstructorKind,
@@ -47,6 +51,10 @@ pub struct ModelConstructor {
     /// Appendix G.2 models, where a cold restart after a 10-label change
     /// can land in a different minimum and swamp the cleaning signal.
     pub warm_start: bool,
+    /// Telemetry handle the training runs report into (spans, per-batch
+    /// histogram). Disabled by default; the pipeline threads its own
+    /// handle through via [`Self::with_telemetry`].
+    pub telemetry: chef_obs::Telemetry,
 }
 
 impl ModelConstructor {
@@ -58,12 +66,19 @@ impl ModelConstructor {
             kind,
             sgd,
             warm_start: false,
+            telemetry: chef_obs::Telemetry::disabled(),
         }
     }
 
     /// Enable warm-started retraining (see [`Self::warm_start`]).
     pub fn with_warm_start(mut self, warm_start: bool) -> Self {
         self.warm_start = warm_start;
+        self
+    }
+
+    /// Route the constructor's training runs into a telemetry handle.
+    pub fn with_telemetry(mut self, telemetry: chef_obs::Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -77,11 +92,12 @@ impl ModelConstructor {
     ) -> ConstructorOutcome {
         let start = Instant::now();
         let w0 = model.initial_params(self.sgd.seed);
-        let out = train(model, objective, data, &w0, &self.sgd);
+        let out = train_traced(model, objective, data, &w0, &self.sgd, &self.telemetry);
         ConstructorOutcome {
             w: out.w,
             trace: out.trace.expect("provenance caching is forced on"),
             elapsed: start.elapsed(),
+            stats: None,
         }
     }
 
@@ -108,11 +124,12 @@ impl ModelConstructor {
                 } else {
                     model.initial_params(self.sgd.seed)
                 };
-                let out = train(model, objective, new_data, &w0, &self.sgd);
+                let out = train_traced(model, objective, new_data, &w0, &self.sgd, &self.telemetry);
                 ConstructorOutcome {
                     w: out.w,
                     trace: out.trace.expect("provenance caching is forced on"),
                     elapsed: start.elapsed(),
+                    stats: None,
                 }
             }
             ConstructorKind::DeltaGradL(dg) => {
@@ -123,6 +140,7 @@ impl ModelConstructor {
                     w: out.w,
                     trace: out.trace,
                     elapsed: start.elapsed(),
+                    stats: Some(out.stats),
                 }
             }
         }

@@ -61,6 +61,22 @@ pub struct InflScore {
     pub score: f64,
 }
 
+/// Result of the once-per-round `H⁻¹ ∇F_val` solve, with the CG cost
+/// counters the telemetry layer reports (`hvp_evals` in telemetry.v1).
+#[derive(Debug, Clone)]
+pub struct InflVectorOutcome {
+    /// The influence vector `v = H⁻¹(w) ∇F(w, Z_val)`.
+    pub v: Vec<f64>,
+    /// Conjugate-gradient iterations the solve took.
+    pub cg_iters: usize,
+    /// Whether CG hit its residual tolerance within the iteration budget.
+    pub cg_converged: bool,
+    /// Hessian-vector products applied (the solve's dominant cost).
+    pub hvp_evals: usize,
+    /// Whether the Hessian was subsampled to `cfg.hessian_batch` rows.
+    pub hessian_subsampled: bool,
+}
+
 /// Compute `v = H⁻¹(w) ∇F(w, Z_val)` — shared by Infl, Infl-D and Infl-Y.
 ///
 /// The sign convention follows the paper's `vᵀ = −∇F_valᵀ H⁻¹` *without*
@@ -73,15 +89,37 @@ pub fn influence_vector<M: Model + ?Sized>(
     w: &[f64],
     cfg: &InflConfig,
 ) -> Vec<f64> {
+    influence_vector_outcome(model, objective, data, val, w, cfg).v
+}
+
+/// [`influence_vector`] plus the solve's cost counters, for telemetry.
+pub fn influence_vector_outcome<M: Model + ?Sized>(
+    model: &M,
+    objective: &WeightedObjective,
+    data: &Dataset,
+    val: &Dataset,
+    w: &[f64],
+    cfg: &InflConfig,
+) -> InflVectorOutcome {
     let mut val_grad = vec![0.0; model.num_params()];
     objective.val_grad(model, val, w, &mut val_grad);
-    if cfg.hessian_batch > 0 && data.len() > cfg.hessian_batch {
+    let subsampled = cfg.hessian_batch > 0 && data.len() > cfg.hessian_batch;
+    let (out, hvp_evals) = if subsampled {
         let batch = hessian_subsample(data.len(), cfg.hessian_batch, cfg.seed);
         let op = objective.hessian_operator_on(model, data, w, batch);
-        conjugate_gradient(&op, &val_grad, &cfg.cg).x
+        let out = conjugate_gradient(&op, &val_grad, &cfg.cg);
+        (out, op.applies())
     } else {
         let op = objective.hessian_operator(model, data, w);
-        conjugate_gradient(&op, &val_grad, &cfg.cg).x
+        let out = conjugate_gradient(&op, &val_grad, &cfg.cg);
+        (out, op.applies())
+    };
+    InflVectorOutcome {
+        v: out.x,
+        cg_iters: out.iters,
+        cg_converged: out.converged,
+        hvp_evals,
+        hessian_subsampled: subsampled,
     }
 }
 

@@ -28,6 +28,13 @@
 //! * [`metrics`] — F1/accuracy evaluation used by every experiment;
 //! * [`selector`] — the `SampleSelector` abstraction that lets the
 //!   pipeline swap Infl for the baselines in `chef-baselines`.
+//!
+//! Every phase reports into a [`Telemetry`] handle (`chef-obs`) threaded
+//! through [`PipelineConfig`]; see DESIGN.md §10 for the `telemetry.v1`
+//! schema. With the `telemetry` feature off the handle is a zero-sized
+//! no-op and the instrumentation compiles away.
+
+#![warn(missing_docs)]
 
 pub mod annotation;
 pub mod constructor;
@@ -38,14 +45,20 @@ pub mod metrics;
 pub mod pipeline;
 pub mod selector;
 
-pub use annotation::{AnnotationConfig, AnnotationOutcome, AnnotationPhase, LabelStrategy};
-pub use constructor::{ConstructorKind, ModelConstructor};
+pub use annotation::{
+    AnnotationConfig, AnnotationOutcome, AnnotationPhase, AnnotationStats, LabelStrategy,
+};
+pub use chef_obs::{
+    AnnotationTelemetry, ConstructorTelemetry, RoundTelemetry, SelectorTelemetry, Telemetry,
+    SCHEMA_VERSION,
+};
+pub use constructor::{ConstructorKind, ConstructorOutcome, ModelConstructor};
 pub use increm::{IncremInfl, IncremStats};
 pub use influence::{
-    influence_vector, rank_infl, rank_infl_with_vector, rank_infl_with_vector_serial, InflConfig,
-    InflScore,
+    influence_vector, influence_vector_outcome, rank_infl, rank_infl_with_vector,
+    rank_infl_with_vector_serial, InflConfig, InflScore, InflVectorOutcome,
 };
 pub use lissa::{lissa_influence_vector, lissa_solve, LissaConfig};
 pub use metrics::{accuracy, confusion_matrix, evaluate_f1, f1_score, macro_f1, Evaluation};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, RoundReport};
-pub use selector::{InflSelector, SampleSelector, Selection, SelectorContext};
+pub use selector::{InflSelector, SampleSelector, Selection, SelectorContext, SelectorStats};

@@ -13,12 +13,15 @@ use crate::increm::IncremStats;
 use crate::metrics::evaluate_f1;
 use crate::selector::{SampleSelector, Selection, SelectorContext};
 use chef_model::{Dataset, Model, WeightedObjective};
+use chef_obs::{
+    AnnotationTelemetry, ConstructorTelemetry, RoundTelemetry, SelectorTelemetry, Telemetry,
+};
 use chef_train::{select_early_stop, SgdConfig};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Total cleaning budget `B` (number of samples shown to annotators).
     pub budget: usize,
@@ -37,6 +40,10 @@ pub struct PipelineConfig {
     /// Warm-start retraining from the previous round's parameters (for
     /// non-convex models; see [`ModelConstructor::warm_start`]).
     pub warm_start: bool,
+    /// Telemetry handle every phase reports into. Defaults to disabled;
+    /// with the `telemetry` feature off this field is a zero-sized no-op
+    /// and all instrumentation compiles away.
+    pub telemetry: Telemetry,
 }
 
 impl Default for PipelineConfig {
@@ -50,6 +57,7 @@ impl Default for PipelineConfig {
             annotation: AnnotationConfig::default(),
             target_val_f1: None,
             warm_start: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -75,6 +83,10 @@ pub struct RoundReport {
     pub update_time: Duration,
     /// Increm-Infl pruning counters, if the selector reported any.
     pub selector_stats: Option<IncremStats>,
+    /// Structured per-phase breakdown (telemetry.v1 `rounds[i]`). Always
+    /// populated — the counts are computed by the phases regardless of
+    /// the `telemetry` feature; only spans/histograms/export need it.
+    pub telemetry: RoundTelemetry,
 }
 
 /// Full pipeline run summary.
@@ -145,6 +157,57 @@ impl Pipeline {
     ///
     /// `selector` picks the samples; `val` drives both influence and early
     /// stopping; `test` is only ever used for reporting.
+    ///
+    /// Every phase reports into `cfg.telemetry`: wall-clock spans
+    /// (`pipeline.init`, `round.select`, `round.annotate`, `round.update`,
+    /// `round.eval`, `train.sgd`), counters, and a structured
+    /// [`RoundTelemetry`] per round (also stored on the [`RoundReport`]).
+    ///
+    /// # Example
+    ///
+    /// Run two cleaning rounds on a toy problem and read the structured
+    /// breakdown. With the `telemetry` feature on (the default), the same
+    /// handle also exports a versioned `telemetry.v1` JSON document; with
+    /// the feature off, `export_json` returns `None` and the handle is a
+    /// zero-sized no-op — this example compiles and passes either way.
+    ///
+    /// ```
+    /// use chef_core::{InflSelector, Pipeline, PipelineConfig, Telemetry};
+    /// use chef_linalg::Matrix;
+    /// use chef_model::{Dataset, LogisticRegression, SoftLabel};
+    /// use chef_train::SgdConfig;
+    ///
+    /// // Ten 1-D samples, alternating classes; the training copy starts
+    /// // with uninformative probabilistic labels.
+    /// let make = |clean: bool| {
+    ///     let n = 10;
+    ///     let raw = (0..n).map(|i| if i % 2 == 0 { -1.0 } else { 1.0 }).collect();
+    ///     let labels = (0..n)
+    ///         .map(|i| if clean { SoftLabel::onehot(i % 2, 2) } else { SoftLabel::uniform(2) })
+    ///         .collect();
+    ///     let truth = (0..n).map(|i| Some(i % 2)).collect();
+    ///     Dataset::new(Matrix::from_vec(n, 1, raw), labels, vec![clean; n], truth, 2)
+    /// };
+    ///
+    /// let cfg = PipelineConfig {
+    ///     budget: 4,
+    ///     round_size: 2,
+    ///     sgd: SgdConfig { epochs: 2, batch_size: 5, ..SgdConfig::default() },
+    ///     telemetry: Telemetry::enabled(),
+    ///     ..PipelineConfig::default()
+    /// };
+    /// let telemetry = cfg.telemetry.clone();
+    /// let pipeline = Pipeline::new(cfg);
+    /// let model = LogisticRegression::new(1, 2);
+    /// let mut selector = InflSelector::full();
+    /// let report = pipeline.run(&model, make(false), &make(true), &make(true), &mut selector);
+    ///
+    /// assert_eq!(report.rounds.len(), 2);
+    /// assert_eq!(report.rounds[0].telemetry.selector.pool, 10);
+    /// if let Some(json) = telemetry.export_json("pipeline") {
+    ///     assert!(json.contains("\"schema\":\"telemetry.v1\""));
+    /// }
+    /// ```
     pub fn run(
         &self,
         model: &dyn Model,
@@ -154,11 +217,17 @@ impl Pipeline {
         selector: &mut dyn SampleSelector,
     ) -> PipelineReport {
         let cfg = &self.cfg;
-        let ctor = ModelConstructor::new(cfg.constructor, cfg.sgd).with_warm_start(cfg.warm_start);
+        let tel = &cfg.telemetry;
+        let ctor = ModelConstructor::new(cfg.constructor, cfg.sgd)
+            .with_warm_start(cfg.warm_start)
+            .with_telemetry(tel.clone());
         let annotator = AnnotationPhase::new(cfg.annotation);
 
         // ---- Initialization step (offline): train + provenance. ----
-        let init = ctor.initial_train(model, &cfg.objective, &data);
+        let init = {
+            let _span = tel.span("pipeline.init");
+            ctor.initial_train(model, &cfg.objective, &data)
+        };
         let mut trace = init.trace;
         let mut w_raw = init.w;
         let (mut w_eval, _) =
@@ -194,6 +263,7 @@ impl Pipeline {
             // ---- Sample selector phase. ----
             let select_start = Instant::now();
             let selections = {
+                let _span = tel.span("round.select");
                 let ctx = SelectorContext {
                     model,
                     objective: &cfg.objective,
@@ -218,9 +288,44 @@ impl Pipeline {
             }
             spent += selections.len();
 
+            let phase_stats = selector.phase_stats();
+            let selector_tel = match phase_stats {
+                Some(ps) => SelectorTelemetry {
+                    selector: selector.name().to_string(),
+                    pool: ps.pool,
+                    pruned: ps.pruned,
+                    scored: ps.scored,
+                    grad_evals: ps.grad_evals,
+                    hvp_evals: ps.hvp_evals,
+                    bound_hit_rate: ps.bound_hit_rate,
+                    select_ms: select_time.as_secs_f64() * 1e3,
+                },
+                // Baselines report no cost counters; pool size is still known.
+                None => SelectorTelemetry {
+                    selector: selector.name().to_string(),
+                    pool: pool.len(),
+                    select_ms: select_time.as_secs_f64() * 1e3,
+                    ..SelectorTelemetry::default()
+                },
+            };
+            tel.add("selector.scored", selector_tel.scored as u64);
+            tel.add("selector.pruned", selector_tel.pruned as u64);
+            tel.add("selector.grad_evals", selector_tel.grad_evals as u64);
+            tel.add("selector.hvp_evals", selector_tel.hvp_evals as u64);
+            if let Some(ps) = phase_stats {
+                if ps.provenance_grads > 0 {
+                    tel.add("increm.provenance_grads", ps.provenance_grads as u64);
+                }
+            }
+
             // ---- Human annotation phase. ----
+            let annotate_start = Instant::now();
             let old_data = data.clone();
-            let outcomes = annotator.annotate(&mut data, &selections);
+            let (outcomes, ann_stats) = {
+                let _span = tel.span("round.annotate");
+                annotator.annotate_with_stats(&mut data, &selections)
+            };
+            let annotate_time = annotate_start.elapsed();
             let mut changed = Vec::new();
             let mut ambiguous = 0usize;
             for (sel, out) in selections.iter().zip(&outcomes) {
@@ -231,18 +336,77 @@ impl Pipeline {
                 }
             }
             cleaned_total += changed.len();
+            let annotation_tel = AnnotationTelemetry {
+                requested: ann_stats.requested,
+                votes: ann_stats.votes,
+                conflicts: ann_stats.conflicts,
+                abstains: ann_stats.abstains,
+                cleaned: ann_stats.cleaned,
+                annotate_ms: annotate_time.as_secs_f64() * 1e3,
+            };
+            tel.add("annotation.votes", ann_stats.votes as u64);
+            tel.add("annotation.conflicts", ann_stats.conflicts as u64);
+            tel.add("annotation.abstains", ann_stats.abstains as u64);
+            tel.add("annotation.cleaned", ann_stats.cleaned as u64);
 
             // ---- Model constructor phase. ----
-            let update = ctor.update(model, &cfg.objective, &old_data, &data, &changed, &trace);
+            let update = {
+                let _span = tel.span("round.update");
+                ctor.update(model, &cfg.objective, &old_data, &data, &changed, &trace)
+            };
             let update_time = update.elapsed;
+            let constructor_tel = match (cfg.constructor, &update.stats) {
+                (ConstructorKind::DeltaGradL(dg), Some(stats)) => ConstructorTelemetry {
+                    kind: "deltagrad-l".to_string(),
+                    exact_steps: stats.explicit_iters,
+                    replay_steps: stats.approx_iters,
+                    correction_grads: stats.correction_grads,
+                    lbfgs_history: dg.m0,
+                    epochs: cfg.sgd.epochs,
+                    update_ms: update_time.as_secs_f64() * 1e3,
+                },
+                _ => ConstructorTelemetry {
+                    kind: "retrain".to_string(),
+                    exact_steps: update.trace.plan.total_iterations(),
+                    epochs: cfg.sgd.epochs,
+                    update_ms: update_time.as_secs_f64() * 1e3,
+                    ..ConstructorTelemetry::default()
+                },
+            };
+            tel.add(
+                "constructor.exact_steps",
+                constructor_tel.exact_steps as u64,
+            );
+            tel.add(
+                "constructor.replay_steps",
+                constructor_tel.replay_steps as u64,
+            );
             w_raw = update.w;
             trace = update.trace;
-            let (we, _) =
-                select_early_stop(model, &cfg.objective, val, &trace.epoch_checkpoints, &w_raw);
-            w_eval = we;
 
-            let val_f1 = evaluate_f1(model, &w_eval, val).f1;
-            let test_f1 = evaluate_f1(model, &w_eval, test).f1;
+            // ---- Evaluation. ----
+            let (val_f1, test_f1) = {
+                let _span = tel.span("round.eval");
+                let (we, _) =
+                    select_early_stop(model, &cfg.objective, val, &trace.epoch_checkpoints, &w_raw);
+                w_eval = we;
+                (
+                    evaluate_f1(model, &w_eval, val).f1,
+                    evaluate_f1(model, &w_eval, test).f1,
+                )
+            };
+            tel.set_gauge("pipeline.val_f1", val_f1);
+            tel.set_gauge("pipeline.test_f1", test_f1);
+            tel.add("pipeline.rounds", 1);
+
+            let round_tel = RoundTelemetry {
+                round,
+                selector: selector_tel,
+                annotation: annotation_tel,
+                constructor: constructor_tel,
+            };
+            tel.record_round(round_tel.clone());
+
             let selector_stats = selector.stats();
             rounds.push(RoundReport {
                 round,
@@ -254,6 +418,7 @@ impl Pipeline {
                 select_time,
                 update_time,
                 selector_stats,
+                telemetry: round_tel,
             });
 
             if cfg.target_val_f1.is_some_and(|target| val_f1 >= target) {
@@ -346,6 +511,7 @@ mod tests {
             },
             target_val_f1: None,
             warm_start: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -411,8 +577,8 @@ mod tests {
         let (model, train, val, test) = fixture(5);
         let mut cfg = config();
         cfg.annotation.strategy = LabelStrategy::SuggestionOnly;
+        let mut cfg_d = cfg.clone();
         let pipeline_r = Pipeline::new(cfg);
-        let mut cfg_d = cfg;
         cfg_d.constructor = ConstructorKind::DeltaGradL(chef_train::DeltaGradConfig::default());
         let pipeline_d = Pipeline::new(cfg_d);
         let mut sel_r = InflSelector::full();
@@ -437,6 +603,14 @@ mod tests {
         assert_eq!(sum, report.total_select_time());
         for r in &report.rounds {
             assert_eq!(r.selected.len(), r.cleaned + r.ambiguous);
+            // The structured breakdown agrees with the flat counters.
+            assert_eq!(r.telemetry.round, r.round);
+            assert_eq!(r.telemetry.annotation.cleaned, r.cleaned);
+            assert_eq!(r.telemetry.annotation.abstains, r.ambiguous);
+            assert_eq!(
+                r.telemetry.selector.pool,
+                r.telemetry.selector.pruned + r.telemetry.selector.scored
+            );
         }
     }
 }

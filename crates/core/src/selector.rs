@@ -8,7 +8,7 @@
 //! independent labeler (§4.3).
 
 use crate::increm::{IncremInfl, IncremStats};
-use crate::influence::{influence_vector, rank_infl_with_vector, InflConfig};
+use crate::influence::{influence_vector_outcome, rank_infl_with_vector, InflConfig};
 use chef_model::{Dataset, Model, WeightedObjective};
 
 /// Everything a selector may look at when ranking the uncleaned pool.
@@ -41,6 +41,33 @@ pub struct Selection {
     pub suggested: Option<usize>,
 }
 
+/// Cost counters for one selection round, consumed by the pipeline's
+/// telemetry layer (the `selector` object of telemetry.v1).
+///
+/// `pruned + scored == pool` always holds: Theorem 1's bound either
+/// removes a candidate without scoring it (`pruned`) or lets it through
+/// to a full Eq. 6 evaluation (`scored`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SelectorStats {
+    /// Size of the uncleaned pool this round.
+    pub pool: usize,
+    /// Candidates eliminated by the Theorem 1 bound without scoring.
+    pub pruned: usize,
+    /// Candidates that received a full Eq. 6 evaluation.
+    pub scored: usize,
+    /// Dense gradient evaluations spent scoring (`scored × (C + 1)` when
+    /// γ < 1: `C` per-class gradients plus the up-weight term's gradient).
+    pub grad_evals: usize,
+    /// Hessian-vector products in the round's one CG solve.
+    pub hvp_evals: usize,
+    /// Fraction of the pool the bound eliminated (`pruned / pool`) — the
+    /// quantity Exp2 (paper Table 2) measures as Increm-Infl's win.
+    pub bound_hit_rate: f64,
+    /// Gradient evaluations of the Increm-Infl initialization step
+    /// (`n × (C + 1)` on the round the provenance cache is built, else 0).
+    pub provenance_grads: usize,
+}
+
 /// A sample-selection strategy.
 pub trait SampleSelector {
     /// Short name used in experiment tables.
@@ -52,6 +79,13 @@ pub trait SampleSelector {
     /// Pruning counters of the most recent round, if the selector tracks
     /// any (only Increm-Infl does).
     fn stats(&self) -> Option<IncremStats> {
+        None
+    }
+
+    /// Cost counters of the most recent round for telemetry, if the
+    /// selector tracks them (the Infl family does; baselines report
+    /// `None` and the pipeline falls back to pool-size-only counters).
+    fn phase_stats(&self) -> Option<SelectorStats> {
         None
     }
 }
@@ -67,6 +101,8 @@ pub struct InflSelector {
     increm: Option<IncremInfl>,
     /// Pruning counters of the most recent round (None when running Full).
     pub last_stats: Option<IncremStats>,
+    /// Telemetry counters of the most recent round.
+    pub last_phase: Option<SelectorStats>,
 }
 
 impl InflSelector {
@@ -97,7 +133,7 @@ impl SampleSelector for InflSelector {
     }
 
     fn select(&mut self, ctx: &SelectorContext<'_>) -> Vec<Selection> {
-        let v = influence_vector(
+        let outcome = influence_vector_outcome(
             ctx.model,
             ctx.objective,
             ctx.data,
@@ -105,9 +141,13 @@ impl SampleSelector for InflSelector {
             ctx.w,
             &self.cfg,
         );
+        let v = outcome.v;
+        let mut provenance_grads = 0;
         if self.use_increm && self.increm.is_none() {
-            // Initialization step: freeze provenance at w⁽⁰⁾.
+            // Initialization step: freeze provenance at w⁽⁰⁾. Costs one
+            // full-label gradient plus C per-class gradients per sample.
             self.increm = Some(IncremInfl::initialize(ctx.model, ctx.data, ctx.w));
+            provenance_grads = ctx.data.len() * (ctx.model.num_classes() + 1);
         }
         let scores = if let (true, Some(increm)) = (self.use_increm, self.increm.as_ref()) {
             let (scores, stats) = increm.select(
@@ -134,6 +174,24 @@ impl SampleSelector for InflSelector {
             s.truncate(ctx.b);
             s
         };
+        let pool = ctx.pool.len();
+        let scored = match self.last_stats {
+            Some(stats) => stats.candidates,
+            None => pool,
+        };
+        let pruned = pool - scored;
+        // Eq. 6 per candidate: C class gradients, plus the up-weight
+        // term's full gradient when γ < 1.
+        let grads_per_score = ctx.model.num_classes() + usize::from(ctx.objective.gamma < 1.0);
+        self.last_phase = Some(SelectorStats {
+            pool,
+            pruned,
+            scored,
+            grad_evals: scored * grads_per_score,
+            hvp_evals: outcome.hvp_evals,
+            bound_hit_rate: pruned as f64 / pool.max(1) as f64,
+            provenance_grads,
+        });
         scores
             .into_iter()
             .map(|s| Selection {
@@ -145,6 +203,10 @@ impl SampleSelector for InflSelector {
 
     fn stats(&self) -> Option<IncremStats> {
         self.last_stats
+    }
+
+    fn phase_stats(&self) -> Option<SelectorStats> {
+        self.last_phase
     }
 }
 

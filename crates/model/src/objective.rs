@@ -343,6 +343,7 @@ impl WeightedObjective {
             data,
             w,
             batch: None,
+            applies: std::cell::Cell::new(0),
         }
     }
 
@@ -362,6 +363,7 @@ impl WeightedObjective {
             data,
             w,
             batch: Some(batch),
+            applies: std::cell::Cell::new(0),
         }
     }
 }
@@ -374,6 +376,16 @@ pub struct HessianOperator<'a, M: Model + ?Sized> {
     data: &'a Dataset,
     w: &'a [f64],
     batch: Option<Vec<usize>>,
+    /// Hessian-vector products applied so far (telemetry: the CG solve's
+    /// dominant cost, reported as `hvp_evals` in telemetry.v1).
+    applies: std::cell::Cell<usize>,
+}
+
+impl<M: Model + ?Sized> HessianOperator<'_, M> {
+    /// Number of times [`LinearOperator::apply`] ran on this operator.
+    pub fn applies(&self) -> usize {
+        self.applies.get()
+    }
 }
 
 impl<M: Model + ?Sized> LinearOperator for HessianOperator<'_, M> {
@@ -382,6 +394,7 @@ impl<M: Model + ?Sized> LinearOperator for HessianOperator<'_, M> {
     }
 
     fn apply(&self, v: &[f64], out: &mut [f64]) {
+        self.applies.set(self.applies.get() + 1);
         match &self.batch {
             Some(batch) => self
                 .objective

@@ -1,0 +1,229 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The offline build has no serde, so every JSON document in the
+//! workspace (telemetry exports, `BENCH_*.json`) is assembled through
+//! this writer. It tracks nesting and comma placement; callers only
+//! state structure (`begin_object`, `key`, values). Non-finite floats
+//! serialize as `null` — JSON has no NaN/∞ and a telemetry consumer must
+//! be able to parse every document we emit.
+
+/// Streaming JSON writer with automatic comma/nesting bookkeeping.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One frame per open container: `(is_array, elements_written)`.
+    stack: Vec<(bool, usize)>,
+    /// A key was just written; the next value belongs to it.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Comma/count bookkeeping before a value lands in the current
+    /// container (keys handle their own commas).
+    fn before_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some((_, count)) = self.stack.last_mut() {
+            if *count > 0 {
+                self.out.push(',');
+            }
+            *count += 1;
+        }
+    }
+
+    /// Open an object (`{`) in value position.
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push((false, 0));
+    }
+
+    /// Close the innermost object.
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.out.push('}');
+    }
+
+    /// Open an array (`[`) in value position.
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push((true, 0));
+    }
+
+    /// Close the innermost array.
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.out.push(']');
+    }
+
+    /// Write an object key; the next value call supplies its value.
+    pub fn key(&mut self, k: &str) {
+        if let Some((_, count)) = self.stack.last_mut() {
+            if *count > 0 {
+                self.out.push(',');
+            }
+            *count += 1;
+        }
+        self.out.push('"');
+        escape_into(k, &mut self.out);
+        self.out.push_str("\":");
+        self.pending_key = true;
+    }
+
+    /// Write a string value.
+    pub fn string(&mut self, v: &str) {
+        self.before_value();
+        self.out.push('"');
+        escape_into(v, &mut self.out);
+        self.out.push('"');
+    }
+
+    /// Write an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.before_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Write a float value (`null` when not finite).
+    pub fn f64(&mut self, v: f64) {
+        self.before_value();
+        if v.is_finite() {
+            self.out.push_str(&v.to_string());
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Write a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Write a pre-serialized JSON value verbatim — e.g. a document from
+    /// `Telemetry::export_json` embedded in a larger report. The caller
+    /// guarantees `v` is itself valid JSON; the writer only handles the
+    /// surrounding commas.
+    pub fn raw(&mut self, v: &str) {
+        self.before_value();
+        self.out.push_str(v);
+    }
+
+    /// `key` + string value in one call.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// `key` + unsigned integer value in one call.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64(v);
+    }
+
+    /// `key` + float value in one call.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.f64(v);
+    }
+
+    /// `key` + boolean value in one call.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool(v);
+    }
+
+    /// Finish writing and return the document.
+    ///
+    /// # Panics
+    /// Panics if a container is still open (a structural bug in the
+    /// caller, not an input condition).
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "JsonWriter: unclosed container");
+        self.out
+    }
+}
+
+/// Escape `s` per RFC 8259 into `out`.
+fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_round_trips_structure() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", "telemetry.v1");
+        w.field_u64("count", 3);
+        w.key("inner");
+        w.begin_object();
+        w.field_f64("ms", 1.5);
+        w.field_bool("ok", true);
+        w.end_object();
+        w.key("list");
+        w.begin_array();
+        w.u64(1);
+        w.u64(2);
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"schema":"telemetry.v1","count":3,"inner":{"ms":1.5,"ok":true},"list":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("k", "a\"b\\c\nd");
+        w.end_object();
+        assert_eq!(w.finish(), "{\"k\":\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(f64::NAN);
+        w.f64(f64::INFINITY);
+        w.f64(2.0);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null,2]");
+    }
+
+    #[test]
+    fn arrays_of_objects_get_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        for i in 0..2 {
+            w.begin_object();
+            w.field_u64("i", i);
+            w.end_object();
+        }
+        w.end_array();
+        assert_eq!(w.finish(), r#"[{"i":0},{"i":1}]"#);
+    }
+}

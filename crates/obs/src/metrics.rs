@@ -1,0 +1,161 @@
+//! The metrics registry behind an enabled [`crate::Telemetry`] handle:
+//! counters, gauges, fixed-bucket histograms, span statistics, and the
+//! recorded per-round breakdowns.
+//!
+//! Everything is keyed by `&'static str` metric names in `BTreeMap`s, so
+//! iteration — and therefore the exported JSON — is deterministic.
+//! Mutexes (not atomics) keep the implementation simple; instrumented
+//! code touches the registry a handful of times per *phase*, never per
+//! sample, so contention is irrelevant next to the <2% overhead budget
+//! of DESIGN.md §10.
+
+use crate::schema::RoundTelemetry;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Histogram bucket upper bounds in milliseconds (last bucket is +∞).
+///
+/// Fixed boundaries keep exported histograms comparable across runs and
+/// hosts — the point of a versioned schema.
+pub const MS_BUCKETS: [f64; 12] = [
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+];
+
+/// A fixed-bucket latency histogram over [`MS_BUCKETS`].
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// `counts[i]` = observations ≤ `MS_BUCKETS[i]`; the final slot
+    /// counts overflows.
+    pub counts: [u64; MS_BUCKETS.len() + 1],
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values in milliseconds.
+    pub sum_ms: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; MS_BUCKETS.len() + 1],
+            count: 0,
+            sum_ms: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation in milliseconds.
+    pub fn observe(&mut self, ms: f64) {
+        let slot = MS_BUCKETS
+            .iter()
+            .position(|&b| ms <= b)
+            .unwrap_or(MS_BUCKETS.len());
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.sum_ms += ms;
+    }
+}
+
+/// Aggregated enter/exit statistics of one span name.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanStats {
+    /// Number of completed span instances.
+    pub count: u64,
+    /// Accumulated wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Shortest instance in nanoseconds.
+    pub min_ns: u64,
+    /// Longest instance in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    fn record(&mut self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns += ns;
+    }
+}
+
+/// The backing store shared by all clones of one enabled `Telemetry`
+/// handle.
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub(crate) counters: Mutex<BTreeMap<&'static str, u64>>,
+    pub(crate) gauges: Mutex<BTreeMap<&'static str, f64>>,
+    pub(crate) histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    pub(crate) spans: Mutex<BTreeMap<&'static str, SpanStats>>,
+    pub(crate) rounds: Mutex<Vec<RoundTelemetry>>,
+}
+
+impl Registry {
+    pub(crate) fn add(&self, name: &'static str, n: u64) {
+        *self.counters.lock().unwrap().entry(name).or_insert(0) += n;
+    }
+
+    pub(crate) fn set_gauge(&self, name: &'static str, v: f64) {
+        self.gauges.lock().unwrap().insert(name, v);
+    }
+
+    pub(crate) fn observe_ms(&self, name: &'static str, ms: f64) {
+        self.histograms
+            .lock()
+            .unwrap()
+            .entry(name)
+            .or_default()
+            .observe(ms);
+    }
+}
+
+impl tracing::Collect for Registry {
+    fn enter(&self, _span: &'static str) {}
+
+    fn exit(&self, span: &'static str, elapsed: Duration) {
+        self.spans
+            .lock()
+            .unwrap()
+            .entry(span)
+            .or_default()
+            .record(elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracing::Collect;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_by_slot() {
+        let mut h = Histogram::default();
+        h.observe(0.1); // ≤ 0.25 → slot 0
+        h.observe(3.0); // ≤ 5.0 → slot 4
+        h.observe(5000.0); // beyond the last bound → overflow slot
+        assert_eq!(h.count, 3);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[4], 1);
+        assert_eq!(h.counts[MS_BUCKETS.len()], 1);
+        assert!((h.sum_ms - 5003.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_stats_track_min_max() {
+        let reg = Registry::default();
+        reg.exit("s", Duration::from_millis(2));
+        reg.exit("s", Duration::from_millis(8));
+        let spans = reg.spans.lock().unwrap();
+        let s = spans.get("s").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min_ns, 2_000_000);
+        assert_eq!(s.max_ns, 8_000_000);
+        assert_eq!(s.total_ns, 10_000_000);
+    }
+}

@@ -1,0 +1,200 @@
+//! The `telemetry.v1` schema: plain-data per-round breakdowns.
+//!
+//! These types are **always compiled** — with the `enabled` feature off
+//! only the recording machinery (registry, spans, export) disappears.
+//! The pipeline therefore always carries a structured per-round
+//! breakdown in its `RoundReport`, because every field below is derived
+//! from counts the phases compute anyway; only wall-clock histograms and
+//! span statistics cost anything to collect.
+//!
+//! Field-by-field units and the paper tables each field validates are
+//! documented in DESIGN.md §10.
+
+use crate::json::JsonWriter;
+
+/// Version tag carried by every exported telemetry document.
+pub const SCHEMA_VERSION: &str = "telemetry.v1";
+
+/// Sample-selector phase counters (paper §4.1, Exp2 / Table 2).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelectorTelemetry {
+    /// Selector name as reported by `SampleSelector::name`.
+    pub selector: String,
+    /// Uncleaned samples eligible this round (`|pool|`).
+    pub pool: usize,
+    /// Samples eliminated by the Theorem-1 bound pass before exact
+    /// scoring (0 for Full Infl and for baselines).
+    pub pruned: usize,
+    /// Samples whose exact Eq. 6 influence was evaluated.
+    pub scored: usize,
+    /// Gradient evaluations of the exact-scoring pass
+    /// (`scored × (C + 1)` for Infl; 0 when the selector doesn't report).
+    pub grad_evals: usize,
+    /// Hessian-vector products spent on the CG solve for `H⁻¹∇F_val`.
+    pub hvp_evals: usize,
+    /// Fraction of the pool the Theorem-1 bound pruned
+    /// (`pruned / pool`; the paper's Exp2 "evaluated" column inverted).
+    pub bound_hit_rate: f64,
+    /// Wall-clock of the selector phase in milliseconds (Time_inf).
+    pub select_ms: f64,
+}
+
+/// Annotation phase counters (paper §4.3).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnnotationTelemetry {
+    /// Selections handed to the annotators this round.
+    pub requested: usize,
+    /// Individual votes cast (humans + algorithmic suggestions).
+    pub votes: usize,
+    /// Samples whose vote set was not unanimous.
+    pub conflicts: usize,
+    /// Samples left probabilistic: vote ties, empty panels, or missing
+    /// ground truth (Appendix F.1's "ambiguous" rule).
+    pub abstains: usize,
+    /// Samples that received a deterministic label and weight 1.
+    pub cleaned: usize,
+    /// Wall-clock of the annotation phase in milliseconds.
+    pub annotate_ms: f64,
+}
+
+/// Model-constructor phase counters (paper §4.2, Exp3 / Figure 2).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstructorTelemetry {
+    /// `"retrain"` or `"deltagrad-l"`.
+    pub kind: String,
+    /// SGD iterations computed with an exact minibatch gradient
+    /// (all of them for Retrain; the `j₀`-burn-in/`T₀`-periodic ones for
+    /// DeltaGrad-L, Algorithm 2 line 4).
+    pub exact_steps: usize,
+    /// Iterations replayed with the L-BFGS Hessian approximation
+    /// (DeltaGrad-L only, Algorithm 2 line 7).
+    pub replay_steps: usize,
+    /// Exact gradients on the changed set `A_t = B_t ∩ R⁽ᵏ⁾` spent on
+    /// replay corrections (DeltaGrad-L only).
+    pub correction_grads: usize,
+    /// L-BFGS history size `m₀` (0 for Retrain).
+    pub lbfgs_history: usize,
+    /// SGD epoch budget of this construction.
+    pub epochs: usize,
+    /// Wall-clock of the constructor phase in milliseconds.
+    pub update_ms: f64,
+}
+
+/// One cleaning round's structured breakdown, in phase order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundTelemetry {
+    /// Round number (0-based).
+    pub round: usize,
+    /// Selector phase.
+    pub selector: SelectorTelemetry,
+    /// Annotation phase.
+    pub annotation: AnnotationTelemetry,
+    /// Constructor phase.
+    pub constructor: ConstructorTelemetry,
+}
+
+impl SelectorTelemetry {
+    /// Serialize as a JSON object in value position.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("selector", &self.selector);
+        w.field_u64("pool", self.pool as u64);
+        w.field_u64("pruned", self.pruned as u64);
+        w.field_u64("scored", self.scored as u64);
+        w.field_u64("grad_evals", self.grad_evals as u64);
+        w.field_u64("hvp_evals", self.hvp_evals as u64);
+        w.field_f64("bound_hit_rate", self.bound_hit_rate);
+        w.field_f64("select_ms", self.select_ms);
+        w.end_object();
+    }
+}
+
+impl AnnotationTelemetry {
+    /// Serialize as a JSON object in value position.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("requested", self.requested as u64);
+        w.field_u64("votes", self.votes as u64);
+        w.field_u64("conflicts", self.conflicts as u64);
+        w.field_u64("abstains", self.abstains as u64);
+        w.field_u64("cleaned", self.cleaned as u64);
+        w.field_f64("annotate_ms", self.annotate_ms);
+        w.end_object();
+    }
+}
+
+impl ConstructorTelemetry {
+    /// Serialize as a JSON object in value position.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_str("kind", &self.kind);
+        w.field_u64("exact_steps", self.exact_steps as u64);
+        w.field_u64("replay_steps", self.replay_steps as u64);
+        w.field_u64("correction_grads", self.correction_grads as u64);
+        w.field_u64("lbfgs_history", self.lbfgs_history as u64);
+        w.field_u64("epochs", self.epochs as u64);
+        w.field_f64("update_ms", self.update_ms);
+        w.end_object();
+    }
+}
+
+impl RoundTelemetry {
+    /// Serialize as a JSON object in value position.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("round", self.round as u64);
+        w.key("selector");
+        self.selector.write_json(w);
+        w.key("annotation");
+        self.annotation.write_json(w);
+        w.key("constructor");
+        self.constructor.write_json(w);
+        w.end_object();
+    }
+}
+
+/// `std::thread::available_parallelism`, defaulting to 1 — recorded in
+/// every exported document so a ~1.0× parallel speedup on 1-core
+/// hardware is self-explaining.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_telemetry_serializes_all_sections() {
+        let r = RoundTelemetry {
+            round: 2,
+            selector: SelectorTelemetry {
+                selector: "Infl+Increm".into(),
+                pool: 100,
+                pruned: 90,
+                scored: 10,
+                grad_evals: 30,
+                hvp_evals: 12,
+                bound_hit_rate: 0.9,
+                select_ms: 1.25,
+            },
+            ..RoundTelemetry::default()
+        };
+        let mut w = JsonWriter::new();
+        r.write_json(&mut w);
+        let json = w.finish();
+        for needle in [
+            "\"round\":2",
+            "\"pruned\":90",
+            "\"scored\":10",
+            "\"grad_evals\":30",
+            "\"bound_hit_rate\":0.9",
+            "\"annotation\":{",
+            "\"constructor\":{",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+    }
+}

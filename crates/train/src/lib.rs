@@ -21,5 +21,5 @@ pub mod deltagrad;
 pub mod sgd;
 
 pub use batch::BatchPlan;
-pub use deltagrad::{deltagrad_update, DeltaGradConfig};
-pub use sgd::{select_early_stop, train, SgdConfig, TrainOutcome, TrainTrace};
+pub use deltagrad::{deltagrad_update, DeltaGradConfig, DeltaGradOutcome, DeltaGradStats};
+pub use sgd::{select_early_stop, train, train_traced, SgdConfig, TrainOutcome, TrainTrace};

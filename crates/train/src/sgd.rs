@@ -65,6 +65,8 @@ pub struct TrainOutcome {
 }
 
 /// Train from `w0` with minibatch SGD on the weighted objective.
+///
+/// Equivalent to [`train_traced`] with a disabled telemetry handle.
 pub fn train<M: Model + ?Sized>(
     model: &M,
     objective: &WeightedObjective,
@@ -72,8 +74,32 @@ pub fn train<M: Model + ?Sized>(
     w0: &[f64],
     cfg: &SgdConfig,
 ) -> TrainOutcome {
+    train_traced(
+        model,
+        objective,
+        data,
+        w0,
+        cfg,
+        &chef_obs::Telemetry::disabled(),
+    )
+}
+
+/// [`train`] with phase telemetry: the run is wrapped in a `train.sgd`
+/// span, every iteration's wall-clock feeds the `train.batch_ms`
+/// histogram, and the `train.batches` / `train.epochs` counters
+/// accumulate across calls. A disabled handle skips even the per-batch
+/// clock reads, so the instrumented loop is identical to the bare one.
+pub fn train_traced<M: Model + ?Sized>(
+    model: &M,
+    objective: &WeightedObjective,
+    data: &Dataset,
+    w0: &[f64],
+    cfg: &SgdConfig,
+    telemetry: &chef_obs::Telemetry,
+) -> TrainOutcome {
     assert_eq!(w0.len(), model.num_params(), "train: w0 dimension");
     assert!(!data.is_empty(), "train: empty dataset");
+    let _span = telemetry.span("train.sgd");
     let plan = BatchPlan::new(data.len(), cfg.batch_size, cfg.epochs, cfg.seed);
     let total = plan.total_iterations();
     let per_epoch = plan.batches_per_epoch();
@@ -89,16 +115,21 @@ pub fn train<M: Model + ?Sized>(
     }
 
     for (t, batch) in plan.iter() {
-        objective.batch_grad(model, data, &batch, &w, &mut g);
-        if cfg.cache_provenance {
-            params.push(w.clone());
-            grads.push(g.clone());
+        {
+            let _batch_timer = telemetry.timer("train.batch_ms");
+            objective.batch_grad(model, data, &batch, &w, &mut g);
+            if cfg.cache_provenance {
+                params.push(w.clone());
+                grads.push(g.clone());
+            }
+            vector::axpy(-cfg.lr, &g, &mut w);
         }
-        vector::axpy(-cfg.lr, &g, &mut w);
         if (t + 1) % per_epoch == 0 {
             checkpoints.push(w.clone());
         }
     }
+    telemetry.add("train.batches", total as u64);
+    telemetry.add("train.epochs", cfg.epochs as u64);
 
     let trace = cfg.cache_provenance.then_some(TrainTrace {
         plan,

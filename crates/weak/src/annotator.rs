@@ -116,6 +116,28 @@ impl AnnotatorPanel {
         self.annotators.is_empty()
     }
 
+    /// The raw ballot for one sample: each human annotator's vote in
+    /// panel order, with the optional algorithmic suggestion appended as
+    /// one more independent vote. Exposed so the annotation phase can
+    /// count conflicts for telemetry without re-running the panel.
+    pub fn votes(
+        &self,
+        sample_id: usize,
+        truth: usize,
+        num_classes: usize,
+        suggestion: Option<usize>,
+    ) -> Vec<usize> {
+        let mut votes: Vec<usize> = self
+            .annotators
+            .iter()
+            .map(|a| a.annotate(sample_id, truth, num_classes))
+            .collect();
+        if let Some(s) = suggestion {
+            votes.push(s);
+        }
+        votes
+    }
+
     /// Clean one sample: collect the panel's votes plus an optional
     /// suggested label and aggregate.
     ///
@@ -128,14 +150,7 @@ impl AnnotatorPanel {
         num_classes: usize,
         suggestion: Option<usize>,
     ) -> Option<SoftLabel> {
-        let mut votes: Vec<usize> = self
-            .annotators
-            .iter()
-            .map(|a| a.annotate(sample_id, truth, num_classes))
-            .collect();
-        if let Some(s) = suggestion {
-            votes.push(s);
-        }
+        let votes = self.votes(sample_id, truth, num_classes, suggestion);
         if votes.is_empty() {
             return None;
         }

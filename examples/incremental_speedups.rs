@@ -47,11 +47,12 @@ fn main() {
         },
         target_val_f1: None,
         warm_start: false,
+        telemetry: chef_core::Telemetry::disabled(),
     };
 
     // Naive: Full influence evaluation + retraining from scratch.
     let mut full = InflSelector::full();
-    let naive = Pipeline::new(base).run(
+    let naive = Pipeline::new(base.clone()).run(
         &model,
         split.train.clone(),
         &split.val,

@@ -50,6 +50,7 @@ fn main() {
             },
             target_val_f1: target,
             warm_start: false,
+            telemetry: chef_core::Telemetry::disabled(),
         };
         let mut selector = InflSelector::incremental();
         let report = Pipeline::new(config).run(

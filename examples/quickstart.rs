@@ -54,6 +54,7 @@ fn main() {
         },
         target_val_f1: None,
         warm_start: false,
+        telemetry: chef_core::Telemetry::disabled(),
     };
 
     // 4. Run.

@@ -155,7 +155,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Acceptable size arguments for [`vec`]: a fixed length or a
+    /// Acceptable size arguments for [`vec()`]: a fixed length or a
     /// half-open range of lengths.
     pub trait IntoSizeRange {
         /// `(lo, hi)` half-open bounds on the generated length.

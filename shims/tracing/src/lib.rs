@@ -1,0 +1,162 @@
+//! Offline drop-in replacement for the subset of [`tracing`] this
+//! workspace uses: named spans whose enter/exit (with measured
+//! wall-clock) is reported to a `Collect` sink.
+//!
+//! The build container cannot reach crates.io, so the real tracing stack
+//! cannot be fetched. Rather than a global `Subscriber` dispatcher, the
+//! shim binds each span to an explicit collector handle
+//! ([`Span::with_collector`]): the workspace runs many pipelines
+//! concurrently inside one test process, so per-handle routing is the
+//! only way span data ends up attached to the run that produced it. A
+//! span without a collector ([`Span::none`]) is a true no-op — it never
+//! reads the clock.
+//!
+//! `chef-obs` layers the metrics registry and JSON export on top; this
+//! crate is deliberately nothing but the span/collector contract.
+//!
+//! [`tracing`]: https://docs.rs/tracing
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A sink for span lifecycle events (the shim's analogue of a tracing
+/// `Subscriber`).
+///
+/// Implementations must be thread-safe: spans from concurrently running
+/// pipelines may report to the same collector.
+pub trait Collect: Send + Sync {
+    /// A span with this name was entered.
+    fn enter(&self, span: &'static str);
+
+    /// A span with this name exited after running for `elapsed`.
+    fn exit(&self, span: &'static str, elapsed: Duration);
+}
+
+/// A named span, bound to the collector that will receive its timings.
+///
+/// Mirrors `tracing::Span`: create it, [`Span::entered`] it for an RAII
+/// guard, and the guard's drop reports the measured wall-clock to the
+/// collector.
+#[derive(Clone)]
+pub struct Span {
+    name: &'static str,
+    collector: Option<Arc<dyn Collect>>,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.name)
+            .field("collected", &self.collector.is_some())
+            .finish()
+    }
+}
+
+impl Span {
+    /// A disabled span: entering it is free and reports nothing.
+    pub fn none() -> Self {
+        Self {
+            name: "",
+            collector: None,
+        }
+    }
+
+    /// A span reporting to an explicit collector.
+    pub fn with_collector(name: &'static str, collector: Arc<dyn Collect>) -> Self {
+        Self {
+            name,
+            collector: Some(collector),
+        }
+    }
+
+    /// The span's name (`""` for [`Span::none`]).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether this span is disabled (no collector attached).
+    pub fn is_none(&self) -> bool {
+        self.collector.is_none()
+    }
+
+    /// Enter the span, consuming it into an owned RAII guard (the shape
+    /// of `tracing::Span::entered`). Disabled spans skip the clock read.
+    pub fn entered(self) -> EnteredSpan {
+        let start = self.collector.as_ref().map(|c| {
+            c.enter(self.name);
+            Instant::now()
+        });
+        EnteredSpan { span: self, start }
+    }
+}
+
+/// RAII guard of an entered [`Span`]; dropping it reports the span's
+/// wall-clock duration to the collector.
+#[derive(Debug)]
+pub struct EnteredSpan {
+    span: Span,
+    start: Option<Instant>,
+}
+
+impl EnteredSpan {
+    /// Exit the span now (equivalent to dropping the guard).
+    pub fn exit(self) {}
+}
+
+impl Drop for EnteredSpan {
+    fn drop(&mut self) {
+        if let (Some(collector), Some(start)) = (self.span.collector.as_ref(), self.start) {
+            collector.exit(self.span.name, start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Log {
+        events: Mutex<Vec<(String, &'static str)>>,
+    }
+
+    impl Collect for Log {
+        fn enter(&self, span: &'static str) {
+            self.events.lock().unwrap().push(("enter".into(), span));
+        }
+        fn exit(&self, span: &'static str, _elapsed: Duration) {
+            self.events.lock().unwrap().push(("exit".into(), span));
+        }
+    }
+
+    #[test]
+    fn entered_span_reports_enter_then_exit() {
+        let log = Arc::new(Log::default());
+        {
+            let _guard = Span::with_collector("phase", log.clone()).entered();
+            assert_eq!(log.events.lock().unwrap().len(), 1);
+        }
+        let events = log.events.lock().unwrap();
+        assert_eq!(
+            *events,
+            vec![("enter".into(), "phase"), ("exit".into(), "phase")]
+        );
+    }
+
+    #[test]
+    fn none_span_is_inert() {
+        let span = Span::none();
+        assert!(span.is_none());
+        span.entered().exit(); // must not panic, reports nowhere
+    }
+
+    #[test]
+    fn explicit_exit_equals_drop() {
+        let log = Arc::new(Log::default());
+        Span::with_collector("s", log.clone()).entered().exit();
+        assert_eq!(log.events.lock().unwrap().len(), 2);
+    }
+}

@@ -66,6 +66,7 @@ fn config() -> PipelineConfig {
         },
         target_val_f1: None,
         warm_start: false,
+        telemetry: chef_core::Telemetry::disabled(),
     }
 }
 

@@ -46,6 +46,7 @@ fn config(budget: usize, b: usize) -> PipelineConfig {
         },
         target_val_f1: None,
         warm_start: false,
+        telemetry: chef_core::Telemetry::disabled(),
     }
 }
 

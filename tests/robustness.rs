@@ -58,6 +58,7 @@ fn base_config() -> PipelineConfig {
         },
         target_val_f1: None,
         warm_start: false,
+        telemetry: chef_core::Telemetry::disabled(),
     }
 }
 
