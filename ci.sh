@@ -11,7 +11,7 @@ echo "==> cargo clippy (default features)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo clippy (serial/no-telemetry: --no-default-features)"
-cargo clippy -p chef-model -p chef-core -p chef-bench -p chef-obs --all-targets --no-default-features -- -D warnings
+cargo clippy -p chef-linalg -p chef-model -p chef-core -p chef-bench -p chef-obs --all-targets --no-default-features -- -D warnings
 
 echo "==> cargo test (default features: parallel)"
 cargo test -q --workspace
@@ -19,19 +19,22 @@ cargo test -q --workspace
 echo "==> cargo test (serial: --no-default-features)"
 # --no-default-features applies to the packages that own the `parallel`
 # and `telemetry` features; the rest of the workspace is unaffected.
-cargo test -q -p chef-model -p chef-core -p chef-bench -p chef-obs --no-default-features
+cargo test -q -p chef-linalg -p chef-model -p chef-core -p chef-bench -p chef-obs --no-default-features
+
+echo "==> infl_kernels bench (quick smoke: batched kernels run end-to-end)"
+cargo run -q --release -p chef-bench --bin infl_kernels -- --quick
 
 echo "==> cargo test --doc (default features)"
 cargo test -q --doc --workspace
 
 echo "==> cargo test --doc (--no-default-features)"
-cargo test -q --doc -p chef-model -p chef-core -p chef-bench -p chef-obs --no-default-features
+cargo test -q --doc -p chef-linalg -p chef-model -p chef-core -p chef-bench -p chef-obs --no-default-features
 
 echo "==> cargo doc (default features, warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 echo "==> cargo doc (--no-default-features, warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
-  -p chef-model -p chef-core -p chef-bench -p chef-obs --no-default-features
+  -p chef-linalg -p chef-model -p chef-core -p chef-bench -p chef-obs --no-default-features
 
 echo "ci.sh: all green"

@@ -1,0 +1,256 @@
+//! Per-sample vs batched (GEMM-backed) influence kernel wall time.
+//!
+//! Times the Infl scoring pass and the Hessian-subsample HVP at
+//! n ∈ {10k, 50k, 200k} training samples, comparing three
+//! implementations of each:
+//!
+//! * `per_sample` — the pre-batching reference: one `C + 1`-gradient
+//!   loop per candidate (`rank_infl_with_vector_per_sample`), one
+//!   allocating `hvp` call per batch sample;
+//! * `batched_serial` — the structure-aware `score_block`/`hvp_block`
+//!   closed form on one thread (`*_serial` entry points);
+//! * `batched` — the dispatching public API (threaded when the
+//!   `parallel` feature is on).
+//!
+//! Results go to `BENCH_infl_kernels.json` at the workspace root as a
+//! telemetry.v1 document (see DESIGN.md §10/§11). On 1-core hardware
+//! `batched` ≈ `batched_serial`; the headline `batched_speedup` column
+//! (per-sample / batched) comes from arithmetic restructuring — two
+//! block GEMMs plus O(C) per sample instead of `C + 1` dense gradient
+//! materializations — not from threads.
+//!
+//! Usage: `cargo run --release -p chef-bench --bin infl_kernels`
+//! (`--reps R` for best-of-R timing, `--quick` for a tiny CI-sized run
+//! with no JSON output).
+
+use chef_bench::prepare;
+use chef_core::influence::{
+    influence_vector, rank_infl_with_vector, rank_infl_with_vector_per_sample,
+    rank_infl_with_vector_serial, InflConfig,
+};
+use chef_data::{DatasetKind, DatasetSpec};
+use chef_linalg::vector;
+use chef_model::{Dataset, LogisticRegression, Model, WeightedObjective};
+use chef_obs::JsonWriter;
+use chef_train::{train, SgdConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Synthetic MIMIC-like spec with exactly `n` training samples.
+fn spec_for(n: usize) -> DatasetSpec {
+    DatasetSpec {
+        name: "infl_kernels",
+        kind: DatasetKind::FullyClean,
+        train: n,
+        val: 500,
+        test: 100,
+        dim: 32,
+        num_classes: 2,
+        class_sep: 1.0,
+        positive_rate: 0.45,
+        truth_noise: 0.0,
+        weak_quality: 0.5,
+        annotator_error: 0.05,
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// The pre-batching HVP accumulation: one allocating per-sample `hvp`
+/// plus an axpy per batch member, then objective normalization — what
+/// `WeightedObjective::batch_hvp` did before `Model::hvp_block`.
+fn per_sample_hvp(
+    model: &LogisticRegression,
+    obj: &WeightedObjective,
+    data: &Dataset,
+    batch: &[usize],
+    w: &[f64],
+    v: &[f64],
+    out: &mut [f64],
+) {
+    out.fill(0.0);
+    let mut h = vec![0.0; out.len()];
+    for &i in batch {
+        model.hvp(w, data.feature(i), data.label(i), v, &mut h);
+        vector::axpy(data.weight(i, obj.gamma), &h, out);
+    }
+    if !batch.is_empty() {
+        vector::scale(1.0 / batch.len() as f64, out);
+    }
+    vector::axpy(obj.l2, v, out);
+}
+
+struct Case {
+    n: usize,
+    score_per_sample_ms: f64,
+    score_batched_serial_ms: f64,
+    score_batched_ms: f64,
+    hvp_per_sample_ms: f64,
+    hvp_batched_serial_ms: f64,
+    hvp_batched_ms: f64,
+}
+
+fn run_case(n: usize, reps: usize) -> Case {
+    let prepared = prepare(&spec_for(n), 1);
+    let data = &prepared.split.train;
+    let val = &prepared.split.val;
+    let model = LogisticRegression::new(data.dim(), 2);
+    let obj = WeightedObjective::new(0.8, 0.2);
+    let sgd = SgdConfig {
+        lr: 0.1,
+        epochs: 3,
+        batch_size: 1024,
+        seed: 2,
+        cache_provenance: false,
+    };
+    let w = train(&model, &obj, data, &model.initial_params(0), &sgd).w;
+    let v = influence_vector(&model, &obj, data, val, &w, &InflConfig::default());
+    let pool = data.uncleaned_indices();
+    assert_eq!(pool.len(), n, "entire training set should be uncleaned");
+
+    let score_per_sample_ms = time_ms(reps, || {
+        rank_infl_with_vector_per_sample(&model, data, &w, &v, &pool, obj.gamma)
+    });
+    let score_batched_serial_ms = time_ms(reps, || {
+        rank_infl_with_vector_serial(&model, data, &w, &v, &pool, obj.gamma)
+    });
+    let score_batched_ms = time_ms(reps, || {
+        rank_infl_with_vector(&model, data, &w, &v, &pool, obj.gamma)
+    });
+
+    // HVP over the default Hessian subsample size (the CG operator's
+    // per-iteration cost).
+    let batch: Vec<usize> = (0..n.min(InflConfig::default().hessian_batch)).collect();
+    let mut out = vec![0.0; Model::num_params(&model)];
+    let hvp_per_sample_ms = time_ms(reps, || {
+        per_sample_hvp(&model, &obj, data, &batch, &w, &v, &mut out);
+        out[0]
+    });
+    let hvp_batched_serial_ms = time_ms(reps, || {
+        obj.batch_hvp_serial(&model, data, &batch, &w, &v, &mut out);
+        out[0]
+    });
+    let hvp_batched_ms = time_ms(reps, || {
+        obj.batch_hvp(&model, data, &batch, &w, &v, &mut out);
+        out[0]
+    });
+    Case {
+        n,
+        score_per_sample_ms,
+        score_batched_serial_ms,
+        score_batched_ms,
+        hvp_per_sample_ms,
+        hvp_batched_serial_ms,
+        hvp_batched_ms,
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // At least one rep, or every timing stays +inf and the JSON is garbage.
+    let reps: usize = if quick {
+        1
+    } else {
+        chef_bench::arg_value(&args, "--reps", 3).max(1)
+    };
+    let sizes: &[usize] = if quick {
+        &[2_000]
+    } else {
+        &[10_000, 50_000, 200_000]
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let threads = rayon::current_num_threads();
+    let parallel_feature = cfg!(feature = "parallel");
+    println!(
+        "infl_kernels: cores={cores} rayon_threads={threads} parallel_feature={parallel_feature} quick={quick}"
+    );
+
+    let mut cases = Vec::new();
+    for &n in sizes {
+        let c = run_case(n, reps);
+        println!(
+            "n={:>7}  score: per-sample {:.2} ms / batched-serial {:.2} ms / batched {:.2} ms ({:.2}x)   hvp: per-sample {:.2} ms / batched-serial {:.2} ms / batched {:.2} ms ({:.2}x)",
+            c.n,
+            c.score_per_sample_ms,
+            c.score_batched_serial_ms,
+            c.score_batched_ms,
+            c.score_per_sample_ms / c.score_batched_ms,
+            c.hvp_per_sample_ms,
+            c.hvp_batched_serial_ms,
+            c.hvp_batched_ms,
+            c.hvp_per_sample_ms / c.hvp_batched_ms,
+        );
+        cases.push(c);
+    }
+    if quick {
+        println!("quick mode: skipping BENCH_infl_kernels.json");
+        return;
+    }
+
+    // telemetry.v1 envelope: common header (schema/kind/context), then the
+    // kind-specific `results` payload. See DESIGN.md §10.
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", chef_obs::SCHEMA_VERSION);
+    w.field_str("kind", "infl_kernels");
+    w.key("context");
+    w.begin_object();
+    w.field_u64("available_cores", cores as u64);
+    w.field_u64("rayon_threads", threads as u64);
+    w.field_bool("parallel_feature", parallel_feature);
+    w.field_bool("telemetry_feature", cfg!(feature = "telemetry"));
+    w.field_u64("reps", reps as u64);
+    w.field_u64("dim", 32);
+    w.field_u64("num_classes", 2);
+    w.field_str("unit", "ms (best of reps)");
+    w.end_object();
+    w.key("results");
+    w.begin_array();
+    for c in &cases {
+        w.begin_object();
+        w.field_u64("n", c.n as u64);
+        w.key("score");
+        w.begin_object();
+        w.field_f64("per_sample_ms", c.score_per_sample_ms);
+        w.field_f64("batched_serial_ms", c.score_batched_serial_ms);
+        w.field_f64("batched_ms", c.score_batched_ms);
+        w.field_f64(
+            "batched_speedup",
+            c.score_per_sample_ms / c.score_batched_ms,
+        );
+        w.end_object();
+        w.key("hvp");
+        w.begin_object();
+        w.field_f64("per_sample_ms", c.hvp_per_sample_ms);
+        w.field_f64("batched_serial_ms", c.hvp_batched_serial_ms);
+        w.field_f64("batched_ms", c.hvp_batched_ms);
+        w.field_f64("batched_speedup", c.hvp_per_sample_ms / c.hvp_batched_ms);
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let path = workspace_root().join("BENCH_infl_kernels.json");
+    std::fs::write(&path, w.finish() + "\n").expect("write BENCH_infl_kernels.json");
+    println!("wrote {}", path.display());
+}

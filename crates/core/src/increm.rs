@@ -26,7 +26,8 @@
 //! by their value at `w⁽⁰⁾`; the `slack` factor (default 1, i.e. the
 //! paper's behaviour) can widen the interval to absorb that approximation.
 
-use crate::influence::{rank_infl_with_vector, InflScore};
+use crate::influence::{rank_infl_top_b, InflScore};
+use chef_linalg::kernels;
 use chef_model::{Dataset, Model};
 
 /// Minimum pool size before the `parallel` feature fans the provenance
@@ -36,17 +37,27 @@ use chef_model::{Dataset, Model};
 const PAR_GRAIN: usize = 128;
 
 /// Pre-computed per-sample provenance (the "initialization step" state).
+///
+/// All per-sample vectors live in contiguous row-major buffers (stride
+/// `m = num_params`, class-major within a sample) so the bound pass can
+/// hoist its dot products into blocked [`kernels::gather_matvec`] sweeps
+/// over provenance rows instead of chasing one heap allocation per
+/// sample.
 #[derive(Debug, Clone)]
 struct Provenance {
     w0: Vec<f64>,
-    /// `∇_w F(w⁽⁰⁾, z̃)` per sample.
-    grads0: Vec<Vec<f64>>,
-    /// Per-class gradients, flattened `C × m` per sample.
-    class_grads0: Vec<Vec<f64>>,
+    /// `∇_w F(w⁽⁰⁾, z̃)` per sample: row `i` of an `n × m` matrix.
+    grads0: Vec<f64>,
+    /// Per-class gradients: row `i·C + c` of an `(n·C) × m` matrix.
+    class_grads0: Vec<f64>,
     /// `‖H(w⁽⁰⁾, z̃)‖` per sample (μ_z in the bound).
     hessian_norms0: Vec<f64>,
-    /// `‖−∇²_w log p⁽ʲ⁾(w⁽⁰⁾, x̃)‖` per sample per class.
-    class_hessian_norms0: Vec<Vec<f64>>,
+    /// `‖−∇²_w log p⁽ʲ⁾(w⁽⁰⁾, x̃)‖`, flat `n·C` (sample-major).
+    class_hessian_norms0: Vec<f64>,
+    /// Parameter count `m` (row stride of the gradient buffers).
+    num_params: usize,
+    /// Class count `C` (row-group stride of `class_grads0`).
+    num_classes: usize,
 }
 
 /// One sample's provenance, produced independently per sample so the
@@ -152,15 +163,16 @@ impl IncremInfl {
                 .collect()
         };
 
-        let mut grads0 = Vec::with_capacity(n);
-        let mut class_grads0 = Vec::with_capacity(n);
+        let c_count = model.num_classes();
+        let mut grads0 = Vec::with_capacity(n * m);
+        let mut class_grads0 = Vec::with_capacity(n * c_count * m);
         let mut hessian_norms0 = Vec::with_capacity(n);
-        let mut class_hessian_norms0 = Vec::with_capacity(n);
+        let mut class_hessian_norms0 = Vec::with_capacity(n * c_count);
         for row in rows {
-            grads0.push(row.grad0);
-            class_grads0.push(row.class_grads0);
+            grads0.extend_from_slice(&row.grad0);
+            class_grads0.extend_from_slice(&row.class_grads0);
             hessian_norms0.push(row.hessian_norm0);
-            class_hessian_norms0.push(row.class_hessian_norms0);
+            class_hessian_norms0.extend_from_slice(&row.class_hessian_norms0);
         }
         Self {
             provenance: Provenance {
@@ -169,6 +181,8 @@ impl IncremInfl {
                 class_grads0,
                 hessian_norms0,
                 class_hessian_norms0,
+                num_params: m,
+                num_classes: c_count,
             },
             slack: 1.0,
         }
@@ -194,45 +208,42 @@ impl IncremInfl {
         gamma: f64,
     ) -> f64 {
         let delta = data.label(i).delta_to(class);
-        let cg = &self.provenance.class_grads0[i];
+        let cg_base = i * self.provenance.num_classes * m;
         let mut acc = 0.0;
         for (c, &d) in delta.iter().enumerate() {
             if d == 0.0 {
                 continue;
             }
-            acc += d * chef_linalg::vector::dot(v_pos, &cg[c * m..(c + 1) * m]);
+            let row = &self.provenance.class_grads0[cg_base + c * m..cg_base + (c + 1) * m];
+            acc += d * chef_linalg::vector::dot(v_pos, row);
         }
         if gamma < 1.0 {
-            acc += (1.0 - gamma) * chef_linalg::vector::dot(v_pos, &self.provenance.grads0[i]);
+            let grow = &self.provenance.grads0[i * m..(i + 1) * m];
+            acc += (1.0 - gamma) * chef_linalg::vector::dot(v_pos, grow);
         }
         -acc
     }
 
     /// Evaluate the Theorem 1 interval for one pool sample. The dot
-    /// products against the provenance gradients are hoisted out of the
-    /// class loop: everything below them is O(C) arithmetic on cached
-    /// scalars, which is what makes the bound pass cheap relative to
-    /// exact influence evaluation (Appendix E's complexity argument).
-    /// `class_dots` is a reusable length-`C` scratch buffer.
+    /// products against the provenance gradients (`g_dot`, `class_dots`)
+    /// are hoisted out entirely — [`Self::candidates`] computes them for
+    /// the whole pool in blocked [`kernels::gather_matvec`] sweeps —
+    /// so everything here is O(C) arithmetic on cached scalars, which is
+    /// what makes the bound pass cheap relative to exact influence
+    /// evaluation (Appendix E's complexity argument).
     #[allow(clippy::too_many_arguments)]
     fn bound_entry(
         &self,
         data: &Dataset,
-        m: usize,
-        v_pos: &[f64],
         e1: f64,
         e2: f64,
         gamma: f64,
         i: usize,
-        class_dots: &mut [f64],
+        g_dot: f64,
+        class_dots: &[f64],
     ) -> Entry {
         let c_count = class_dots.len();
-        let g_dot = chef_linalg::vector::dot(v_pos, &self.provenance.grads0[i]);
-        let cg = &self.provenance.class_grads0[i];
-        for (c, d) in class_dots.iter_mut().enumerate() {
-            *d = chef_linalg::vector::dot(v_pos, &cg[c * m..(c + 1) * m]);
-        }
-        let norms = &self.provenance.class_hessian_norms0[i];
+        let norms = &self.provenance.class_hessian_norms0[i * c_count..(i + 1) * c_count];
         let mu = self.provenance.hessian_norms0[i];
         let gterm = (1.0 - gamma) / 2.0;
         let mut best_i0 = f64::INFINITY;
@@ -324,44 +335,65 @@ impl IncremInfl {
         gamma: f64,
         allow_parallel: bool,
     ) -> (Vec<usize>, IncremStats) {
-        #[cfg(not(feature = "parallel"))]
-        let _ = allow_parallel;
-        let m = model.num_params();
-        let c_count = model.num_classes();
+        let m = self.provenance.num_params;
+        let c_count = self.provenance.num_classes;
+        debug_assert_eq!(m, model.num_params());
+        debug_assert_eq!(c_count, model.num_classes());
+        let _ = model;
         let dw = chef_linalg::vector::sub(w_k, &self.provenance.w0);
         // v = −v_pos in the paper's convention.
         let e1 = -chef_linalg::vector::dot(v_pos, &dw);
         let e2 = chef_linalg::vector::norm2(v_pos) * chef_linalg::vector::norm2(&dw);
 
-        // Per sample: the best (smallest) frozen influence over classes,
-        // with its interval (`bound_entry`). Entries are independent, so
-        // with the `parallel` feature large pools fan out over the thread
-        // pool with one `class_dots` scratch per worker chunk — results
-        // are bit-identical to the serial pass (no cross-sample
-        // reduction) and arrive in pool order either way.
+        // Hoist every provenance dot product out of the per-sample loop:
+        // one blocked gather-matvec sweep over the pool's frozen
+        // gradients and one over its per-class gradient rows. Each output
+        // element is a full-length row dot, so the parallel sweep is
+        // bit-identical to the serial one; `bound_entry` is then pure
+        // O(C) arithmetic per sample.
+        let mut g_dots = vec![0.0; pool.len()];
+        let mut class_dots = vec![0.0; pool.len() * c_count];
+        let class_rows: Vec<usize> = pool
+            .iter()
+            .flat_map(|&i| i * c_count..(i + 1) * c_count)
+            .collect();
         #[cfg(feature = "parallel")]
-        let entries: Vec<Entry> = if allow_parallel && pool.len() >= PAR_GRAIN {
-            use rayon::prelude::*;
-            pool.par_iter()
-                .map_init(
-                    || vec![0.0; c_count],
-                    |class_dots, &i| self.bound_entry(data, m, v_pos, e1, e2, gamma, i, class_dots),
-                )
-                .collect()
-        } else {
-            let mut class_dots = vec![0.0; c_count];
-            pool.iter()
-                .map(|&i| self.bound_entry(data, m, v_pos, e1, e2, gamma, i, &mut class_dots))
-                .collect()
-        };
+        let use_parallel_sweep = allow_parallel && pool.len() >= PAR_GRAIN;
         #[cfg(not(feature = "parallel"))]
-        let entries: Vec<Entry> = {
-            let mut class_dots = vec![0.0; c_count];
-            pool.iter()
-                .map(|&i| self.bound_entry(data, m, v_pos, e1, e2, gamma, i, &mut class_dots))
-                .collect()
+        let use_parallel_sweep = {
+            let _ = allow_parallel;
+            false
         };
-        let mut entries = entries;
+        if use_parallel_sweep {
+            kernels::gather_matvec(&self.provenance.grads0, m, pool, v_pos, &mut g_dots);
+            kernels::gather_matvec(
+                &self.provenance.class_grads0,
+                m,
+                &class_rows,
+                v_pos,
+                &mut class_dots,
+            );
+        } else {
+            kernels::gather_matvec_serial(&self.provenance.grads0, m, pool, v_pos, &mut g_dots);
+            kernels::gather_matvec_serial(
+                &self.provenance.class_grads0,
+                m,
+                &class_rows,
+                v_pos,
+                &mut class_dots,
+            );
+        }
+
+        // Per sample: the best (smallest) frozen influence over classes,
+        // with its interval (`bound_entry`), in pool order.
+        let mut entries: Vec<Entry> = pool
+            .iter()
+            .enumerate()
+            .map(|(r, &i)| {
+                let cd = &class_dots[r * c_count..(r + 1) * c_count];
+                self.bound_entry(data, e1, e2, gamma, i, g_dots[r], cd)
+            })
+            .collect();
 
         // Top-b smallest I₀ (Algorithm 1 line 3) and the largest upper
         // bound L among them (line 4).
@@ -419,8 +451,7 @@ impl IncremInfl {
         gamma: f64,
     ) -> (Vec<InflScore>, IncremStats) {
         let (cands, stats) = self.candidates(model, data, w_k, v_pos, pool, b, gamma);
-        let mut ranked = rank_infl_with_vector(model, data, w_k, v_pos, &cands, gamma);
-        ranked.truncate(b);
+        let ranked = rank_infl_top_b(model, data, w_k, v_pos, &cands, gamma, b);
         (ranked, stats)
     }
 }

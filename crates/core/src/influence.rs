@@ -18,8 +18,9 @@
 //! full pass costs one CG solve plus `C` per-class gradients per sample.
 
 use chef_linalg::cg::{conjugate_gradient, CgConfig};
-use chef_linalg::vector;
+use chef_linalg::{vector, Workspace};
 use chef_model::{Dataset, Model, WeightedObjective};
+use std::cmp::Ordering;
 
 /// Configuration for influence computations.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +46,20 @@ impl Default for InflConfig {
             },
             hessian_batch: 2048,
             seed: 0x1f1,
+        }
+    }
+}
+
+impl InflConfig {
+    /// The configuration for cleaning round `round`: identical CG
+    /// settings, but the Hessian-subsample seed deterministically mixed
+    /// with the round index (splitmix64's odd multiplier) so each round
+    /// sketches a *different* subset of training rows. Round 0 leaves
+    /// the base seed unchanged, so single-shot callers are unaffected.
+    pub fn for_round(&self, round: usize) -> Self {
+        Self {
+            seed: self.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..*self
         }
     }
 }
@@ -205,10 +220,121 @@ pub fn rank_infl<M: Model + ?Sized>(
 
 /// Minimum number of candidates before [`rank_infl_with_vector`] fans
 /// scoring out over the thread pool. Each candidate costs `C + 1` dense
-/// gradients, so a lower grain than chef-model's accumulation gate pays
-/// off. Length-only, so the chosen code path is machine-independent.
+/// gradient dot products, so a lower grain than chef-model's
+/// accumulation gate pays off. Length-only, so the chosen code path is
+/// machine-independent.
 #[cfg(feature = "parallel")]
 const PAR_GRAIN: usize = 128;
+
+/// Candidates per [`Model::score_block`] call. Sized so one block's GEMM
+/// panels (`block × d` features, `block × C` probabilities and dots)
+/// stay cache-resident while still amortizing the panel setup.
+const SCORE_BLOCK: usize = 256;
+
+/// Deterministic total order on scores: ascending score (most harmful
+/// first), ties broken by training-set index. Using the index — rather
+/// than position in the candidate slice — makes the ranking independent
+/// of candidate order, so Increm-Infl's pruned pool and the full pool
+/// sort tied samples identically.
+fn cmp_scores(a: &InflScore, b: &InflScore) -> Ordering {
+    a.score.total_cmp(&b.score).then(a.index.cmp(&b.index))
+}
+
+/// Score one block of candidates through [`Model::score_block`] and push
+/// the per-sample best-class scores onto `out`.
+///
+/// Per sample the block kernel hands back `vᵀ∇_w(−log p⁽ᶜ⁾)` for every
+/// class plus `vᵀ∇_wF`; Eq. 6 for candidate class `c` is then
+/// `−((cd[c] − ỹᵀcd) + (1−γ)·ld)` — the `δ_y = onehot(c) − ỹ` contraction
+/// costs O(C) total because the `ỹᵀcd` term is shared by all classes.
+/// The best class is chosen by strict `<`, first class on ties, matching
+/// [`score_candidate`].
+#[allow(clippy::too_many_arguments)]
+fn score_block_into<M: Model + ?Sized>(
+    model: &M,
+    data: &Dataset,
+    w: &[f64],
+    v: &[f64],
+    block: &[usize],
+    gamma: f64,
+    ws: &mut Workspace,
+    out: &mut Vec<InflScore>,
+) {
+    let c = model.num_classes();
+    let mut class_dots = ws.take_uninit(block.len() * c);
+    let mut label_dots = ws.take_uninit(block.len());
+    model.score_block(w, data, block, v, &mut class_dots, &mut label_dots, ws);
+    for (r, &i) in block.iter().enumerate() {
+        let cd = &class_dots[r * c..(r + 1) * c];
+        let mut ydot = 0.0;
+        for (k, &p) in data.label(i).probs().iter().enumerate() {
+            ydot += p * cd[k];
+        }
+        let upweight = if gamma < 1.0 {
+            (1.0 - gamma) * label_dots[r]
+        } else {
+            0.0
+        };
+        let mut best_class = 0;
+        let mut best = f64::INFINITY;
+        for (k, &cdk) in cd.iter().enumerate() {
+            let s = -((cdk - ydot) + upweight);
+            if s < best {
+                best = s;
+                best_class = k;
+            }
+        }
+        out.push(InflScore {
+            index: i,
+            suggested: best_class,
+            score: best,
+        });
+    }
+    ws.put(label_dots);
+    ws.put(class_dots);
+}
+
+/// Score every candidate through the blocked kernel path, unsorted, in
+/// candidate order. Parallel builds fan [`SCORE_BLOCK`]-sized blocks out
+/// over the thread pool above [`PAR_GRAIN`] candidates; each sample's
+/// dots are row-independent affine products, so scores are bit-identical
+/// to the serial blocked path regardless of block grouping.
+fn score_all_blocked<M: Model + ?Sized>(
+    model: &M,
+    data: &Dataset,
+    w: &[f64],
+    v: &[f64],
+    candidates: &[usize],
+    gamma: f64,
+) -> Vec<InflScore> {
+    #[cfg(feature = "parallel")]
+    if candidates.len() >= PAR_GRAIN {
+        use rayon::prelude::*;
+        let nblocks = candidates.len().div_ceil(SCORE_BLOCK);
+        let per_block: Vec<Vec<InflScore>> = (0..nblocks)
+            .into_par_iter()
+            .map_init(Workspace::new, |ws, bi| {
+                let lo = bi * SCORE_BLOCK;
+                let hi = (lo + SCORE_BLOCK).min(candidates.len());
+                let block = &candidates[lo..hi];
+                let mut out = Vec::with_capacity(block.len());
+                score_block_into(model, data, w, v, block, gamma, ws, &mut out);
+                out
+            })
+            .collect();
+        let mut scores = Vec::with_capacity(candidates.len());
+        for mut b in per_block {
+            scores.append(&mut b);
+        }
+        return scores;
+    }
+    let mut ws = Workspace::new();
+    let mut scores = Vec::with_capacity(candidates.len());
+    for block in candidates.chunks(SCORE_BLOCK) {
+        score_block_into(model, data, w, v, block, gamma, &mut ws, &mut scores);
+    }
+    scores
+}
 
 /// Score one candidate: best (most negative) Eq. 6 influence over the
 /// `C` class perturbations. Shared by the serial and parallel rankers.
@@ -240,12 +366,13 @@ fn score_candidate<M: Model + ?Sized>(
 /// [`rank_infl`] with a precomputed influence vector (lets callers share
 /// one CG solve across selector variants).
 ///
-/// With the `parallel` feature (default), candidate sets of at least
-/// `PAR_GRAIN` are scored across the thread pool with one [`InflScratch`]
-/// per worker chunk. Per-candidate scores carry no cross-sample
-/// reduction, so parallel scores are bit-identical to serial ones; only
-/// the tie order of exactly-equal scores could differ, and the final
-/// sort is over the same values either way.
+/// Scoring runs through the model's batched [`Model::score_block`]
+/// kernel in `SCORE_BLOCK`-sized blocks; with the `parallel` feature
+/// (default), candidate sets of at least `PAR_GRAIN` fan the blocks out
+/// over the thread pool. Per-sample dots are row-independent, so scores
+/// are bit-identical to the serial blocked path regardless of block
+/// grouping or candidate order, and the `(score, index)` sort makes the
+/// full ranking deterministic even under exact score ties.
 pub fn rank_infl_with_vector<M: Model + ?Sized>(
     model: &M,
     data: &Dataset,
@@ -254,26 +381,66 @@ pub fn rank_infl_with_vector<M: Model + ?Sized>(
     candidates: &[usize],
     gamma: f64,
 ) -> Vec<InflScore> {
-    #[cfg(feature = "parallel")]
-    if candidates.len() >= PAR_GRAIN {
-        use rayon::prelude::*;
-        let mut scores: Vec<InflScore> = candidates
-            .par_iter()
-            .map_init(
-                || InflScratch::new(model),
-                |scratch, &i| score_candidate(model, data, w, v, i, gamma, scratch),
-            )
-            .collect();
-        scores.sort_by(|a, b| a.score.total_cmp(&b.score));
-        return scores;
-    }
-    rank_infl_with_vector_serial(model, data, w, v, candidates, gamma)
+    let mut scores = score_all_blocked(model, data, w, v, candidates, gamma);
+    scores.sort_unstable_by(cmp_scores);
+    scores
 }
 
 /// Single-threaded [`rank_infl_with_vector`]. Always compiled; the
-/// public entry point falls back to it below the parallel grain size,
-/// and the speedup bench calls it directly as the baseline.
+/// public entry point produces bit-identical results above the parallel
+/// grain size, and the speedup bench calls this directly as the
+/// baseline.
 pub fn rank_infl_with_vector_serial<M: Model + ?Sized>(
+    model: &M,
+    data: &Dataset,
+    w: &[f64],
+    v: &[f64],
+    candidates: &[usize],
+    gamma: f64,
+) -> Vec<InflScore> {
+    let mut ws = Workspace::new();
+    let mut scores = Vec::with_capacity(candidates.len());
+    for block in candidates.chunks(SCORE_BLOCK) {
+        score_block_into(model, data, w, v, block, gamma, &mut ws, &mut scores);
+    }
+    scores.sort_unstable_by(cmp_scores);
+    scores
+}
+
+/// Top-`b` variant of [`rank_infl_with_vector`] for callers that only
+/// consume a cleaning batch: scores every candidate through the same
+/// blocked kernels, then selects the `b` most harmful with an O(n)
+/// partial selection (`select_nth_unstable_by`) instead of sorting the
+/// full pool, and sorts only those `b`. The `(score, index)` total order
+/// makes the result deterministic and exactly equal to
+/// `rank_infl_with_vector(..)[..b]`.
+pub fn rank_infl_top_b<M: Model + ?Sized>(
+    model: &M,
+    data: &Dataset,
+    w: &[f64],
+    v: &[f64],
+    candidates: &[usize],
+    gamma: f64,
+    b: usize,
+) -> Vec<InflScore> {
+    let mut scores = score_all_blocked(model, data, w, v, candidates, gamma);
+    if b == 0 {
+        return Vec::new();
+    }
+    if b < scores.len() {
+        scores.select_nth_unstable_by(b - 1, cmp_scores);
+        scores.truncate(b);
+    }
+    scores.sort_unstable_by(cmp_scores);
+    scores
+}
+
+/// Per-sample reference ranking: the pre-batching implementation, one
+/// `C + 1`-gradient `score_candidate` loop per candidate. Kept as the
+/// equivalence baseline the batched kernels are tested and benchmarked
+/// against (`infl_kernel_equivalence`, the `infl_kernels` bench); not
+/// used by the pipeline.
+pub fn rank_infl_with_vector_per_sample<M: Model + ?Sized>(
     model: &M,
     data: &Dataset,
     w: &[f64],
@@ -286,7 +453,7 @@ pub fn rank_infl_with_vector_serial<M: Model + ?Sized>(
         .iter()
         .map(|&i| score_candidate(model, data, w, v, i, gamma, &mut scratch))
         .collect();
-    scores.sort_by(|a, b| a.score.total_cmp(&b.score));
+    scores.sort_unstable_by(cmp_scores);
     scores
 }
 
@@ -467,6 +634,77 @@ mod tests {
                 "sample {index}→{class}: predicted {predicted}, actual {actual}"
             );
         }
+    }
+
+    #[test]
+    fn blocked_ranking_matches_per_sample_reference() {
+        let (model, obj, data, val) = fixture(6);
+        let w = fit(&model, &obj, &data);
+        let v = influence_vector(&model, &obj, &data, &val, &w, &InflConfig::default());
+        let all = data.uncleaned_indices();
+        let blocked = rank_infl_with_vector(&model, &data, &w, &v, &all, obj.gamma);
+        let serial = rank_infl_with_vector_serial(&model, &data, &w, &v, &all, obj.gamma);
+        let reference = rank_infl_with_vector_per_sample(&model, &data, &w, &v, &all, obj.gamma);
+        assert_eq!(blocked.len(), reference.len());
+        for (b, s) in blocked.iter().zip(&serial) {
+            // Blocked parallel and blocked serial are bit-identical.
+            assert_eq!(b.index, s.index);
+            assert_eq!(b.suggested, s.suggested);
+            assert_eq!(b.score.to_bits(), s.score.to_bits());
+        }
+        for (b, r) in blocked.iter().zip(&reference) {
+            assert_eq!(b.index, r.index);
+            assert_eq!(b.suggested, r.suggested);
+            assert!(
+                (b.score - r.score).abs() <= 1e-10 * (1.0 + r.score.abs()),
+                "index {}: blocked {} vs per-sample {}",
+                b.index,
+                b.score,
+                r.score
+            );
+        }
+    }
+
+    #[test]
+    fn top_b_equals_full_ranking_prefix() {
+        let (model, obj, data, val) = fixture(7);
+        let w = fit(&model, &obj, &data);
+        let v = influence_vector(&model, &obj, &data, &val, &w, &InflConfig::default());
+        let all = data.uncleaned_indices();
+        let full = rank_infl_with_vector(&model, &data, &w, &v, &all, obj.gamma);
+        for b in [0, 1, 5, all.len(), all.len() + 10] {
+            let top = rank_infl_top_b(&model, &data, &w, &v, &all, obj.gamma, b);
+            let want = &full[..b.min(full.len())];
+            assert_eq!(top.len(), want.len(), "b = {b}");
+            for (t, f) in top.iter().zip(want) {
+                assert_eq!(t.index, f.index, "b = {b}");
+                assert_eq!(t.suggested, f.suggested);
+                assert_eq!(t.score.to_bits(), f.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn for_round_mixes_seed_deterministically() {
+        let base = InflConfig::default();
+        // Round 0 is the identity: single-shot callers see the old seed.
+        assert_eq!(base.for_round(0).seed, base.seed);
+        // Later rounds change the seed, deterministically and distinctly.
+        let seeds: Vec<u64> = (0..8).map(|r| base.for_round(r).seed).collect();
+        for (r, &s) in seeds.iter().enumerate() {
+            assert_eq!(s, base.for_round(r).seed, "round {r} not deterministic");
+            for (r2, &s2) in seeds.iter().enumerate().skip(r + 1) {
+                assert_ne!(s, s2, "rounds {r} and {r2} share a Hessian sketch seed");
+            }
+        }
+        // Everything but the seed is untouched.
+        let r3 = base.for_round(3);
+        assert_eq!(r3.cg.max_iters, base.cg.max_iters);
+        assert_eq!(r3.hessian_batch, base.hessian_batch);
+        // And the subsample it induces differs from round 0's.
+        let a = hessian_subsample(500, 32, base.for_round(0).seed);
+        let b = hessian_subsample(500, 32, base.for_round(1).seed);
+        assert_ne!(a, b, "round 1 resampled the same Hessian sketch");
     }
 
     #[test]

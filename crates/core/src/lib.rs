@@ -48,6 +48,7 @@ pub mod selector;
 pub use annotation::{
     AnnotationConfig, AnnotationOutcome, AnnotationPhase, AnnotationStats, LabelStrategy,
 };
+pub use chef_model::KernelPath;
 pub use chef_obs::{
     AnnotationTelemetry, ConstructorTelemetry, RoundTelemetry, SelectorTelemetry, Telemetry,
     SCHEMA_VERSION,
@@ -55,8 +56,9 @@ pub use chef_obs::{
 pub use constructor::{ConstructorKind, ConstructorOutcome, ModelConstructor};
 pub use increm::{IncremInfl, IncremStats};
 pub use influence::{
-    influence_vector, influence_vector_outcome, rank_infl, rank_infl_with_vector,
-    rank_infl_with_vector_serial, InflConfig, InflScore, InflVectorOutcome,
+    influence_vector, influence_vector_outcome, rank_infl, rank_infl_top_b, rank_infl_with_vector,
+    rank_infl_with_vector_per_sample, rank_infl_with_vector_serial, InflConfig, InflScore,
+    InflVectorOutcome,
 };
 pub use lissa::{lissa_influence_vector, lissa_solve, LissaConfig};
 pub use metrics::{accuracy, confusion_matrix, evaluate_f1, f1_score, macro_f1, Evaluation};

@@ -298,6 +298,7 @@ impl Pipeline {
                     grad_evals: ps.grad_evals,
                     hvp_evals: ps.hvp_evals,
                     bound_hit_rate: ps.bound_hit_rate,
+                    kernel_path: ps.kernel_path.to_string(),
                     select_ms: select_time.as_secs_f64() * 1e3,
                 },
                 // Baselines report no cost counters; pool size is still known.
@@ -312,6 +313,11 @@ impl Pipeline {
             tel.add("selector.pruned", selector_tel.pruned as u64);
             tel.add("selector.grad_evals", selector_tel.grad_evals as u64);
             tel.add("selector.hvp_evals", selector_tel.hvp_evals as u64);
+            match selector_tel.kernel_path.as_str() {
+                "gemm" => tel.add("selector.kernel_gemm", 1),
+                "per_sample" => tel.add("selector.kernel_per_sample", 1),
+                _ => {}
+            }
             if let Some(ps) = phase_stats {
                 if ps.provenance_grads > 0 {
                     tel.add("increm.provenance_grads", ps.provenance_grads as u64);

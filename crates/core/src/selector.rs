@@ -8,7 +8,7 @@
 //! independent labeler (§4.3).
 
 use crate::increm::{IncremInfl, IncremStats};
-use crate::influence::{influence_vector_outcome, rank_infl_with_vector, InflConfig};
+use crate::influence::{influence_vector_outcome, rank_infl_top_b, InflConfig};
 use chef_model::{Dataset, Model, WeightedObjective};
 
 /// Everything a selector may look at when ranking the uncleaned pool.
@@ -66,6 +66,10 @@ pub struct SelectorStats {
     /// Gradient evaluations of the Increm-Infl initialization step
     /// (`n × (C + 1)` on the round the provenance cache is built, else 0).
     pub provenance_grads: usize,
+    /// Which scoring kernel ran ([`chef_model::KernelPath::name`]:
+    /// `"gemm"` for the batched closed form, `"per_sample"` for the
+    /// generic fallback; empty when the selector doesn't report one).
+    pub kernel_path: &'static str,
 }
 
 /// A sample-selection strategy.
@@ -133,13 +137,17 @@ impl SampleSelector for InflSelector {
     }
 
     fn select(&mut self, ctx: &SelectorContext<'_>) -> Vec<Selection> {
+        // Re-mix the Hessian-subsample seed every round so successive CG
+        // solves sketch different training rows (round 0 keeps the base
+        // seed, so single-round behaviour is unchanged).
+        let round_cfg = self.cfg.for_round(ctx.round);
         let outcome = influence_vector_outcome(
             ctx.model,
             ctx.objective,
             ctx.data,
             ctx.val,
             ctx.w,
-            &self.cfg,
+            &round_cfg,
         );
         let v = outcome.v;
         let mut provenance_grads = 0;
@@ -163,16 +171,15 @@ impl SampleSelector for InflSelector {
             scores
         } else {
             self.last_stats = None;
-            let mut s = rank_infl_with_vector(
+            rank_infl_top_b(
                 ctx.model,
                 ctx.data,
                 ctx.w,
                 &v,
                 ctx.pool,
                 ctx.objective.gamma,
-            );
-            s.truncate(ctx.b);
-            s
+                ctx.b,
+            )
         };
         let pool = ctx.pool.len();
         let scored = match self.last_stats {
@@ -191,6 +198,7 @@ impl SampleSelector for InflSelector {
             hvp_evals: outcome.hvp_evals,
             bound_hit_rate: pruned as f64 / pool.max(1) as f64,
             provenance_grads,
+            kernel_path: ctx.model.scoring_kernel().name(),
         });
         scores
             .into_iter()

@@ -13,13 +13,17 @@
 //!   the Increm-Infl initialization step (paper Appendix D, [`power`]),
 //! * the **L-BFGS two-loop recursion** used by DeltaGrad to approximate
 //!   Hessian-vector products from cached parameter/gradient differences
-//!   (paper Algorithm 2, [`lbfgs`]).
+//!   (paper Algorithm 2, [`lbfgs`]),
+//! * cache-blocked **batch kernels** (`A·Bᵀ` GEMM, bias-folded affine
+//!   blocks, gathered matvecs) plus a reusable scratch [`Workspace`]
+//!   backing the batched Infl scoring path ([`kernels`]).
 //!
 //! Everything operates on `f64` slices; the parameter dimension in CHEF is
 //! small (a flattened logistic-regression weight matrix), so simple
 //! cache-friendly loops beat anything fancier at this scale.
 
 pub mod cg;
+pub mod kernels;
 pub mod lbfgs;
 pub mod matrix;
 pub mod power;
@@ -27,6 +31,7 @@ pub mod stats;
 pub mod vector;
 
 pub use cg::{conjugate_gradient, CgConfig, CgOutcome, LinearOperator};
+pub use kernels::Workspace;
 pub use lbfgs::LbfgsBuffer;
 pub use matrix::Matrix;
 pub use power::{power_method, PowerConfig, PowerOutcome};

@@ -94,6 +94,21 @@ impl Dataset {
         self.features.row(i)
     }
 
+    /// The feature rows `lo..hi` as one contiguous row-major slice
+    /// (`(hi − lo) × dim`). Batched kernels use this to feed consecutive
+    /// sample blocks straight into a GEMM without gathering a copy.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > len()`.
+    #[inline]
+    pub fn feature_rows(&self, lo: usize, hi: usize) -> &[f64] {
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "Dataset: row range {lo}..{hi}"
+        );
+        &self.features.as_slice()[lo * self.dim()..hi * self.dim()]
+    }
+
     /// Label of sample `i`.
     #[inline]
     pub fn label(&self, i: usize) -> &SoftLabel {

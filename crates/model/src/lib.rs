@@ -11,7 +11,10 @@
 //!   clean/uncleaned flags and ground truth for simulation,
 //! * the [`Model`] trait — everything CHEF requires of a classifier:
 //!   per-sample losses, gradients, Hessian-vector products, per-class
-//!   gradients `−∇_w log p⁽ᶜ⁾` (paper Eq. 9) and Hessian norms,
+//!   gradients `−∇_w log p⁽ᶜ⁾` (paper Eq. 9) and Hessian norms, plus
+//!   batched block entry points (`score_block`/`hvp_block`) that
+//!   structured models back with GEMM kernels ([`KernelPath`] reports
+//!   which implementation ran),
 //! * [`LogisticRegression`] — the paper's μ-strongly-convex model class
 //!   (softmax regression with L2), with exact closed forms throughout,
 //! * [`Mlp`] — a small neural network with manual backprop used to
@@ -32,5 +35,5 @@ pub use dataset::Dataset;
 pub use label::SoftLabel;
 pub use logreg::LogisticRegression;
 pub use mlp::Mlp;
-pub use model::Model;
+pub use model::{KernelPath, Model};
 pub use objective::{HessianOperator, WeightedObjective, PAR_GRAIN};

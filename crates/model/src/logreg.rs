@@ -19,10 +19,16 @@
 //!   method on the full `m × m` Hessian via autodiff HVPs; running it on
 //!   the Kronecker core is algebraically identical and far cheaper).
 
+use crate::dataset::Dataset;
 use crate::label::SoftLabel;
-use crate::model::Model;
+use crate::model::{KernelPath, Model};
 use chef_linalg::power::{power_method, PowerConfig};
-use chef_linalg::{vector, Matrix};
+use chef_linalg::{kernels, vector, Matrix, Workspace};
+
+/// Samples per block in the batched [`Model::hvp_block`] override —
+/// keeps one block's gathered features plus its `P`/`U` panels inside
+/// cache while the accumulator row stays hot.
+const HVP_BLOCK: usize = 256;
 
 /// Softmax regression over `dim` raw features and `num_classes` classes.
 #[derive(Debug, Clone)]
@@ -83,6 +89,97 @@ impl LogisticRegression {
         }
         power_method(&core, &PowerConfig::default()).eigenvalue
     }
+
+    /// `∇_W F = (p − y) x̃ᵀ` with caller-provided probability scratch
+    /// `p` (length `C`) — the shared body of [`Model::grad`] and
+    /// [`Model::grad_ws`].
+    fn grad_with_scratch(
+        &self,
+        w: &[f64],
+        x: &[f64],
+        y: &SoftLabel,
+        out: &mut [f64],
+        p: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), self.num_params());
+        self.predict_proba(w, x, p);
+        let cols = self.cols();
+        for c in 0..self.num_classes {
+            let coeff = p[c] - y.prob(c);
+            let row = &mut out[c * cols..(c + 1) * cols];
+            for (ri, xi) in row[..self.dim].iter_mut().zip(x) {
+                *ri = coeff * xi;
+            }
+            row[self.dim] = coeff;
+        }
+    }
+
+    /// `Hv = ((diag(p) − ppᵀ) Vx̃) x̃ᵀ` with caller-provided scratch `p`
+    /// and `u` (each length `C`) — the shared body of [`Model::hvp`]
+    /// and [`Model::hvp_ws`].
+    fn hvp_with_scratch(
+        &self,
+        w: &[f64],
+        x: &[f64],
+        v: &[f64],
+        out: &mut [f64],
+        p: &mut [f64],
+        u: &mut [f64],
+    ) {
+        debug_assert_eq!(v.len(), self.num_params());
+        debug_assert_eq!(out.len(), self.num_params());
+        self.predict_proba(w, x, p);
+        let cols = self.cols();
+        // u_c = v_c · x̃ for each class row of V.
+        for (c, uc) in u.iter_mut().enumerate() {
+            let row = &v[c * cols..(c + 1) * cols];
+            *uc = vector::dot(&row[..self.dim], x) + row[self.dim];
+        }
+        // s = (diag(p) − ppᵀ) u = p ∘ u − p (pᵀu).
+        let pu = vector::dot(p, u);
+        for c in 0..self.num_classes {
+            let s = p[c] * (u[c] - pu);
+            let row = &mut out[c * cols..(c + 1) * cols];
+            for (ri, xi) in row[..self.dim].iter_mut().zip(x) {
+                *ri = s * xi;
+            }
+            row[self.dim] = s;
+        }
+    }
+
+    /// Fill `pb` (softmax probabilities) and `ub` (`U = X̃Vᵀ`), each
+    /// `bsz×C` — the two GEMM panels every batched entry point consumes.
+    /// Consecutive blocks (the common case: pools and Hessian batches
+    /// are ascending index ranges) feed the dataset's contiguous feature
+    /// storage straight into the GEMM; scattered blocks gather their
+    /// rows into `xb` first.
+    #[allow(clippy::too_many_arguments)]
+    fn block_panels(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        block: &[usize],
+        v: &[f64],
+        xb: &mut [f64],
+        pb: &mut [f64],
+        ub: &mut [f64],
+    ) {
+        let (d, c) = (self.dim, self.num_classes);
+        let consecutive = block.windows(2).all(|pair| pair[1] == pair[0] + 1);
+        let xs: &[f64] = if consecutive && !block.is_empty() {
+            data.feature_rows(block[0], block[0] + block.len())
+        } else {
+            for (r, &i) in block.iter().enumerate() {
+                xb[r * d..(r + 1) * d].copy_from_slice(data.feature(i));
+            }
+            xb
+        };
+        kernels::affine_nt(xs, w, d, pb);
+        for r in 0..block.len() {
+            vector::softmax_in_place(&mut pb[r * c..(r + 1) * c]);
+        }
+        kernels::affine_nt(xs, v, d, ub);
+    }
 }
 
 impl Model for LogisticRegression {
@@ -105,42 +202,151 @@ impl Model for LogisticRegression {
     }
 
     fn grad(&self, w: &[f64], x: &[f64], y: &SoftLabel, out: &mut [f64]) {
-        debug_assert_eq!(out.len(), self.num_params());
         let mut p = vec![0.0; self.num_classes];
+        self.grad_with_scratch(w, x, y, out, &mut p);
+    }
+
+    fn hvp(&self, w: &[f64], x: &[f64], _y: &SoftLabel, v: &[f64], out: &mut [f64]) {
+        let mut p = vec![0.0; self.num_classes];
+        let mut u = vec![0.0; self.num_classes];
+        self.hvp_with_scratch(w, x, v, out, &mut p, &mut u);
+    }
+
+    fn grad_ws(&self, w: &[f64], x: &[f64], y: &SoftLabel, out: &mut [f64], ws: &mut Workspace) {
+        let mut p = ws.take(self.num_classes);
+        self.grad_with_scratch(w, x, y, out, &mut p);
+        ws.put(p);
+    }
+
+    fn hvp_ws(
+        &self,
+        w: &[f64],
+        x: &[f64],
+        _y: &SoftLabel,
+        v: &[f64],
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) {
+        let mut p = ws.take(self.num_classes);
+        let mut u = ws.take(self.num_classes);
+        self.hvp_with_scratch(w, x, v, out, &mut p, &mut u);
+        ws.put(u);
+        ws.put(p);
+    }
+
+    fn class_grad_ws(
+        &self,
+        w: &[f64],
+        x: &[f64],
+        class: usize,
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) {
+        // coeff = p_c − [c = class]: identical arithmetic to grad with a
+        // one-hot label, without materializing the label.
+        debug_assert_eq!(out.len(), self.num_params());
+        let mut p = ws.take(self.num_classes);
         self.predict_proba(w, x, &mut p);
         let cols = self.cols();
         for c in 0..self.num_classes {
-            let coeff = p[c] - y.prob(c);
+            let coeff = p[c] - if c == class { 1.0 } else { 0.0 };
             let row = &mut out[c * cols..(c + 1) * cols];
             for (ri, xi) in row[..self.dim].iter_mut().zip(x) {
                 *ri = coeff * xi;
             }
             row[self.dim] = coeff;
         }
+        ws.put(p);
     }
 
-    fn hvp(&self, w: &[f64], x: &[f64], _y: &SoftLabel, v: &[f64], out: &mut [f64]) {
-        debug_assert_eq!(v.len(), self.num_params());
-        debug_assert_eq!(out.len(), self.num_params());
-        let mut p = vec![0.0; self.num_classes];
-        self.predict_proba(w, x, &mut p);
-        let cols = self.cols();
-        // u_c = v_c · x̃ for each class row of V.
-        let mut u = vec![0.0; self.num_classes];
-        for (c, uc) in u.iter_mut().enumerate() {
-            let row = &v[c * cols..(c + 1) * cols];
-            *uc = vector::dot(&row[..self.dim], x) + row[self.dim];
-        }
-        // s = (diag(p) − ppᵀ) u = p ∘ u − p (pᵀu).
-        let pu = vector::dot(&p, &u);
-        for c in 0..self.num_classes {
-            let s = p[c] * (u[c] - pu);
-            let row = &mut out[c * cols..(c + 1) * cols];
-            for (ri, xi) in row[..self.dim].iter_mut().zip(x) {
-                *ri = s * xi;
+    fn scoring_kernel(&self) -> KernelPath {
+        KernelPath::Gemm
+    }
+
+    /// Closed form via the rank-1 gradient identity: every per-sample
+    /// gradient is `(p − y) ⊗ x̃`, so its dot with `v` only needs
+    /// `u_c = v_c · x̃` — one row of `U = X̃Vᵀ`. Two block GEMMs (`P`
+    /// and `U`) then give all C class dots per sample in O(C).
+    #[allow(clippy::too_many_arguments)]
+    fn score_block(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        block: &[usize],
+        v: &[f64],
+        class_dots: &mut [f64],
+        label_dots: &mut [f64],
+        ws: &mut Workspace,
+    ) -> KernelPath {
+        let (d, c) = (self.dim, self.num_classes);
+        debug_assert_eq!(class_dots.len(), block.len() * c);
+        debug_assert_eq!(label_dots.len(), block.len());
+        let bsz = block.len();
+        let mut xb = ws.take_uninit(bsz * d);
+        let mut pb = ws.take_uninit(bsz * c);
+        let mut ub = ws.take_uninit(bsz * c);
+        self.block_panels(w, data, block, v, &mut xb, &mut pb, &mut ub);
+        for (r, &i) in block.iter().enumerate() {
+            let p = &pb[r * c..(r + 1) * c];
+            let u = &ub[r * c..(r + 1) * c];
+            // vᵀ(p − e_c)⊗x̃ = pᵀu − u_c; vᵀ(p − y)⊗x̃ = pᵀu − yᵀu.
+            let pu = vector::dot(p, u);
+            let y = data.label(i);
+            let mut yu = 0.0;
+            for (k, &uk) in u.iter().enumerate() {
+                class_dots[r * c + k] = pu - uk;
+                yu += y.prob(k) * uk;
             }
-            row[self.dim] = s;
+            label_dots[r] = pu - yu;
         }
+        ws.put(ub);
+        ws.put(pb);
+        ws.put(xb);
+        KernelPath::Gemm
+    }
+
+    /// Blocked closed-form HVP: for each sample the product is
+    /// `s ⊗ x̃` with `s = γ_z · p ∘ (u − pᵀu)`, so one block reuses the
+    /// same `P`/`U` panels as scoring and accumulates C axpys per
+    /// sample.
+    #[allow(clippy::too_many_arguments)]
+    fn hvp_block(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        batch: &[usize],
+        gamma: f64,
+        v: &[f64],
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) -> KernelPath {
+        let (d, c, cols) = (self.dim, self.num_classes, self.cols());
+        debug_assert_eq!(out.len(), self.num_params());
+        out.fill(0.0);
+        for chunk in batch.chunks(HVP_BLOCK) {
+            let bsz = chunk.len();
+            let mut xb = ws.take_uninit(bsz * d);
+            let mut pb = ws.take_uninit(bsz * c);
+            let mut ub = ws.take_uninit(bsz * c);
+            self.block_panels(w, data, chunk, v, &mut xb, &mut pb, &mut ub);
+            for (r, &i) in chunk.iter().enumerate() {
+                let weight = data.weight(i, gamma);
+                let p = &pb[r * c..(r + 1) * c];
+                let u = &ub[r * c..(r + 1) * c];
+                let pu = vector::dot(p, u);
+                let xrow = data.feature(i);
+                for k in 0..c {
+                    let s = weight * (p[k] * (u[k] - pu));
+                    let row = &mut out[k * cols..(k + 1) * cols];
+                    vector::axpy(s, xrow, &mut row[..d]);
+                    row[d] += s;
+                }
+            }
+            ws.put(ub);
+            ws.put(pb);
+            ws.put(xb);
+        }
+        KernelPath::Gemm
     }
 
     fn hessian_norm(&self, w: &[f64], x: &[f64], _y: &SoftLabel) -> f64 {

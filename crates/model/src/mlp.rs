@@ -16,7 +16,7 @@
 use crate::label::SoftLabel;
 use crate::model::Model;
 use chef_linalg::power::{power_method, PowerConfig};
-use chef_linalg::vector;
+use chef_linalg::{vector, Workspace};
 
 /// One-hidden-layer tanh MLP classifier.
 #[derive(Debug, Clone)]
@@ -89,6 +89,91 @@ impl Mlp {
         }
         vector::softmax_in_place(p);
     }
+
+    /// Backprop with caller-provided scratch: `a` (length `hidden`) and
+    /// `p` (length `C`). `p` doubles as the output-layer delta δ₂ after
+    /// the forward pass, so no third buffer is needed — the shared body
+    /// of [`Model::grad`] and [`Model::grad_ws`].
+    fn grad_with_scratch(
+        &self,
+        w: &[f64],
+        x: &[f64],
+        y: &SoftLabel,
+        out: &mut [f64],
+        a: &mut [f64],
+        p: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), self.num_params());
+        self.forward(w, x, a, p);
+
+        // Output-layer delta in place: δ₂ = p − y.
+        for (c, pc) in p.iter_mut().enumerate() {
+            *pc -= y.prob(c);
+        }
+        let d2: &[f64] = p;
+
+        // ∇W₂ = δ₂ ãᵀ.
+        let (g1, g2) = out.split_at_mut(self.w1_len());
+        let c2 = self.hidden + 1;
+        for (c, &dc) in d2.iter().enumerate() {
+            let row = &mut g2[c * c2..(c + 1) * c2];
+            for (ri, ai) in row[..self.hidden].iter_mut().zip(&*a) {
+                *ri = dc * ai;
+            }
+            row[self.hidden] = dc;
+        }
+
+        // Hidden delta: δ₁ = (W₂ᵀ δ₂) ∘ (1 − a²).
+        let w2 = &w[self.w1_len()..];
+        let c1 = self.dim + 1;
+        for h in 0..self.hidden {
+            let mut back = 0.0;
+            for (c, &dc) in d2.iter().enumerate() {
+                back += w2[c * c2 + h] * dc;
+            }
+            let d1 = back * (1.0 - a[h] * a[h]);
+            let row = &mut g1[h * c1..(h + 1) * c1];
+            for (ri, xi) in row[..self.dim].iter_mut().zip(x) {
+                *ri = d1 * xi;
+            }
+            row[self.dim] = d1;
+        }
+    }
+
+    /// Central-difference HVP with caller-provided scratch (`wp`, `wm`,
+    /// `gm` of length `num_params`; `a`, `p` as in
+    /// [`Self::grad_with_scratch`]) — the shared body of [`Model::hvp`]
+    /// and [`Model::hvp_ws`].
+    #[allow(clippy::too_many_arguments)]
+    fn hvp_with_scratch(
+        &self,
+        w: &[f64],
+        x: &[f64],
+        y: &SoftLabel,
+        v: &[f64],
+        out: &mut [f64],
+        wp: &mut [f64],
+        wm: &mut [f64],
+        gm: &mut [f64],
+        a: &mut [f64],
+        p: &mut [f64],
+    ) {
+        let vnorm = vector::norm2(v);
+        if vnorm == 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        let eps = 1e-5 * (1.0 + vector::norm2(w)) / vnorm;
+        for (i, (wi, vi)) in w.iter().zip(v).enumerate() {
+            wp[i] = wi + eps * vi;
+            wm[i] = wi - eps * vi;
+        }
+        self.grad_with_scratch(wp, x, y, out, a, p);
+        self.grad_with_scratch(wm, x, y, gm, a, p);
+        for (oi, gi) in out.iter_mut().zip(&*gm) {
+            *oi = (*oi - gi) / (2.0 * eps);
+        }
+    }
 }
 
 impl Model for Mlp {
@@ -116,59 +201,50 @@ impl Model for Mlp {
     }
 
     fn grad(&self, w: &[f64], x: &[f64], y: &SoftLabel, out: &mut [f64]) {
-        debug_assert_eq!(out.len(), self.num_params());
         let mut a = vec![0.0; self.hidden];
         let mut p = vec![0.0; self.num_classes];
-        self.forward(w, x, &mut a, &mut p);
-
-        // Output-layer delta: δ₂ = p − y.
-        let d2: Vec<f64> = (0..self.num_classes).map(|c| p[c] - y.prob(c)).collect();
-
-        // ∇W₂ = δ₂ ãᵀ.
-        let (g1, g2) = out.split_at_mut(self.w1_len());
-        let c2 = self.hidden + 1;
-        for (c, &dc) in d2.iter().enumerate() {
-            let row = &mut g2[c * c2..(c + 1) * c2];
-            for (ri, ai) in row[..self.hidden].iter_mut().zip(&a) {
-                *ri = dc * ai;
-            }
-            row[self.hidden] = dc;
-        }
-
-        // Hidden delta: δ₁ = (W₂ᵀ δ₂) ∘ (1 − a²).
-        let w2 = &w[self.w1_len()..];
-        let c1 = self.dim + 1;
-        for h in 0..self.hidden {
-            let mut back = 0.0;
-            for (c, &dc) in d2.iter().enumerate() {
-                back += w2[c * c2 + h] * dc;
-            }
-            let d1 = back * (1.0 - a[h] * a[h]);
-            let row = &mut g1[h * c1..(h + 1) * c1];
-            for (ri, xi) in row[..self.dim].iter_mut().zip(x) {
-                *ri = d1 * xi;
-            }
-            row[self.dim] = d1;
-        }
+        self.grad_with_scratch(w, x, y, out, &mut a, &mut p);
     }
 
     /// Central finite difference of gradients:
     /// `Hv ≈ (∇F(w + εv) − ∇F(w − εv)) / 2ε`.
     fn hvp(&self, w: &[f64], x: &[f64], y: &SoftLabel, v: &[f64], out: &mut [f64]) {
-        let vnorm = vector::norm2(v);
-        if vnorm == 0.0 {
-            out.fill(0.0);
-            return;
-        }
-        let eps = 1e-5 * (1.0 + vector::norm2(w)) / vnorm;
-        let wp: Vec<f64> = w.iter().zip(v).map(|(wi, vi)| wi + eps * vi).collect();
-        let wm: Vec<f64> = w.iter().zip(v).map(|(wi, vi)| wi - eps * vi).collect();
-        let mut gm = vec![0.0; self.num_params()];
-        self.grad(&wp, x, y, out);
-        self.grad(&wm, x, y, &mut gm);
-        for (oi, gi) in out.iter_mut().zip(&gm) {
-            *oi = (*oi - gi) / (2.0 * eps);
-        }
+        let m = self.num_params();
+        let (mut wp, mut wm, mut gm) = (vec![0.0; m], vec![0.0; m], vec![0.0; m]);
+        let mut a = vec![0.0; self.hidden];
+        let mut p = vec![0.0; self.num_classes];
+        self.hvp_with_scratch(w, x, y, v, out, &mut wp, &mut wm, &mut gm, &mut a, &mut p);
+    }
+
+    fn grad_ws(&self, w: &[f64], x: &[f64], y: &SoftLabel, out: &mut [f64], ws: &mut Workspace) {
+        let mut a = ws.take(self.hidden);
+        let mut p = ws.take(self.num_classes);
+        self.grad_with_scratch(w, x, y, out, &mut a, &mut p);
+        ws.put(p);
+        ws.put(a);
+    }
+
+    fn hvp_ws(
+        &self,
+        w: &[f64],
+        x: &[f64],
+        y: &SoftLabel,
+        v: &[f64],
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) {
+        let m = self.num_params();
+        let mut wp = ws.take(m);
+        let mut wm = ws.take(m);
+        let mut gm = ws.take(m);
+        let mut a = ws.take(self.hidden);
+        let mut p = ws.take(self.num_classes);
+        self.hvp_with_scratch(w, x, y, v, out, &mut wp, &mut wm, &mut gm, &mut a, &mut p);
+        ws.put(p);
+        ws.put(a);
+        ws.put(gm);
+        ws.put(wm);
+        ws.put(wp);
     }
 
     fn hessian_norm(&self, w: &[f64], x: &[f64], y: &SoftLabel) -> f64 {

@@ -7,7 +7,36 @@
 //! cross-entropy terms (Eq. 8) *without* regularization or γ-weighting —
 //! those belong to [`crate::WeightedObjective`], which owns Eq. 1.
 
+use crate::dataset::Dataset;
 use crate::label::SoftLabel;
+use chef_linalg::{vector, Workspace};
+
+/// Which kernel implementation served a batched [`Model`] call.
+///
+/// The batched entry points ([`Model::score_block`],
+/// [`Model::hvp_block`]) report which path actually ran so the caller
+/// can surface it in telemetry; [`Model::scoring_kernel`] advertises it
+/// up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPath {
+    /// Structure-aware closed form: block GEMMs, no per-sample gradient
+    /// vectors ever materialized ([`crate::LogisticRegression`]).
+    Gemm,
+    /// Generic fallback looping per-sample `grad`/`class_grad`/`hvp`
+    /// (any model without a closed form, e.g. [`crate::Mlp`]).
+    #[default]
+    PerSample,
+}
+
+impl KernelPath {
+    /// Stable lowercase name used in telemetry documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPath::Gemm => "gemm",
+            KernelPath::PerSample => "per_sample",
+        }
+    }
+}
 
 /// A differentiable C-class classifier with flattened parameters `w`.
 pub trait Model: Send + Sync {
@@ -46,6 +75,120 @@ pub trait Model: Send + Sync {
     fn class_grad(&self, w: &[f64], x: &[f64], class: usize, out: &mut [f64]) {
         let y = SoftLabel::onehot(class, self.num_classes());
         self.grad(w, x, &y, out);
+    }
+
+    /// Scratch-routed [`Model::grad`]: identical result, but any
+    /// per-call buffers come from `ws` instead of fresh heap
+    /// allocations. Hot loops (objective reductions, influence scoring,
+    /// provenance) call this; the default forwards to `grad`.
+    fn grad_ws(&self, w: &[f64], x: &[f64], y: &SoftLabel, out: &mut [f64], ws: &mut Workspace) {
+        let _ = ws;
+        self.grad(w, x, y, out);
+    }
+
+    /// Scratch-routed [`Model::hvp`] (see [`Model::grad_ws`]).
+    fn hvp_ws(
+        &self,
+        w: &[f64],
+        x: &[f64],
+        y: &SoftLabel,
+        v: &[f64],
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) {
+        let _ = ws;
+        self.hvp(w, x, y, v, out);
+    }
+
+    /// Scratch-routed [`Model::class_grad`] (see [`Model::grad_ws`]).
+    fn class_grad_ws(
+        &self,
+        w: &[f64],
+        x: &[f64],
+        class: usize,
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) {
+        let _ = ws;
+        self.class_grad(w, x, class, out);
+    }
+
+    /// Which kernel [`Model::score_block`] / [`Model::hvp_block`] will
+    /// run for this model. Purely informational (telemetry); the block
+    /// entry points also report it from each call.
+    fn scoring_kernel(&self) -> KernelPath {
+        KernelPath::PerSample
+    }
+
+    /// Batched influence dot products for a block of samples.
+    ///
+    /// For every `r` (indexing `block`) and class `c` this fills
+    ///
+    /// * `class_dots[r*C + c] = vᵀ ∇_w(−log p⁽ᶜ⁾)(w, x_r)` — the
+    ///   per-class gradient dots of Eq. 9, and
+    /// * `label_dots[r] = vᵀ ∇_w F(w, z_r)` — the observed-label
+    ///   gradient dot driving the `(1−γ)` upweighting term of Eq. 6,
+    ///
+    /// without the caller ever seeing a gradient vector. The default
+    /// loops the per-sample scratch-routed gradients and returns
+    /// [`KernelPath::PerSample`]; structured models override it with a
+    /// closed form (logistic regression: two block GEMMs then O(C) per
+    /// sample) and return [`KernelPath::Gemm`]. Overrides must agree
+    /// with this default to ~1e-10.
+    #[allow(clippy::too_many_arguments)]
+    fn score_block(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        block: &[usize],
+        v: &[f64],
+        class_dots: &mut [f64],
+        label_dots: &mut [f64],
+        ws: &mut Workspace,
+    ) -> KernelPath {
+        let c = self.num_classes();
+        debug_assert_eq!(class_dots.len(), block.len() * c);
+        debug_assert_eq!(label_dots.len(), block.len());
+        let mut g = ws.take(self.num_params());
+        for (r, &i) in block.iter().enumerate() {
+            let x = data.feature(i);
+            for k in 0..c {
+                self.class_grad_ws(w, x, k, &mut g, ws);
+                class_dots[r * c + k] = vector::dot(v, &g);
+            }
+            self.grad_ws(w, x, data.label(i), &mut g, ws);
+            label_dots[r] = vector::dot(v, &g);
+        }
+        ws.put(g);
+        KernelPath::PerSample
+    }
+
+    /// Batched weighted Hessian-vector product over an index set:
+    /// overwrites `out` with `Σ_{i∈batch} γ_{z_i} H(w, z_i) v` — the raw
+    /// weighted sum, with no `1/|batch|` normalization and no L2 term
+    /// (both belong to [`crate::WeightedObjective`], which is the
+    /// caller). The default loops per-sample [`Model::hvp_ws`];
+    /// structured models override it with a blocked closed form.
+    /// Overrides must agree with this default to ~1e-10.
+    #[allow(clippy::too_many_arguments)]
+    fn hvp_block(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        batch: &[usize],
+        gamma: f64,
+        v: &[f64],
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) -> KernelPath {
+        out.fill(0.0);
+        let mut h = ws.take(self.num_params());
+        for &i in batch {
+            self.hvp_ws(w, data.feature(i), data.label(i), v, &mut h, ws);
+            vector::axpy(data.weight(i, gamma), &h, out);
+        }
+        ws.put(h);
+        KernelPath::PerSample
     }
 
     /// Spectral norm of the per-sample cross-entropy Hessian

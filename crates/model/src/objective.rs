@@ -14,7 +14,7 @@
 use crate::dataset::Dataset;
 use crate::label::SoftLabel;
 use crate::model::Model;
-use chef_linalg::{vector, LinearOperator};
+use chef_linalg::{vector, LinearOperator, Workspace};
 
 /// Minimum number of per-sample terms before the `parallel` feature fans
 /// an accumulation out to the thread pool. Below this the scoped-thread
@@ -24,39 +24,47 @@ use chef_linalg::{vector, LinearOperator};
 pub const PAR_GRAIN: usize = 512;
 
 /// Parallel weighted accumulation `out = Σ_j weight(j) · term_j`, where
-/// `term(j, scratch)` writes the `j`-th length-`m` vector into `scratch`.
+/// `term(j, scratch, ws)` writes the `j`-th length-`m` vector into
+/// `scratch`, drawing any internal buffers from the thread-local
+/// [`Workspace`].
 ///
 /// Each worker chunk folds into a thread-local accumulator (one scratch +
-/// one partial-sum allocation per chunk, not per term) and the per-chunk
-/// partial sums are combined **in chunk order**, so the floating-point
-/// reduction order is deterministic for a given input length regardless
-/// of the thread count.
+/// one partial-sum allocation + one workspace per chunk, not per term)
+/// and the per-chunk partial sums are combined **in chunk order**, so the
+/// floating-point reduction order is deterministic for a given input
+/// length regardless of the thread count.
 #[cfg(feature = "parallel")]
 fn par_weighted_sum<T, W>(m: usize, len: usize, term: T, weight: W, out: &mut [f64])
 where
-    T: Fn(usize, &mut [f64]) + Sync,
+    T: Fn(usize, &mut [f64], &mut Workspace) + Sync,
     W: Fn(usize) -> f64 + Sync,
 {
     use rayon::prelude::*;
-    let (sum, _scratch) = (0..len)
+    let (sum, _scratch, _ws) = (0..len)
         .into_par_iter()
         .fold(
-            || (vec![0.0; m], vec![0.0; m]),
-            |(mut sum, mut scratch), j| {
-                term(j, &mut scratch);
+            || (vec![0.0; m], vec![0.0; m], Workspace::new()),
+            |(mut sum, mut scratch, mut ws), j| {
+                term(j, &mut scratch, &mut ws);
                 vector::axpy(weight(j), &scratch, &mut sum);
-                (sum, scratch)
+                (sum, scratch, ws)
             },
         )
         .reduce(
-            || (vec![0.0; m], Vec::new()),
-            |(mut a, s), (b, _)| {
+            || (vec![0.0; m], Vec::new(), Workspace::new()),
+            |(mut a, s, ws), (b, _, _)| {
                 vector::axpy(1.0, &b, &mut a);
-                (a, s)
+                (a, s, ws)
             },
         );
     out.copy_from_slice(&sum);
 }
+
+/// Samples per task when the parallel Hessian path splits a batch into
+/// [`crate::Model::hvp_block`] calls. Half of [`PAR_GRAIN`] so a batch
+/// right at the parallel threshold still yields more than one task.
+#[cfg(feature = "parallel")]
+const HVP_CHUNK: usize = PAR_GRAIN / 2;
 
 /// Weighted, L2-regularized empirical risk (paper Eq. 1).
 #[derive(Debug, Clone, Copy)]
@@ -128,7 +136,7 @@ impl WeightedObjective {
             par_weighted_sum(
                 model.num_params(),
                 batch.len(),
-                |j, g| model.grad(w, data.feature(batch[j]), data.label(batch[j]), g),
+                |j, g, ws| model.grad_ws(w, data.feature(batch[j]), data.label(batch[j]), g, ws),
                 |j| data.weight(batch[j], self.gamma),
                 out,
             );
@@ -151,9 +159,10 @@ impl WeightedObjective {
     ) {
         out.fill(0.0);
         if !batch.is_empty() {
+            let mut ws = Workspace::new();
             let mut g = vec![0.0; model.num_params()];
             for &i in batch {
-                model.grad(w, data.feature(i), data.label(i), &mut g);
+                model.grad_ws(w, data.feature(i), data.label(i), &mut g, &mut ws);
                 vector::axpy(data.weight(i, self.gamma), &g, out);
             }
             vector::scale(1.0 / batch.len() as f64, out);
@@ -164,7 +173,9 @@ impl WeightedObjective {
     /// Full-dataset Hessian-vector product
     /// `H(w) v = (1/N) Σ γ_z H(w, z) v + λ v` into `out`.
     ///
-    /// Parallelized above [`PAR_GRAIN`] samples like [`Self::batch_grad`].
+    /// Runs the model's batched [`Model::hvp_block`] kernel (closed-form
+    /// GEMM blocks for logistic regression, a per-sample fallback
+    /// otherwise), parallelized above [`PAR_GRAIN`] samples.
     pub fn hvp<M: Model + ?Sized>(
         &self,
         model: &M,
@@ -173,20 +184,8 @@ impl WeightedObjective {
         v: &[f64],
         out: &mut [f64],
     ) {
-        #[cfg(feature = "parallel")]
-        if data.len() >= PAR_GRAIN {
-            par_weighted_sum(
-                model.num_params(),
-                data.len(),
-                |i, h| model.hvp(w, data.feature(i), data.label(i), v, h),
-                |i| data.weight(i, self.gamma),
-                out,
-            );
-            vector::scale(1.0 / data.len() as f64, out);
-            vector::axpy(self.l2, v, out);
-            return;
-        }
-        self.hvp_serial(model, data, w, v, out)
+        let idx: Vec<usize> = (0..data.len()).collect();
+        self.batch_hvp(model, data, &idx, w, v, out)
     }
 
     /// Single-threaded [`Self::hvp`]. Always compiled; the public entry
@@ -199,21 +198,18 @@ impl WeightedObjective {
         v: &[f64],
         out: &mut [f64],
     ) {
-        out.fill(0.0);
-        if !data.is_empty() {
-            let mut h = vec![0.0; model.num_params()];
-            for i in 0..data.len() {
-                model.hvp(w, data.feature(i), data.label(i), v, &mut h);
-                vector::axpy(data.weight(i, self.gamma), &h, out);
-            }
-            vector::scale(1.0 / data.len() as f64, out);
-        }
-        vector::axpy(self.l2, v, out);
+        let idx: Vec<usize> = (0..data.len()).collect();
+        self.batch_hvp_serial(model, data, &idx, w, v, out)
     }
 
     /// [`Self::hvp`] restricted to an index subset (the subsampled-Hessian
     /// estimator of Koh & Liang): `(1/|batch|) Σ_{i∈batch} γ_z H(w, z_i) v
     /// + λ v` into `out`.
+    ///
+    /// Above [`PAR_GRAIN`] samples the batch splits into `HVP_CHUNK`
+    /// tasks, each a blocked [`Model::hvp_block`] call, combined with
+    /// the same chunk-ordered deterministic reduction as
+    /// [`Self::batch_grad`].
     pub fn batch_hvp<M: Model + ?Sized>(
         &self,
         model: &M,
@@ -225,13 +221,29 @@ impl WeightedObjective {
     ) {
         #[cfg(feature = "parallel")]
         if batch.len() >= PAR_GRAIN {
-            par_weighted_sum(
-                model.num_params(),
-                batch.len(),
-                |j, h| model.hvp(w, data.feature(batch[j]), data.label(batch[j]), v, h),
-                |j| data.weight(batch[j], self.gamma),
-                out,
-            );
+            use rayon::prelude::*;
+            let m = model.num_params();
+            let nchunks = batch.len().div_ceil(HVP_CHUNK);
+            // map_init rather than fold: each task returns its partial sum
+            // and keeps only a per-worker-chunk Workspace as state. (A
+            // fold threading a (acc, scratch, workspace) tuple through
+            // every step costs ~2x here — the moved accumulator defeats
+            // the optimizer — and buys nothing, since partial sums are
+            // combined in chunk order either way.)
+            let parts: Vec<Vec<f64>> = (0..nchunks)
+                .into_par_iter()
+                .map_init(Workspace::new, |ws, ci| {
+                    let lo = ci * HVP_CHUNK;
+                    let hi = (lo + HVP_CHUNK).min(batch.len());
+                    let mut part = vec![0.0; m];
+                    model.hvp_block(w, data, &batch[lo..hi], self.gamma, v, &mut part, ws);
+                    part
+                })
+                .collect();
+            out.fill(0.0);
+            for part in &parts {
+                vector::axpy(1.0, part, out);
+            }
             vector::scale(1.0 / batch.len() as f64, out);
             vector::axpy(self.l2, v, out);
             return;
@@ -250,13 +262,9 @@ impl WeightedObjective {
         v: &[f64],
         out: &mut [f64],
     ) {
-        out.fill(0.0);
+        let mut ws = Workspace::new();
+        model.hvp_block(w, data, batch, self.gamma, v, out, &mut ws);
         if !batch.is_empty() {
-            let mut h = vec![0.0; model.num_params()];
-            for &i in batch {
-                model.hvp(w, data.feature(i), data.label(i), v, &mut h);
-                vector::axpy(data.weight(i, self.gamma), &h, out);
-            }
             vector::scale(1.0 / batch.len() as f64, out);
         }
         vector::axpy(self.l2, v, out);
@@ -288,7 +296,7 @@ impl WeightedObjective {
             par_weighted_sum(
                 model.num_params(),
                 val.len(),
-                |i, g| model.grad(w, val.feature(i), val.label(i), g),
+                |i, g, ws| model.grad_ws(w, val.feature(i), val.label(i), g, ws),
                 |_| 1.0,
                 out,
             );
@@ -309,9 +317,10 @@ impl WeightedObjective {
     ) {
         assert!(!val.is_empty(), "val_grad: empty validation set");
         out.fill(0.0);
+        let mut ws = Workspace::new();
         let mut g = vec![0.0; model.num_params()];
         for i in 0..val.len() {
-            model.grad(w, val.feature(i), val.label(i), &mut g);
+            model.grad_ws(w, val.feature(i), val.label(i), &mut g, &mut ws);
             vector::axpy(1.0, &g, out);
         }
         vector::scale(1.0 / val.len() as f64, out);

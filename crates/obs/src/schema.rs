@@ -35,6 +35,10 @@ pub struct SelectorTelemetry {
     /// Fraction of the pool the Theorem-1 bound pruned
     /// (`pruned / pool`; the paper's Exp2 "evaluated" column inverted).
     pub bound_hit_rate: f64,
+    /// Which scoring kernel served the round: `"gemm"` for the batched
+    /// structure-aware closed form, `"per_sample"` for the generic
+    /// fallback, empty when the selector doesn't report one.
+    pub kernel_path: String,
     /// Wall-clock of the selector phase in milliseconds (Time_inf).
     pub select_ms: f64,
 }
@@ -104,6 +108,7 @@ impl SelectorTelemetry {
         w.field_u64("grad_evals", self.grad_evals as u64);
         w.field_u64("hvp_evals", self.hvp_evals as u64);
         w.field_f64("bound_hit_rate", self.bound_hit_rate);
+        w.field_str("kernel_path", &self.kernel_path);
         w.field_f64("select_ms", self.select_ms);
         w.end_object();
     }
@@ -178,6 +183,7 @@ mod tests {
                 grad_evals: 30,
                 hvp_evals: 12,
                 bound_hit_rate: 0.9,
+                kernel_path: "gemm".into(),
                 select_ms: 1.25,
             },
             ..RoundTelemetry::default()
