@@ -21,6 +21,12 @@ echo "==> cargo test (serial: --no-default-features)"
 # and `telemetry` features; the rest of the workspace is unaffected.
 cargo test -q -p chef-linalg -p chef-model -p chef-core -p chef-bench -p chef-obs --no-default-features
 
+echo "==> cargo test (fault injection: crash/torn-write/bit-flip replay equivalence)"
+cargo test -q -p chef-core --features fault-inject --test checkpoint_resume
+
+echo "==> cargo test (fault injection, serial: --no-default-features)"
+cargo test -q -p chef-core --no-default-features --features fault-inject --test checkpoint_resume
+
 echo "==> infl_kernels bench (quick smoke: batched kernels run end-to-end)"
 cargo run -q --release -p chef-bench --bin infl_kernels -- --quick
 

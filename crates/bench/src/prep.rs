@@ -68,9 +68,7 @@ pub fn default_pipeline_config(n_train: usize, seed: u64) -> PipelineConfig {
             error_rate: 0.05,
             seed: seed ^ 0x77,
         },
-        target_val_f1: None,
-        warm_start: false,
-        telemetry: chef_core::Telemetry::disabled(),
+        ..PipelineConfig::default()
     }
 }
 

@@ -143,11 +143,19 @@ impl AnnotationPhase {
                     LabelStrategy::HumansOnly(_) => None,
                     _ => sel.suggested,
                 };
-                let Some(truth) = data.ground_truth(sel.index) else {
-                    stats.abstains += 1;
-                    return AnnotationOutcome::Ambiguous;
+                // Ground truth only feeds the *human* simulators; a
+                // suggestion-only ballot must not abstain just because
+                // truth is unknown (pinned by `suggestion_only_cleans_
+                // without_ground_truth` below).
+                let votes = if self.panel.is_empty() {
+                    suggestion.into_iter().collect()
+                } else {
+                    let Some(truth) = data.ground_truth(sel.index) else {
+                        stats.abstains += 1;
+                        return AnnotationOutcome::Ambiguous;
+                    };
+                    self.panel.votes(sel.index, truth, c, suggestion)
                 };
-                let votes = self.panel.votes(sel.index, truth, c, suggestion);
                 stats.votes += votes.len();
                 if votes.is_empty() {
                     stats.abstains += 1;
@@ -273,6 +281,86 @@ mod tests {
         let phase = AnnotationPhase::new(AnnotationConfig::default());
         let out = phase.annotate(&mut d, &sels(&[2], Some(1)));
         assert_eq!(out, vec![AnnotationOutcome::Ambiguous]);
+    }
+
+    #[test]
+    fn suggestion_only_cleans_without_ground_truth() {
+        // Infl (two) needs no ground truth: the suggestion is the whole
+        // ballot. This pins the resolution order — the truth gate applies
+        // to human simulators only.
+        let mut d = data(2);
+        d.push(&[9.0], SoftLabel::uniform(2), false, None);
+        let phase = AnnotationPhase::new(AnnotationConfig {
+            strategy: LabelStrategy::SuggestionOnly,
+            ..AnnotationConfig::default()
+        });
+        let (out, stats) = phase.annotate_with_stats(&mut d, &sels(&[2], Some(1)));
+        assert_eq!(out, vec![AnnotationOutcome::Cleaned(1)]);
+        assert!(d.is_clean(2));
+        assert_eq!(d.label(2), &SoftLabel::onehot(1, 2));
+        assert_eq!(stats.votes, 1);
+        assert_eq!(stats.cleaned, 1);
+        assert_eq!(stats.abstains, 0);
+    }
+
+    #[test]
+    fn even_panel_tie_keeps_probabilistic_label() {
+        // Even ballot (1 perfect human + 1 wrong suggestion): no strict
+        // majority, so the label stays probabilistic but the budget slot
+        // is consumed (Appendix F.1's ambiguous rule).
+        let mut d = data(4);
+        let phase = AnnotationPhase::new(AnnotationConfig {
+            strategy: LabelStrategy::SuggestionPlusHumans(1),
+            error_rate: 0.0,
+            seed: 4,
+        });
+        // Truth of sample 0 is class 0; suggestion votes class 1 → 1–1.
+        let (out, stats) = phase.annotate_with_stats(&mut d, &sels(&[0], Some(1)));
+        assert_eq!(out, vec![AnnotationOutcome::Ambiguous]);
+        assert!(!d.is_clean(0));
+        assert_eq!(d.label(0), &SoftLabel::new(vec![0.5, 0.5]));
+        assert_eq!(stats.votes, 2);
+        assert_eq!(stats.conflicts, 1);
+        assert_eq!(stats.abstains, 1);
+        assert_eq!(stats.cleaned, 0);
+    }
+
+    #[test]
+    fn all_abstain_round_mutates_nothing() {
+        // A whole round without ground truth (human panel, nothing to
+        // simulate): every slot abstains, the dataset is untouched.
+        let mut d = Dataset::new(
+            Matrix::from_vec(3, 1, vec![0.0, 1.0, 2.0]),
+            (0..3).map(|_| SoftLabel::uniform(2)).collect(),
+            vec![false; 3],
+            vec![None; 3],
+            2,
+        );
+        let phase = AnnotationPhase::new(AnnotationConfig::default());
+        let (out, stats) = phase.annotate_with_stats(&mut d, &sels(&[0, 1, 2], None));
+        assert_eq!(out, vec![AnnotationOutcome::Ambiguous; 3]);
+        assert_eq!(stats.requested, 3);
+        assert_eq!(stats.abstains, 3);
+        assert_eq!(stats.votes, 0);
+        assert_eq!(stats.cleaned, 0);
+        assert!((0..3).all(|i| !d.is_clean(i)));
+    }
+
+    #[test]
+    fn suggestion_conflicting_with_humans_is_outvoted_and_counted() {
+        // Infl (three): a wrong suggestion joins 2 perfect humans. The
+        // humans win 2–1; the non-unanimous ballot counts as a conflict.
+        let mut d = data(4);
+        let phase = AnnotationPhase::new(AnnotationConfig {
+            strategy: LabelStrategy::SuggestionPlusHumans(2),
+            error_rate: 0.0,
+            seed: 5,
+        });
+        let (out, stats) = phase.annotate_with_stats(&mut d, &sels(&[0], Some(1)));
+        assert_eq!(out, vec![AnnotationOutcome::Cleaned(0)]);
+        assert_eq!(stats.votes, 3);
+        assert_eq!(stats.conflicts, 1);
+        assert_eq!(stats.cleaned, 1);
     }
 
     #[test]

@@ -110,7 +110,7 @@ struct Entry {
 }
 
 /// Work counters for one Increm-Infl round.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IncremStats {
     /// Samples in the uncleaned pool this round.
     pub pool: usize,
@@ -126,6 +126,66 @@ pub struct IncremInfl {
     /// Multiplier on the half-width of the Theorem 1 interval (1 = exact
     /// paper bounds).
     pub slack: f64,
+}
+
+/// An owned, serializable copy of the full Increm-Infl state: the frozen
+/// `w⁽⁰⁾` provenance of the initialization step plus the bound-slack
+/// knob. Produced by [`IncremInfl::snapshot`] and consumed by
+/// [`IncremInfl::from_snapshot`]; the checkpoint subsystem stores the
+/// matrix fields in its binary payload so a resumed run prunes with
+/// bit-identical Theorem 1 intervals instead of re-running the
+/// initialization step at a different model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncremSnapshot {
+    /// Initialization-step parameters `w⁽⁰⁾` (length `num_params`).
+    pub w0: Vec<f64>,
+    /// Frozen per-sample gradients, row-major `n × num_params`.
+    pub grads0: Vec<f64>,
+    /// Frozen per-class gradients, row-major `(n·num_classes) × num_params`.
+    pub class_grads0: Vec<f64>,
+    /// Frozen per-sample Hessian norms (length `n`).
+    pub hessian_norms0: Vec<f64>,
+    /// Frozen per-class Hessian norms, flat `n·num_classes` sample-major.
+    pub class_hessian_norms0: Vec<f64>,
+    /// Parameter count `m` (row stride of the gradient buffers).
+    pub num_params: usize,
+    /// Class count `C` (row-group stride of `class_grads0`).
+    pub num_classes: usize,
+    /// The [`IncremInfl::slack`] multiplier in effect.
+    pub slack: f64,
+}
+
+impl IncremSnapshot {
+    /// Validate internal length invariants, returning a description of
+    /// the first violation. `from_snapshot` calls this so a checkpoint
+    /// corrupted in a length-preserving way still fails loudly.
+    pub fn validate(&self) -> Result<(), String> {
+        let m = self.num_params;
+        let c = self.num_classes;
+        if m == 0 || c == 0 {
+            return Err("IncremSnapshot: zero num_params/num_classes".into());
+        }
+        if self.w0.len() != m {
+            return Err(format!(
+                "IncremSnapshot: w0 length {} != {m}",
+                self.w0.len()
+            ));
+        }
+        if !self.grads0.len().is_multiple_of(m) {
+            return Err("IncremSnapshot: grads0 not a multiple of num_params".into());
+        }
+        let n = self.grads0.len() / m;
+        if self.class_grads0.len() != n * c * m {
+            return Err("IncremSnapshot: class_grads0 length mismatch".into());
+        }
+        if self.hessian_norms0.len() != n {
+            return Err("IncremSnapshot: hessian_norms0 length mismatch".into());
+        }
+        if self.class_hessian_norms0.len() != n * c {
+            return Err("IncremSnapshot: class_hessian_norms0 length mismatch".into());
+        }
+        Ok(())
+    }
 }
 
 impl IncremInfl {
@@ -191,6 +251,43 @@ impl IncremInfl {
     /// The initialization-step parameters `w⁽⁰⁾`.
     pub fn w0(&self) -> &[f64] {
         &self.provenance.w0
+    }
+
+    /// Copy the full state into a serializable [`IncremSnapshot`].
+    pub fn snapshot(&self) -> IncremSnapshot {
+        IncremSnapshot {
+            w0: self.provenance.w0.clone(),
+            grads0: self.provenance.grads0.clone(),
+            class_grads0: self.provenance.class_grads0.clone(),
+            hessian_norms0: self.provenance.hessian_norms0.clone(),
+            class_hessian_norms0: self.provenance.class_hessian_norms0.clone(),
+            num_params: self.provenance.num_params,
+            num_classes: self.provenance.num_classes,
+            slack: self.slack,
+        }
+    }
+
+    /// Rebuild the selector state from a snapshot (the inverse of
+    /// [`Self::snapshot`]): byte-for-byte the same provenance, so the
+    /// bound pass of a resumed run is bit-identical to the original.
+    ///
+    /// # Errors
+    /// Returns the violated invariant if the snapshot's buffer lengths
+    /// are inconsistent (e.g. a corrupt checkpoint).
+    pub fn from_snapshot(snap: IncremSnapshot) -> Result<Self, String> {
+        snap.validate()?;
+        Ok(Self {
+            provenance: Provenance {
+                w0: snap.w0,
+                grads0: snap.grads0,
+                class_grads0: snap.class_grads0,
+                hessian_norms0: snap.hessian_norms0,
+                class_hessian_norms0: snap.class_hessian_norms0,
+                num_params: snap.num_params,
+                num_classes: snap.num_classes,
+            },
+            slack: snap.slack,
+        })
     }
 
     /// Frozen influence `I₀(z̃, δ_y, γ)` for sample `i` and target class
@@ -631,6 +728,33 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let (model, obj, data, val) = fixture(60, 5);
+        let w0 = fit(&model, &obj, &data, 10, 7);
+        let mut inc = IncremInfl::initialize(&model, &data, &w0);
+        inc.slack = 1.5;
+        let snap = inc.snapshot();
+        let restored = IncremInfl::from_snapshot(snap.clone()).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+        // The restored selector produces the identical candidate set.
+        let v = influence_vector(&model, &obj, &data, &val, &w0, &InflConfig::default());
+        let pool = data.uncleaned_indices();
+        let (a, _) = inc.candidates(&model, &data, &w0, &v, &pool, 5, obj.gamma);
+        let (b, _) = restored.candidates(&model, &data, &w0, &v, &pool, 5, obj.gamma);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_validation_rejects_inconsistent_lengths() {
+        let (model, obj, data, _) = fixture(20, 6);
+        let w0 = fit(&model, &obj, &data, 5, 8);
+        let inc = IncremInfl::initialize(&model, &data, &w0);
+        let mut snap = inc.snapshot();
+        snap.hessian_norms0.pop();
+        assert!(IncremInfl::from_snapshot(snap).is_err());
     }
 
     #[test]

@@ -37,7 +37,10 @@
 #![warn(missing_docs)]
 
 pub mod annotation;
+pub mod checkpoint;
 pub mod constructor;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod increm;
 pub mod influence;
 pub mod lissa;
@@ -48,13 +51,18 @@ pub mod selector;
 pub use annotation::{
     AnnotationConfig, AnnotationOutcome, AnnotationPhase, AnnotationStats, LabelStrategy,
 };
+pub use checkpoint::{
+    Checkpoint, CheckpointConfig, CheckpointError, LabelPatch, CHECKPOINT_VERSION,
+};
 pub use chef_model::KernelPath;
 pub use chef_obs::{
     AnnotationTelemetry, ConstructorTelemetry, RoundTelemetry, SelectorTelemetry, Telemetry,
     SCHEMA_VERSION,
 };
 pub use constructor::{ConstructorKind, ConstructorOutcome, ModelConstructor};
-pub use increm::{IncremInfl, IncremStats};
+#[cfg(feature = "fault-inject")]
+pub use fault::FaultPlan;
+pub use increm::{IncremInfl, IncremSnapshot, IncremStats};
 pub use influence::{
     influence_vector, influence_vector_outcome, rank_infl, rank_infl_top_b, rank_infl_with_vector,
     rank_infl_with_vector_per_sample, rank_infl_with_vector_serial, InflConfig, InflScore,
@@ -63,4 +71,6 @@ pub use influence::{
 pub use lissa::{lissa_influence_vector, lissa_solve, LissaConfig};
 pub use metrics::{accuracy, confusion_matrix, evaluate_f1, f1_score, macro_f1, Evaluation};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, RoundReport};
-pub use selector::{InflSelector, SampleSelector, Selection, SelectorContext, SelectorStats};
+pub use selector::{
+    InflSelector, SampleSelector, Selection, SelectorCheckpoint, SelectorContext, SelectorStats,
+};

@@ -7,8 +7,11 @@
 //! wall-clock times are recorded so the harness can regenerate the
 //! paper's Table 2 and Figure 2 directly from a pipeline run.
 
-use crate::annotation::{AnnotationConfig, AnnotationOutcome, AnnotationPhase};
+use crate::annotation::{AnnotationConfig, AnnotationOutcome, AnnotationPhase, AnnotationStats};
+use crate::checkpoint::{Checkpoint, CheckpointConfig, CheckpointError, LabelPatch};
 use crate::constructor::{ConstructorKind, ModelConstructor};
+#[cfg(feature = "fault-inject")]
+use crate::fault::FaultPlan;
 use crate::increm::IncremStats;
 use crate::metrics::evaluate_f1;
 use crate::selector::{SampleSelector, Selection, SelectorContext};
@@ -16,8 +19,9 @@ use chef_model::{Dataset, Model, WeightedObjective};
 use chef_obs::{
     AnnotationTelemetry, ConstructorTelemetry, RoundTelemetry, SelectorTelemetry, Telemetry,
 };
-use chef_train::{select_early_stop, SgdConfig};
+use chef_train::{select_early_stop, SgdConfig, TrainTrace};
 use std::collections::HashSet;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
@@ -44,6 +48,17 @@ pub struct PipelineConfig {
     /// with the `telemetry` feature off this field is a zero-sized no-op
     /// and all instrumentation compiles away.
     pub telemetry: Telemetry,
+    /// Durable checkpointing (DESIGN.md §12): when set, the loop writes a
+    /// `checkpoint.v1` generation file every
+    /// [`CheckpointConfig::every_rounds`] completed rounds, and
+    /// [`Pipeline::resume`] / [`Pipeline::resume_latest`] continue an
+    /// interrupted run bit-identically. `None` (the default) writes
+    /// nothing.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Deterministic fault injection (`fault-inject` feature only): the
+    /// test harness's crash/torn-write/bit-flip/timeout schedule.
+    #[cfg(feature = "fault-inject")]
+    pub faults: FaultPlan,
 }
 
 impl Default for PipelineConfig {
@@ -58,12 +73,15 @@ impl Default for PipelineConfig {
             target_val_f1: None,
             warm_start: false,
             telemetry: Telemetry::disabled(),
+            checkpoint: None,
+            #[cfg(feature = "fault-inject")]
+            faults: FaultPlan::default(),
         }
     }
 }
 
 /// Everything measured in one cleaning round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundReport {
     /// Round number (0-based).
     pub round: usize,
@@ -110,6 +128,10 @@ pub struct PipelineReport {
     pub cleaned_total: usize,
     /// The training set after all cleaning (for inspection).
     pub final_data: Dataset,
+    /// Whether the run was cut short by an injected crash (`fault-inject`
+    /// feature) rather than finishing its budget. Always `false` in
+    /// production builds; a resumed run that completes clears it.
+    pub interrupted: bool,
 }
 
 impl PipelineReport {
@@ -126,12 +148,16 @@ impl PipelineReport {
         self.rounds.last().map_or(self.initial_val_f1, |r| r.val_f1)
     }
 
-    /// Accumulated selector time across rounds.
+    /// Accumulated selector time across rounds. After a
+    /// [`Pipeline::resume`], `rounds` includes the restored pre-crash
+    /// reports (durations persisted in the checkpoint), so this total
+    /// covers the whole logical run, not just the resumed session.
     pub fn total_select_time(&self) -> Duration {
         self.rounds.iter().map(|r| r.select_time).sum()
     }
 
-    /// Accumulated model-constructor time across rounds.
+    /// Accumulated model-constructor time across rounds (aggregates
+    /// across resume, like [`Self::total_select_time`]).
     pub fn total_update_time(&self) -> Duration {
         self.rounds.iter().map(|r| r.update_time).sum()
     }
@@ -211,50 +237,189 @@ impl Pipeline {
     pub fn run(
         &self,
         model: &dyn Model,
-        mut data: Dataset,
+        data: Dataset,
         val: &Dataset,
         test: &Dataset,
         selector: &mut dyn SampleSelector,
     ) -> PipelineReport {
         let cfg = &self.cfg;
         let tel = &cfg.telemetry;
-        let ctor = ModelConstructor::new(cfg.constructor, cfg.sgd)
-            .with_warm_start(cfg.warm_start)
-            .with_telemetry(tel.clone());
-        let annotator = AnnotationPhase::new(cfg.annotation);
+        let ctor = self.constructor();
 
         // ---- Initialization step (offline): train + provenance. ----
         let init = {
             let _span = tel.span("pipeline.init");
             ctor.initial_train(model, &cfg.objective, &data)
         };
-        let mut trace = init.trace;
-        let mut w_raw = init.w;
-        let (mut w_eval, _) =
+        let trace = init.trace;
+        let w_raw = init.w;
+        let (w_eval, _) =
             select_early_stop(model, &cfg.objective, val, &trace.epoch_checkpoints, &w_raw);
         let initial_val_f1 = evaluate_f1(model, &w_eval, val).f1;
         let initial_test_f1 = evaluate_f1(model, &w_eval, test).f1;
 
-        let mut attempted: HashSet<usize> = HashSet::new();
-        let mut rounds = Vec::new();
-        let mut spent = 0usize;
-        let mut cleaned_total = 0usize;
-        let mut early_terminated = false;
+        let state = LoopState {
+            data,
+            w_raw,
+            w_eval,
+            trace,
+            attempted: HashSet::new(),
+            rounds: Vec::new(),
+            spent: 0,
+            cleaned_total: 0,
+            early_terminated: cfg
+                .target_val_f1
+                .is_some_and(|target| initial_val_f1 >= target),
+            round: 0,
+            initial_val_f1,
+            initial_test_f1,
+            init_time: init.elapsed,
+        };
+        self.drive(model, val, test, selector, state)
+    }
 
-        if cfg
-            .target_val_f1
-            .is_some_and(|target| initial_val_f1 >= target)
-        {
-            early_terminated = true;
+    /// Resume an interrupted run from the checkpoint file at `path`.
+    ///
+    /// `data` must be the *pristine* training set the original run
+    /// started from — the checkpoint's label patches are replayed onto
+    /// it. `selector` must be the same selector kind the original run
+    /// used; its frozen Increm-Infl provenance is restored from the
+    /// checkpoint, so no re-initialization pass runs. The continued run
+    /// is bit-identical to one that was never interrupted (the
+    /// replay-equivalence guarantee of DESIGN.md §12, pinned by
+    /// `tests/checkpoint_resume.rs`), and the returned report aggregates
+    /// the restored rounds — `total_select_time` / `total_update_time` /
+    /// `init_time` cover the pre-crash work too.
+    ///
+    /// Restored rounds are replayed into the telemetry handle
+    /// (`resume.rounds_skipped` counts them) so counters and the exported
+    /// `rounds` array match an uninterrupted run; wall-clock histograms
+    /// and spans only cover the resumed session.
+    pub fn resume(
+        &self,
+        model: &dyn Model,
+        data: Dataset,
+        val: &Dataset,
+        test: &Dataset,
+        selector: &mut dyn SampleSelector,
+        path: &Path,
+    ) -> Result<PipelineReport, CheckpointError> {
+        let ckpt = Checkpoint::read_from(path)?;
+        self.resume_from(model, data, val, test, selector, ckpt, 0)
+    }
+
+    /// [`Self::resume`] from the newest readable generation in `dir`,
+    /// falling back over corrupt generations (each fallback is counted in
+    /// the `resume.corrupt_fallbacks` telemetry counter).
+    pub fn resume_latest(
+        &self,
+        model: &dyn Model,
+        data: Dataset,
+        val: &Dataset,
+        test: &Dataset,
+        selector: &mut dyn SampleSelector,
+        dir: &Path,
+    ) -> Result<PipelineReport, CheckpointError> {
+        let (ckpt, _path, corrupt_skipped) = Checkpoint::latest_in_dir(dir)?;
+        self.resume_from(model, data, val, test, selector, ckpt, corrupt_skipped)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resume_from(
+        &self,
+        model: &dyn Model,
+        mut data: Dataset,
+        val: &Dataset,
+        test: &Dataset,
+        selector: &mut dyn SampleSelector,
+        ckpt: Checkpoint,
+        corrupt_skipped: usize,
+    ) -> Result<PipelineReport, CheckpointError> {
+        let cfg = &self.cfg;
+        if ckpt.annotation_seed != cfg.annotation.seed {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint was taken with annotation seed {}, config has {}",
+                ckpt.annotation_seed, cfg.annotation.seed
+            )));
+        }
+        if ckpt.sgd_seed != cfg.sgd.seed {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint was taken with SGD seed {}, config has {}",
+                ckpt.sgd_seed, cfg.sgd.seed
+            )));
+        }
+        ckpt.apply_labels(&mut data)?;
+        selector
+            .restore_checkpoint(ckpt.selector.clone())
+            .map_err(CheckpointError::Mismatch)?;
+
+        // Replay the restored rounds into the telemetry handle so
+        // counters and the exported `rounds` array match an uninterrupted
+        // run (`record_round_counters` is the single source of truth for
+        // both paths).
+        let tel = &cfg.telemetry;
+        tel.add("resume.rounds_skipped", ckpt.rounds.len() as u64);
+        if corrupt_skipped > 0 {
+            tel.add("resume.corrupt_fallbacks", corrupt_skipped as u64);
+        }
+        for r in &ckpt.rounds {
+            record_round_counters(tel, &r.telemetry);
+            tel.record_round(r.telemetry.clone());
+        }
+        if let Some(last) = ckpt.rounds.last() {
+            tel.set_gauge("pipeline.val_f1", last.val_f1);
+            tel.set_gauge("pipeline.test_f1", last.test_f1);
         }
 
-        let mut round = 0usize;
-        while !early_terminated && spent < cfg.budget {
-            let b = cfg.round_size.min(cfg.budget - spent);
-            let pool: Vec<usize> = data
+        let state = LoopState {
+            data,
+            w_raw: ckpt.w_raw,
+            w_eval: ckpt.w_eval,
+            trace: ckpt.trace,
+            attempted: ckpt.attempted.into_iter().collect(),
+            rounds: ckpt.rounds,
+            spent: ckpt.spent,
+            cleaned_total: ckpt.cleaned_total,
+            early_terminated: ckpt.early_terminated,
+            round: ckpt.round,
+            initial_val_f1: ckpt.initial_val_f1,
+            initial_test_f1: ckpt.initial_test_f1,
+            init_time: Duration::from_nanos(ckpt.init_ns),
+        };
+        Ok(self.drive(model, val, test, selector, state))
+    }
+
+    fn constructor(&self) -> ModelConstructor {
+        ModelConstructor::new(self.cfg.constructor, self.cfg.sgd)
+            .with_warm_start(self.cfg.warm_start)
+            .with_telemetry(self.cfg.telemetry.clone())
+    }
+
+    /// The cleaning loop itself, shared by [`Self::run`] and
+    /// [`Self::resume`]: drives `state` until the budget is spent, the
+    /// pool drains, or the quality target is hit — writing checkpoint
+    /// generations at the configured cadence along the way.
+    fn drive(
+        &self,
+        model: &dyn Model,
+        val: &Dataset,
+        test: &Dataset,
+        selector: &mut dyn SampleSelector,
+        mut state: LoopState,
+    ) -> PipelineReport {
+        let cfg = &self.cfg;
+        let tel = &cfg.telemetry;
+        let ctor = self.constructor();
+        let annotator = AnnotationPhase::new(cfg.annotation);
+
+        let mut interrupted = false;
+        while !state.early_terminated && state.spent < cfg.budget {
+            let b = cfg.round_size.min(cfg.budget - state.spent);
+            let pool: Vec<usize> = state
+                .data
                 .uncleaned_indices()
                 .into_iter()
-                .filter(|i| !attempted.contains(i))
+                .filter(|i| !state.attempted.contains(i))
                 .collect();
             if pool.is_empty() {
                 break;
@@ -267,7 +432,7 @@ impl Pipeline {
                 let ctx = SelectorContext {
                     model,
                     objective: &cfg.objective,
-                    data: &data,
+                    data: &state.data,
                     val,
                     // Influence is computed at the full-budget parameters
                     // w_raw: they evolve smoothly across rounds (early
@@ -275,10 +440,10 @@ impl Pipeline {
                     // Increm-Infl drift ‖w⁽ᵏ⁾ − w⁽⁰⁾‖ small, exactly as the
                     // paper's provenance assumes. Early stopping still
                     // decides the *reported* model.
-                    w: &w_raw,
+                    w: &state.w_raw,
                     pool: &pool,
                     b,
-                    round,
+                    round: state.round,
                 };
                 selector.select(&ctx)
             };
@@ -286,7 +451,7 @@ impl Pipeline {
             if selections.is_empty() {
                 break;
             }
-            spent += selections.len();
+            state.spent += selections.len();
 
             let phase_stats = selector.phase_stats();
             let selector_tel = match phase_stats {
@@ -309,39 +474,45 @@ impl Pipeline {
                     ..SelectorTelemetry::default()
                 },
             };
-            tel.add("selector.scored", selector_tel.scored as u64);
-            tel.add("selector.pruned", selector_tel.pruned as u64);
-            tel.add("selector.grad_evals", selector_tel.grad_evals as u64);
-            tel.add("selector.hvp_evals", selector_tel.hvp_evals as u64);
-            match selector_tel.kernel_path.as_str() {
-                "gemm" => tel.add("selector.kernel_gemm", 1),
-                "per_sample" => tel.add("selector.kernel_per_sample", 1),
-                _ => {}
-            }
             if let Some(ps) = phase_stats {
                 if ps.provenance_grads > 0 {
+                    // Paid once at provenance initialization; not part of
+                    // RoundTelemetry, so a resumed run cannot replay it
+                    // (the one documented counter divergence, DESIGN.md
+                    // §12).
                     tel.add("increm.provenance_grads", ps.provenance_grads as u64);
                 }
             }
 
             // ---- Human annotation phase. ----
             let annotate_start = Instant::now();
-            let old_data = data.clone();
-            let (outcomes, ann_stats) = {
+            let old_data = state.data.clone();
+            let (outcomes, ann_stats) = if self.annotators_time_out(state.round) {
+                // Injected timeout: the whole batch abstains — labels
+                // stay probabilistic, budget slots are still consumed.
+                (
+                    vec![AnnotationOutcome::Ambiguous; selections.len()],
+                    AnnotationStats {
+                        requested: selections.len(),
+                        abstains: selections.len(),
+                        ..AnnotationStats::default()
+                    },
+                )
+            } else {
                 let _span = tel.span("round.annotate");
-                annotator.annotate_with_stats(&mut data, &selections)
+                annotator.annotate_with_stats(&mut state.data, &selections)
             };
             let annotate_time = annotate_start.elapsed();
             let mut changed = Vec::new();
             let mut ambiguous = 0usize;
             for (sel, out) in selections.iter().zip(&outcomes) {
-                attempted.insert(sel.index);
+                state.attempted.insert(sel.index);
                 match out {
                     AnnotationOutcome::Cleaned(_) => changed.push(sel.index),
                     AnnotationOutcome::Ambiguous => ambiguous += 1,
                 }
             }
-            cleaned_total += changed.len();
+            state.cleaned_total += changed.len();
             let annotation_tel = AnnotationTelemetry {
                 requested: ann_stats.requested,
                 votes: ann_stats.votes,
@@ -350,15 +521,17 @@ impl Pipeline {
                 cleaned: ann_stats.cleaned,
                 annotate_ms: annotate_time.as_secs_f64() * 1e3,
             };
-            tel.add("annotation.votes", ann_stats.votes as u64);
-            tel.add("annotation.conflicts", ann_stats.conflicts as u64);
-            tel.add("annotation.abstains", ann_stats.abstains as u64);
-            tel.add("annotation.cleaned", ann_stats.cleaned as u64);
-
             // ---- Model constructor phase. ----
             let update = {
                 let _span = tel.span("round.update");
-                ctor.update(model, &cfg.objective, &old_data, &data, &changed, &trace)
+                ctor.update(
+                    model,
+                    &cfg.objective,
+                    &old_data,
+                    &state.data,
+                    &changed,
+                    &state.trace,
+                )
             };
             let update_time = update.elapsed;
             let constructor_tel = match (cfg.constructor, &update.stats) {
@@ -379,43 +552,40 @@ impl Pipeline {
                     ..ConstructorTelemetry::default()
                 },
             };
-            tel.add(
-                "constructor.exact_steps",
-                constructor_tel.exact_steps as u64,
-            );
-            tel.add(
-                "constructor.replay_steps",
-                constructor_tel.replay_steps as u64,
-            );
-            w_raw = update.w;
-            trace = update.trace;
+            state.w_raw = update.w;
+            state.trace = update.trace;
 
             // ---- Evaluation. ----
             let (val_f1, test_f1) = {
                 let _span = tel.span("round.eval");
-                let (we, _) =
-                    select_early_stop(model, &cfg.objective, val, &trace.epoch_checkpoints, &w_raw);
-                w_eval = we;
+                let (we, _) = select_early_stop(
+                    model,
+                    &cfg.objective,
+                    val,
+                    &state.trace.epoch_checkpoints,
+                    &state.w_raw,
+                );
+                state.w_eval = we;
                 (
-                    evaluate_f1(model, &w_eval, val).f1,
-                    evaluate_f1(model, &w_eval, test).f1,
+                    evaluate_f1(model, &state.w_eval, val).f1,
+                    evaluate_f1(model, &state.w_eval, test).f1,
                 )
             };
             tel.set_gauge("pipeline.val_f1", val_f1);
             tel.set_gauge("pipeline.test_f1", test_f1);
-            tel.add("pipeline.rounds", 1);
 
             let round_tel = RoundTelemetry {
-                round,
+                round: state.round,
                 selector: selector_tel,
                 annotation: annotation_tel,
                 constructor: constructor_tel,
             };
+            record_round_counters(tel, &round_tel);
             tel.record_round(round_tel.clone());
 
             let selector_stats = selector.stats();
-            rounds.push(RoundReport {
-                round,
+            state.rounds.push(RoundReport {
+                round: state.round,
                 selected: selections,
                 cleaned: changed.len(),
                 ambiguous,
@@ -428,23 +598,171 @@ impl Pipeline {
             });
 
             if cfg.target_val_f1.is_some_and(|target| val_f1 >= target) {
-                early_terminated = true;
+                state.early_terminated = true;
             }
-            round += 1;
+            let finished = state.round;
+            state.round += 1;
+
+            // ---- Durability boundary. ----
+            if let Some(ckcfg) = &cfg.checkpoint {
+                if ckcfg.every_rounds > 0 && state.round.is_multiple_of(ckcfg.every_rounds) {
+                    self.write_checkpoint(ckcfg, &state, &*selector, finished);
+                }
+            }
+            if self.crash_requested(finished) {
+                interrupted = true;
+                break;
+            }
         }
 
         PipelineReport {
-            initial_val_f1,
-            initial_test_f1,
-            init_time: init.elapsed,
-            rounds,
-            final_w: w_eval,
-            final_w_raw: w_raw,
-            early_terminated,
-            cleaned_total,
-            final_data: data,
+            initial_val_f1: state.initial_val_f1,
+            initial_test_f1: state.initial_test_f1,
+            init_time: state.init_time,
+            rounds: state.rounds,
+            final_w: state.w_eval,
+            final_w_raw: state.w_raw,
+            early_terminated: state.early_terminated,
+            cleaned_total: state.cleaned_total,
+            final_data: state.data,
+            interrupted,
         }
     }
+
+    /// Snapshot the loop state as a [`Checkpoint`]. Label patches cover
+    /// exactly the attempted samples — the only ones annotation can have
+    /// mutated — so replaying them onto the pristine dataset reproduces
+    /// `state.data` bit-for-bit.
+    fn checkpoint_from(&self, state: &LoopState, selector: &dyn SampleSelector) -> Checkpoint {
+        let mut attempted: Vec<usize> = state.attempted.iter().copied().collect();
+        attempted.sort_unstable();
+        let labels = attempted
+            .iter()
+            .map(|&i| LabelPatch {
+                index: i,
+                clean: state.data.is_clean(i),
+                probs: state.data.label(i).probs().to_vec(),
+            })
+            .collect();
+        Checkpoint {
+            round: state.round,
+            spent: state.spent,
+            cleaned_total: state.cleaned_total,
+            early_terminated: state.early_terminated,
+            initial_val_f1: state.initial_val_f1,
+            initial_test_f1: state.initial_test_f1,
+            init_ns: state.init_time.as_nanos() as u64,
+            annotation_seed: self.cfg.annotation.seed,
+            sgd_seed: self.cfg.sgd.seed,
+            attempted,
+            labels,
+            rounds: state.rounds.clone(),
+            w_raw: state.w_raw.clone(),
+            w_eval: state.w_eval.clone(),
+            trace: state.trace.clone(),
+            selector: selector.checkpoint_state(),
+        }
+    }
+
+    fn write_checkpoint(
+        &self,
+        ckcfg: &CheckpointConfig,
+        state: &LoopState,
+        selector: &dyn SampleSelector,
+        finished_round: usize,
+    ) {
+        let tel = &self.cfg.telemetry;
+        let ckpt = self.checkpoint_from(state, selector);
+        let start = Instant::now();
+        match ckpt.write_generation(ckcfg) {
+            Ok((path, bytes)) => {
+                tel.add("checkpoint.writes", 1);
+                tel.add("checkpoint.bytes", bytes);
+                tel.observe_ms("checkpoint.write_ms", start.elapsed().as_secs_f64() * 1e3);
+                self.mangle_checkpoint(finished_round, &path);
+            }
+            Err(_) => {
+                // A failed write must not kill the cleaning run; the
+                // previous generation (if any) still covers recovery.
+                tel.add("checkpoint.write_errors", 1);
+            }
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn crash_requested(&self, finished_round: usize) -> bool {
+        self.cfg.faults.crash_after_round == Some(finished_round)
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    fn crash_requested(&self, _finished_round: usize) -> bool {
+        false
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn annotators_time_out(&self, round: usize) -> bool {
+        self.cfg.faults.annotators_time_out(round)
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    fn annotators_time_out(&self, _round: usize) -> bool {
+        false
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn mangle_checkpoint(&self, finished_round: usize, path: &Path) {
+        self.cfg.faults.mangle_after_write(finished_round, path);
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    fn mangle_checkpoint(&self, _finished_round: usize, _path: &Path) {}
+}
+
+/// Everything the cleaning loop carries across rounds — by construction,
+/// exactly the state a [`Checkpoint`] must persist for
+/// [`Pipeline::resume`] to continue bit-identically.
+struct LoopState {
+    data: Dataset,
+    w_raw: Vec<f64>,
+    w_eval: Vec<f64>,
+    trace: TrainTrace,
+    attempted: HashSet<usize>,
+    rounds: Vec<RoundReport>,
+    spent: usize,
+    cleaned_total: usize,
+    early_terminated: bool,
+    round: usize,
+    initial_val_f1: f64,
+    initial_test_f1: f64,
+    init_time: Duration,
+}
+
+/// Fold one round's structured breakdown into the flat telemetry
+/// counters. The single source of truth for both the live loop and the
+/// resume replay — keeping them on one code path is what makes counter
+/// totals match between an uninterrupted run and a crash-plus-resume run
+/// (`increm.provenance_grads` is the sole, documented exception: it is
+/// not part of [`RoundTelemetry`], so resume cannot replay it).
+fn record_round_counters(tel: &Telemetry, rt: &RoundTelemetry) {
+    tel.add("selector.scored", rt.selector.scored as u64);
+    tel.add("selector.pruned", rt.selector.pruned as u64);
+    tel.add("selector.grad_evals", rt.selector.grad_evals as u64);
+    tel.add("selector.hvp_evals", rt.selector.hvp_evals as u64);
+    match rt.selector.kernel_path.as_str() {
+        "gemm" => tel.add("selector.kernel_gemm", 1),
+        "per_sample" => tel.add("selector.kernel_per_sample", 1),
+        _ => {}
+    }
+    tel.add("annotation.votes", rt.annotation.votes as u64);
+    tel.add("annotation.conflicts", rt.annotation.conflicts as u64);
+    tel.add("annotation.abstains", rt.annotation.abstains as u64);
+    tel.add("annotation.cleaned", rt.annotation.cleaned as u64);
+    tel.add("constructor.exact_steps", rt.constructor.exact_steps as u64);
+    tel.add(
+        "constructor.replay_steps",
+        rt.constructor.replay_steps as u64,
+    );
+    tel.add("pipeline.rounds", 1);
 }
 
 #[cfg(test)]
@@ -515,9 +833,7 @@ mod tests {
                 error_rate: 0.05,
                 seed: 11,
             },
-            target_val_f1: None,
-            warm_start: false,
-            telemetry: Telemetry::disabled(),
+            ..PipelineConfig::default()
         }
     }
 

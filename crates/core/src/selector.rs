@@ -7,7 +7,7 @@
 //! and DUTI can produce; the annotation phase treats it as one more
 //! independent labeler (§4.3).
 
-use crate::increm::{IncremInfl, IncremStats};
+use crate::increm::{IncremInfl, IncremSnapshot, IncremStats};
 use crate::influence::{influence_vector_outcome, rank_infl_top_b, InflConfig};
 use chef_model::{Dataset, Model, WeightedObjective};
 
@@ -72,6 +72,24 @@ pub struct SelectorStats {
     pub kernel_path: &'static str,
 }
 
+/// Serializable selector state captured at a round boundary, so a
+/// resumed pipeline re-enters the loop with the identical selector
+/// (most importantly Increm-Infl's frozen `w⁽⁰⁾` provenance, which would
+/// otherwise be re-initialized at the *restored* model and change every
+/// subsequent Theorem 1 interval).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectorCheckpoint {
+    /// The selector carries no cross-round state worth persisting
+    /// (baselines; also Full Infl before it diverges from this default).
+    Stateless,
+    /// The Infl family: the Increm-Infl initialization-step snapshot,
+    /// `None` when pruning is off or not yet initialized.
+    Infl {
+        /// Frozen provenance, present once the initialization step ran.
+        increm: Option<IncremSnapshot>,
+    },
+}
+
 /// A sample-selection strategy.
 pub trait SampleSelector {
     /// Short name used in experiment tables.
@@ -91,6 +109,29 @@ pub trait SampleSelector {
     /// `None` and the pipeline falls back to pool-size-only counters).
     fn phase_stats(&self) -> Option<SelectorStats> {
         None
+    }
+
+    /// Serializable cross-round state for the checkpoint subsystem.
+    /// Stateless selectors (the default) report
+    /// [`SelectorCheckpoint::Stateless`].
+    fn checkpoint_state(&self) -> SelectorCheckpoint {
+        SelectorCheckpoint::Stateless
+    }
+
+    /// Restore state captured by [`Self::checkpoint_state`].
+    ///
+    /// # Errors
+    /// Returns a description when `state` does not belong to this
+    /// selector kind (e.g. a checkpoint written by an Infl run handed to
+    /// a baseline).
+    fn restore_checkpoint(&mut self, state: SelectorCheckpoint) -> Result<(), String> {
+        match state {
+            SelectorCheckpoint::Stateless => Ok(()),
+            other => Err(format!(
+                "selector {:?} cannot restore checkpoint state {other:?}",
+                self.name()
+            )),
+        }
     }
 }
 
@@ -216,6 +257,28 @@ impl SampleSelector for InflSelector {
     fn phase_stats(&self) -> Option<SelectorStats> {
         self.last_phase
     }
+
+    fn checkpoint_state(&self) -> SelectorCheckpoint {
+        SelectorCheckpoint::Infl {
+            increm: self.increm.as_ref().map(IncremInfl::snapshot),
+        }
+    }
+
+    fn restore_checkpoint(&mut self, state: SelectorCheckpoint) -> Result<(), String> {
+        match state {
+            SelectorCheckpoint::Infl { increm } => {
+                self.increm = match increm {
+                    Some(snap) => Some(IncremInfl::from_snapshot(snap)?),
+                    None => None,
+                };
+                Ok(())
+            }
+            SelectorCheckpoint::Stateless => Err(format!(
+                "selector {:?} cannot restore a stateless checkpoint",
+                self.name()
+            )),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -312,5 +375,49 @@ mod tests {
     fn names_distinguish_variants() {
         assert_eq!(InflSelector::full().name(), "Infl");
         assert_eq!(InflSelector::incremental().name(), "Infl+Increm");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_restores_increm_state() {
+        let (model, obj, data, val) = toy();
+        let w = vec![0.05; chef_model::Model::num_params(&model)];
+        let pool = data.uncleaned_indices();
+        let ctx = SelectorContext {
+            model: &model,
+            objective: &obj,
+            data: &data,
+            val: &val,
+            w: &w,
+            pool: &pool,
+            b: 5,
+            round: 0,
+        };
+        let mut sel = InflSelector::incremental();
+        let first = sel.select(&ctx);
+        let state = sel.checkpoint_state();
+        assert!(matches!(
+            state,
+            SelectorCheckpoint::Infl { increm: Some(_) }
+        ));
+
+        // A fresh selector restored from the checkpoint must not re-run
+        // the initialization step and must pick the same samples.
+        let mut restored = InflSelector::incremental();
+        restored.restore_checkpoint(state).unwrap();
+        let ctx1 = SelectorContext { round: 1, ..ctx };
+        let a = sel.select(&ctx1);
+        let b = restored.select(&ctx1);
+        assert_eq!(a, b);
+        assert!(!first.is_empty());
+        // No provenance rebuild on the restored selector.
+        assert_eq!(restored.last_phase.unwrap().provenance_grads, 0);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_checkpoint_kind() {
+        let mut sel = InflSelector::incremental();
+        assert!(sel
+            .restore_checkpoint(SelectorCheckpoint::Stateless)
+            .is_err());
     }
 }

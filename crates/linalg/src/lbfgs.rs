@@ -22,6 +22,11 @@
 //! lazily to the probe vector (and to the pending `s_j`), starting from
 //! `B₀ = γI` with `γ = y_lastᵀ s_last / s_lastᵀ s_last`. The cost is
 //! `O(m₀² · m)` per product — negligible because the paper uses `m₀ = 2`.
+//!
+//! [`LbfgsBuffer::inv_hessian_vec`] provides the two-loop `B⁻¹v` as well,
+//! seeded with `H₀ = B₀⁻¹` so forward and inverse products are exact
+//! inverses of each other (see `tests/properties.rs` for the dense-solve
+//! property tests).
 
 use crate::vector;
 
@@ -153,6 +158,63 @@ impl LbfgsBuffer {
 
         bv
     }
+
+    /// Inverse product `B⁻¹ v` via the classic two-loop recursion.
+    ///
+    /// The recursion builds `H_k = B_k⁻¹` from the same `(s, y)` pairs as
+    /// [`Self::hessian_vec`], seeded with `H₀ = (s_lastᵀ s_last /
+    /// y_lastᵀ s_last) I` — exactly `B₀⁻¹` for the forward product's
+    /// `B₀ = γI` — so the two products are exact inverses of each other
+    /// (up to round-off), not merely approximations of the same Hessian.
+    /// Checkpoint resume relies on this pairing: a restored history
+    /// buffer reproduces bit-identical replay corrections.
+    ///
+    /// With an empty history this is the identity, matching
+    /// [`Self::hessian_vec`].
+    ///
+    /// ```
+    /// use chef_linalg::LbfgsBuffer;
+    ///
+    /// let mut buf = LbfgsBuffer::new(2, 2);
+    /// buf.push(&[1.0, 0.0], &[3.0, 1.0]); // curvature of A = [[3,1],[1,2]]
+    /// buf.push(&[0.0, 1.0], &[1.0, 2.0]);
+    /// let v = [2.0, -1.0];
+    /// let hv = buf.inv_hessian_vec(&v);
+    /// let back = buf.hessian_vec(&hv); // B (B⁻¹ v) = v
+    /// assert!((back[0] - v[0]).abs() < 1e-10);
+    /// assert!((back[1] - v[1]).abs() < 1e-10);
+    /// ```
+    pub fn inv_hessian_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.dim, "LbfgsBuffer::inv_hessian_vec: dimension");
+        let k = self.s_list.len();
+        if k == 0 {
+            return v.to_vec();
+        }
+
+        let mut q = v.to_vec();
+        let mut alpha = vec![0.0; k];
+        let mut rho = vec![0.0; k];
+        for i in (0..k).rev() {
+            let s_i = &self.s_list[i];
+            let y_i = &self.y_list[i];
+            rho[i] = 1.0 / vector::dot(y_i, s_i); // ys > 0 enforced at push
+            alpha[i] = rho[i] * vector::dot(s_i, &q);
+            vector::axpy(-alpha[i], y_i, &mut q);
+        }
+
+        let s_last = &self.s_list[k - 1];
+        let y_last = &self.y_list[k - 1];
+        let gamma_inv = vector::norm2_sq(s_last) / vector::dot(y_last, s_last);
+        vector::scale(gamma_inv, &mut q);
+
+        for i in 0..k {
+            let s_i = &self.s_list[i];
+            let y_i = &self.y_list[i];
+            let beta = rho[i] * vector::dot(y_i, &q);
+            vector::axpy(alpha[i] - beta, s_i, &mut q);
+        }
+        q
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +318,52 @@ mod tests {
             }
             let bv = buf.hessian_vec(&v);
             assert!(vector::dot(&v, &bv) > 0.0, "B lost positive definiteness");
+        }
+    }
+
+    #[test]
+    fn inverse_empty_buffer_is_identity() {
+        let buf = LbfgsBuffer::new(4, 3);
+        let v = [1.0, -2.0, 0.5];
+        assert_eq!(buf.inv_hessian_vec(&v), v.to_vec());
+    }
+
+    #[test]
+    fn inverse_undoes_forward_product() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let dim = 6;
+        let mut buf = LbfgsBuffer::new(3, dim);
+        for _ in 0..5 {
+            let s: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let y: Vec<f64> = s.iter().map(|v| 1.5 * v + 0.02).collect();
+            buf.push(&s, &y);
+        }
+        for _ in 0..10 {
+            let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let round_trip = buf.hessian_vec(&buf.inv_hessian_vec(&v));
+            for (got, want) in round_trip.iter().zip(&v) {
+                assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_secant_condition_most_recent_pair() {
+        // The dual secant condition: H y_last = s_last exactly.
+        let a = Matrix::from_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]);
+        let mut buf = LbfgsBuffer::new(2, 2);
+        let mut last_s = vec![0.0; 2];
+        let mut last_y = vec![0.0; 2];
+        for s in [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]] {
+            let mut y = vec![0.0; 2];
+            a.matvec(&s, &mut y);
+            buf.push(&s, &y);
+            last_s = s.to_vec();
+            last_y = y;
+        }
+        let hy = buf.inv_hessian_vec(&last_y);
+        for (got, want) in hy.iter().zip(&last_s) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
         }
     }
 

@@ -3,7 +3,7 @@
 use chef_linalg::cg::{conjugate_gradient, CgConfig};
 use chef_linalg::power::{power_method, PowerConfig};
 use chef_linalg::vector;
-use chef_linalg::Matrix;
+use chef_linalg::{LbfgsBuffer, Matrix};
 use proptest::prelude::*;
 
 /// Random SPD matrix `MᵀM + n·I` built from a flat coefficient vector.
@@ -119,4 +119,79 @@ proptest! {
         a.matvec(&v, &mut av);
         prop_assert!(vector::dot(&v, &av) > 0.0);
     }
+
+    #[test]
+    fn lbfgs_two_loop_matches_dense_inverse_apply(
+        coeffs in prop::collection::vec(-1.0f64..1.0, 16),
+        steps in prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 4), 6),
+        probe in prop::collection::vec(-2.0f64..2.0, 4),
+        // DeltaGrad-L runs with m₀ = 2; cover the neighbouring sizes too.
+        cap_idx in 0usize..3,
+    ) {
+        let capacity = [1usize, 2, 4][cap_idx];
+        let dim = 4;
+        let a = spd_from(&coeffs, dim);
+        let mut buf = LbfgsBuffer::new(capacity, dim);
+        let mut stored = 0usize;
+        for s in &steps {
+            prop_assume!(vector::norm2(s) > 1e-3);
+            let mut y = vec![0.0; dim];
+            a.matvec(s, &mut y);
+            if buf.push(s, &y) {
+                stored += 1;
+            }
+        }
+        prop_assume!(stored > 0);
+
+        // Materialize the quasi-Hessian densely, column by column, and
+        // invert it with plain Gaussian elimination: the dense reference
+        // for the two-loop recursion.
+        let mut b_dense = Matrix::zeros(dim, dim);
+        for j in 0..dim {
+            let mut e = vec![0.0; dim];
+            e[j] = 1.0;
+            let col = buf.hessian_vec(&e);
+            for i in 0..dim {
+                b_dense[(i, j)] = col[i];
+            }
+        }
+        let dense = dense_solve(&b_dense, &probe);
+        let two_loop = buf.inv_hessian_vec(&probe);
+        for (got, want) in two_loop.iter().zip(&dense) {
+            prop_assert!(
+                (got - want).abs() <= 1e-8 * (1.0 + want.abs()),
+                "two-loop {got} vs dense {want} (m0={capacity})"
+            );
+        }
+    }
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting — the
+/// dense reference the L-BFGS property test compares against.
+fn dense_solve(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = a.rows();
+    let mut m: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let mut row = a.row(i).to_vec();
+            row.push(b[i]);
+            row
+        })
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))
+            .unwrap();
+        m.swap(col, pivot);
+        assert!(m[col][col].abs() > 1e-12, "singular dense reference");
+        for row in 0..n {
+            if row != col {
+                let f = m[row][col] / m[col][col];
+                let pivot_row = m[col][col..=n].to_vec();
+                for (dst, src) in m[row][col..=n].iter_mut().zip(&pivot_row) {
+                    *dst -= f * src;
+                }
+            }
+        }
+    }
+    (0..n).map(|i| m[i][n] / m[i][i]).collect()
 }

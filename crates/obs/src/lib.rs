@@ -25,10 +25,12 @@
 pub mod json;
 #[cfg(feature = "enabled")]
 pub mod metrics;
+pub mod parse;
 pub mod schema;
 mod telemetry;
 
 pub use json::JsonWriter;
+pub use parse::{expect_schema, parse_json, JsonValue, ParseError};
 pub use schema::{
     available_cores, AnnotationTelemetry, ConstructorTelemetry, RoundTelemetry, SelectorTelemetry,
     SCHEMA_VERSION,

@@ -11,6 +11,7 @@
 //! documented in DESIGN.md §10.
 
 use crate::json::JsonWriter;
+use crate::parse::{JsonValue, ParseError};
 
 /// Version tag carried by every exported telemetry document.
 pub const SCHEMA_VERSION: &str = "telemetry.v1";
@@ -97,6 +98,33 @@ pub struct RoundTelemetry {
     pub constructor: ConstructorTelemetry,
 }
 
+/// Pull a named `usize` field out of a telemetry object.
+fn req_usize(v: &JsonValue, section: &str, key: &str) -> Result<usize, ParseError> {
+    v.get(key)
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| ParseError::schema(format!("{section}: missing/non-integer \"{key}\"")))
+}
+
+/// Pull a named `f64` field out of a telemetry object (`null` → NaN,
+/// mirroring the writer's encoding of non-finite values).
+fn req_f64(v: &JsonValue, section: &str, key: &str) -> Result<f64, ParseError> {
+    match v.get(key) {
+        Some(JsonValue::Null) => Ok(f64::NAN),
+        Some(n) => n
+            .as_f64()
+            .ok_or_else(|| ParseError::schema(format!("{section}: non-numeric \"{key}\""))),
+        None => Err(ParseError::schema(format!("{section}: missing \"{key}\""))),
+    }
+}
+
+/// Pull a named string field out of a telemetry object.
+fn req_str(v: &JsonValue, section: &str, key: &str) -> Result<String, ParseError> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ParseError::schema(format!("{section}: missing/non-string \"{key}\"")))
+}
+
 impl SelectorTelemetry {
     /// Serialize as a JSON object in value position.
     pub fn write_json(&self, w: &mut JsonWriter) {
@@ -112,6 +140,21 @@ impl SelectorTelemetry {
         w.field_f64("select_ms", self.select_ms);
         w.end_object();
     }
+
+    /// Reconstruct from a parsed `telemetry.v1` selector object.
+    pub fn from_json(v: &JsonValue) -> Result<Self, ParseError> {
+        Ok(Self {
+            selector: req_str(v, "selector", "selector")?,
+            pool: req_usize(v, "selector", "pool")?,
+            pruned: req_usize(v, "selector", "pruned")?,
+            scored: req_usize(v, "selector", "scored")?,
+            grad_evals: req_usize(v, "selector", "grad_evals")?,
+            hvp_evals: req_usize(v, "selector", "hvp_evals")?,
+            bound_hit_rate: req_f64(v, "selector", "bound_hit_rate")?,
+            kernel_path: req_str(v, "selector", "kernel_path")?,
+            select_ms: req_f64(v, "selector", "select_ms")?,
+        })
+    }
 }
 
 impl AnnotationTelemetry {
@@ -125,6 +168,18 @@ impl AnnotationTelemetry {
         w.field_u64("cleaned", self.cleaned as u64);
         w.field_f64("annotate_ms", self.annotate_ms);
         w.end_object();
+    }
+
+    /// Reconstruct from a parsed `telemetry.v1` annotation object.
+    pub fn from_json(v: &JsonValue) -> Result<Self, ParseError> {
+        Ok(Self {
+            requested: req_usize(v, "annotation", "requested")?,
+            votes: req_usize(v, "annotation", "votes")?,
+            conflicts: req_usize(v, "annotation", "conflicts")?,
+            abstains: req_usize(v, "annotation", "abstains")?,
+            cleaned: req_usize(v, "annotation", "cleaned")?,
+            annotate_ms: req_f64(v, "annotation", "annotate_ms")?,
+        })
     }
 }
 
@@ -141,6 +196,19 @@ impl ConstructorTelemetry {
         w.field_f64("update_ms", self.update_ms);
         w.end_object();
     }
+
+    /// Reconstruct from a parsed `telemetry.v1` constructor object.
+    pub fn from_json(v: &JsonValue) -> Result<Self, ParseError> {
+        Ok(Self {
+            kind: req_str(v, "constructor", "kind")?,
+            exact_steps: req_usize(v, "constructor", "exact_steps")?,
+            replay_steps: req_usize(v, "constructor", "replay_steps")?,
+            correction_grads: req_usize(v, "constructor", "correction_grads")?,
+            lbfgs_history: req_usize(v, "constructor", "lbfgs_history")?,
+            epochs: req_usize(v, "constructor", "epochs")?,
+            update_ms: req_f64(v, "constructor", "update_ms")?,
+        })
+    }
 }
 
 impl RoundTelemetry {
@@ -155,6 +223,20 @@ impl RoundTelemetry {
         w.key("constructor");
         self.constructor.write_json(w);
         w.end_object();
+    }
+
+    /// Reconstruct from a parsed `telemetry.v1` round object.
+    pub fn from_json(v: &JsonValue) -> Result<Self, ParseError> {
+        let section = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| ParseError::schema(format!("round: missing \"{key}\" section")))
+        };
+        Ok(Self {
+            round: req_usize(v, "round", "round")?,
+            selector: SelectorTelemetry::from_json(section("selector")?)?,
+            annotation: AnnotationTelemetry::from_json(section("annotation")?)?,
+            constructor: ConstructorTelemetry::from_json(section("constructor")?)?,
+        })
     }
 }
 
@@ -202,5 +284,57 @@ mod tests {
         ] {
             assert!(json.contains(needle), "{needle} missing from {json}");
         }
+    }
+
+    #[test]
+    fn round_telemetry_round_trips_through_parser() {
+        let r = RoundTelemetry {
+            round: 7,
+            selector: SelectorTelemetry {
+                selector: "Infl".into(),
+                pool: 250,
+                pruned: 0,
+                scored: 250,
+                grad_evals: 750,
+                hvp_evals: 40,
+                bound_hit_rate: 0.0,
+                kernel_path: "per_sample".into(),
+                select_ms: 3.5,
+            },
+            annotation: AnnotationTelemetry {
+                requested: 20,
+                votes: 60,
+                conflicts: 4,
+                abstains: 2,
+                cleaned: 18,
+                annotate_ms: 0.25,
+            },
+            constructor: ConstructorTelemetry {
+                kind: "deltagrad-l".into(),
+                exact_steps: 12,
+                replay_steps: 88,
+                correction_grads: 30,
+                lbfgs_history: 2,
+                epochs: 10,
+                update_ms: 9.75,
+            },
+        };
+        let mut w = JsonWriter::new();
+        r.write_json(&mut w);
+        let json = w.finish();
+        let parsed = crate::parse::parse_json(&json).unwrap();
+        let restored = RoundTelemetry::from_json(&parsed).unwrap();
+        assert_eq!(restored, r);
+        // Re-serializing the restored value is byte-identical.
+        let mut w2 = JsonWriter::new();
+        restored.write_json(&mut w2);
+        assert_eq!(w2.finish(), json);
+    }
+
+    #[test]
+    fn from_json_reports_missing_fields() {
+        let v = crate::parse::parse_json(r#"{"round":1,"selector":{}}"#).unwrap();
+        let err = RoundTelemetry::from_json(&v).unwrap_err().to_string();
+        assert!(err.contains("selector"), "{err}");
     }
 }

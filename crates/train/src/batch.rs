@@ -59,6 +59,13 @@ impl BatchPlan {
         self.epochs
     }
 
+    /// The shuffle seed: with `(n, batch_size, epochs)` it reconstructs
+    /// the plan exactly, so checkpoints persist these four scalars
+    /// instead of the materialized batch schedule.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Minibatches per epoch (`⌈n / batch_size⌉`).
     pub fn batches_per_epoch(&self) -> usize {
         self.n.div_ceil(self.batch_size)

@@ -68,9 +68,7 @@ fn main() {
                 error_rate: 0.25,
                 seed: 13,
             },
-            target_val_f1: None,
-            warm_start: false,
-            telemetry: chef_core::Telemetry::disabled(),
+            ..PipelineConfig::default()
         };
         let mut selector = InflSelector::incremental();
         let report = Pipeline::new(config).run(

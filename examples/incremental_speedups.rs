@@ -45,9 +45,7 @@ fn main() {
             error_rate: 0.05,
             seed: 2,
         },
-        target_val_f1: None,
-        warm_start: false,
-        telemetry: chef_core::Telemetry::disabled(),
+        ..PipelineConfig::default()
     };
 
     // Naive: Full influence evaluation + retraining from scratch.

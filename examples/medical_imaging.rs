@@ -49,8 +49,7 @@ fn main() {
                 seed: 1,
             },
             target_val_f1: target,
-            warm_start: false,
-            telemetry: chef_core::Telemetry::disabled(),
+            ..PipelineConfig::default()
         };
         let mut selector = InflSelector::incremental();
         let report = Pipeline::new(config).run(

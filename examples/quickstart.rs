@@ -52,9 +52,7 @@ fn main() {
             error_rate: 0.25,
             seed: 99,
         },
-        target_val_f1: None,
-        warm_start: false,
-        telemetry: chef_core::Telemetry::disabled(),
+        ..PipelineConfig::default()
     };
 
     // 4. Run.

@@ -50,9 +50,7 @@ fn config() -> PipelineConfig {
             error_rate: 0.05,
             seed: 6,
         },
-        target_val_f1: None,
-        warm_start: false,
-        telemetry: chef_core::Telemetry::disabled(),
+        ..PipelineConfig::default()
     }
 }
 

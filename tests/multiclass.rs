@@ -64,9 +64,7 @@ fn config() -> PipelineConfig {
             error_rate: 0.05,
             seed: 9,
         },
-        target_val_f1: None,
-        warm_start: false,
-        telemetry: chef_core::Telemetry::disabled(),
+        ..PipelineConfig::default()
     }
 }
 

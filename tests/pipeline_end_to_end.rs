@@ -44,9 +44,7 @@ fn config(budget: usize, b: usize) -> PipelineConfig {
             error_rate: 0.05,
             seed: 3,
         },
-        target_val_f1: None,
-        warm_start: false,
-        telemetry: chef_core::Telemetry::disabled(),
+        ..PipelineConfig::default()
     }
 }
 

@@ -56,9 +56,7 @@ fn base_config() -> PipelineConfig {
             error_rate: 0.05,
             seed: 2,
         },
-        target_val_f1: None,
-        warm_start: false,
-        telemetry: chef_core::Telemetry::disabled(),
+        ..PipelineConfig::default()
     }
 }
 

@@ -70,9 +70,8 @@ fn config(telemetry: Telemetry) -> PipelineConfig {
             error_rate: 0.05,
             seed: 11,
         },
-        target_val_f1: None,
-        warm_start: false,
         telemetry,
+        ..PipelineConfig::default()
     }
 }
 
