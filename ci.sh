@@ -30,6 +30,12 @@ cargo test -q -p chef-core --no-default-features --features fault-inject --test 
 echo "==> infl_kernels bench (quick smoke: batched kernels run end-to-end)"
 cargo run -q --release -p chef-bench --bin infl_kernels -- --quick
 
+echo "==> train_kernels bench (quick smoke, default features)"
+cargo run -q --release -p chef-bench --bin train_kernels -- --quick
+
+echo "==> train_kernels bench (quick smoke, --no-default-features)"
+cargo run -q --release -p chef-bench --bin train_kernels --no-default-features -- --quick
+
 echo "==> cargo test --doc (default features)"
 cargo test -q --doc --workspace
 

@@ -36,7 +36,7 @@ use crate::selector::{Selection, SelectorCheckpoint};
 use chef_model::SoftLabel;
 use chef_obs::parse::{expect_schema, parse_json, JsonValue, ParseError};
 use chef_obs::{JsonWriter, RoundTelemetry};
-use chef_train::{BatchPlan, TrainTrace};
+use chef_train::{BatchPlan, TraceStore, TrainTrace};
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -398,12 +398,11 @@ impl Checkpoint {
         let mut bin = Vec::new();
         push_f64s(&mut bin, &self.w_raw);
         push_f64s(&mut bin, &self.w_eval);
-        for p in &self.trace.params {
-            push_f64s(&mut bin, p);
-        }
-        for g in &self.trace.grads {
-            push_f64s(&mut bin, g);
-        }
+        // The TraceStore arenas are already the on-disk layout — rows
+        // concatenated in order — so each streams out in one call,
+        // byte-identical to the per-row loop the format was defined by.
+        push_f64s(&mut bin, self.trace.params.as_slice());
+        push_f64s(&mut bin, self.trace.grads.as_slice());
         for c in &self.trace.epoch_checkpoints {
             push_f64s(&mut bin, c);
         }
@@ -622,14 +621,10 @@ impl Checkpoint {
         let mut r = BinReader::new(bin);
         let w_raw = r.take(m)?;
         let w_eval = r.take(m)?;
-        let mut params = Vec::with_capacity(iters);
-        for _ in 0..iters {
-            params.push(r.take(m)?);
-        }
-        let mut grads = Vec::with_capacity(iters);
-        for _ in 0..iters {
-            grads.push(r.take(m)?);
-        }
+        // `iters` rows of `m` f64s each, stored concatenated — exactly a
+        // flat TraceStore arena, so each matrix is one bulk read.
+        let params = TraceStore::from_flat(m, r.take(iters * m)?);
+        let grads = TraceStore::from_flat(m, r.take(iters * m)?);
         let mut epoch_checkpoints = Vec::with_capacity(n_ckpts);
         for _ in 0..n_ckpts {
             epoch_checkpoints.push(r.take(m)?);
@@ -873,8 +868,11 @@ mod tests {
             w_eval: vec![0.05, -0.15, 0.25],
             trace: TrainTrace {
                 plan: BatchPlan::new(12, 4, 2, 3),
-                params: (0..6).map(|t| vec![t as f64; m]).collect(),
-                grads: (0..6).map(|t| vec![-(t as f64); m]).collect(),
+                params: TraceStore::from_flat(m, (0..6).flat_map(|t| vec![t as f64; m]).collect()),
+                grads: TraceStore::from_flat(
+                    m,
+                    (0..6).flat_map(|t| vec![-(t as f64); m]).collect(),
+                ),
                 epoch_checkpoints: vec![vec![1.0; m], vec![2.0; m]],
                 lr: 0.1,
             },

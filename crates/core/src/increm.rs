@@ -31,8 +31,13 @@ use chef_linalg::kernels;
 use chef_model::{Dataset, Model};
 
 /// Minimum pool size before the `parallel` feature fans the provenance
-/// initialization / bound pass out to the thread pool. Length-only, so
-/// the chosen code path is machine-independent.
+/// initialization / bound pass out to the thread pool. The fan-out is
+/// additionally gated on `rayon::current_num_threads() > 1`: on a 1-core
+/// pool the rayon split/join overhead is pure loss (BENCH_selector.json
+/// showed the parallel bound pass *slower* than serial at n=50k–200k on
+/// 1 core). The gate is machine-dependent, but both sides of every gated
+/// sweep are bit-identical (independent rows / full-row dot products),
+/// so it can only change which code runs, never what it computes.
 #[cfg(feature = "parallel")]
 const PAR_GRAIN: usize = 128;
 
@@ -192,15 +197,15 @@ impl IncremInfl {
     /// Initialization step: pre-compute provenance for every training
     /// sample at the initial model `w⁽⁰⁾`.
     ///
-    /// With the `parallel` feature (default) the per-sample rows are
-    /// computed across the thread pool; every row is independent (no
-    /// floating-point reduction), so the provenance is bit-identical to
-    /// the serial computation.
+    /// With the `parallel` feature (default) and more than one worker
+    /// thread, the per-sample rows are computed across the thread pool;
+    /// every row is independent (no floating-point reduction), so the
+    /// provenance is bit-identical to the serial computation.
     pub fn initialize<M: Model + ?Sized>(model: &M, data: &Dataset, w0: &[f64]) -> Self {
         let m = model.num_params();
         let n = data.len();
         #[cfg(feature = "parallel")]
-        let rows: Vec<ProvenanceRow> = if n >= PAR_GRAIN {
+        let rows: Vec<ProvenanceRow> = if n >= PAR_GRAIN && rayon::current_num_threads() > 1 {
             use rayon::prelude::*;
             (0..n)
                 .into_par_iter()
@@ -455,7 +460,8 @@ impl IncremInfl {
             .flat_map(|&i| i * c_count..(i + 1) * c_count)
             .collect();
         #[cfg(feature = "parallel")]
-        let use_parallel_sweep = allow_parallel && pool.len() >= PAR_GRAIN;
+        let use_parallel_sweep =
+            allow_parallel && pool.len() >= PAR_GRAIN && rayon::current_num_threads() > 1;
         #[cfg(not(feature = "parallel"))]
         let use_parallel_sweep = {
             let _ = allow_parallel;

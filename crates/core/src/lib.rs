@@ -64,9 +64,9 @@ pub use constructor::{ConstructorKind, ConstructorOutcome, ModelConstructor};
 pub use fault::FaultPlan;
 pub use increm::{IncremInfl, IncremSnapshot, IncremStats};
 pub use influence::{
-    influence_vector, influence_vector_outcome, rank_infl, rank_infl_top_b, rank_infl_with_vector,
-    rank_infl_with_vector_per_sample, rank_infl_with_vector_serial, InflConfig, InflScore,
-    InflVectorOutcome,
+    influence_vector, influence_vector_outcome, influence_vector_outcome_from, rank_infl,
+    rank_infl_top_b, rank_infl_with_vector, rank_infl_with_vector_per_sample,
+    rank_infl_with_vector_serial, InflConfig, InflScore, InflVectorOutcome,
 };
 pub use lissa::{lissa_influence_vector, lissa_solve, LissaConfig};
 pub use metrics::{accuracy, confusion_matrix, evaluate_f1, f1_score, macro_f1, Evaluation};

@@ -478,9 +478,14 @@ impl Pipeline {
                 if ps.provenance_grads > 0 {
                     // Paid once at provenance initialization; not part of
                     // RoundTelemetry, so a resumed run cannot replay it
-                    // (the one documented counter divergence, DESIGN.md
-                    // §12).
+                    // (a documented counter divergence, DESIGN.md §12).
                     tel.add("increm.provenance_grads", ps.provenance_grads as u64);
+                }
+                if ps.cg_iters_saved > 0 {
+                    // Live-only, like provenance_grads: the warm-start
+                    // cache is not persisted, so a resumed run pays a
+                    // cold solve and cannot replay the savings.
+                    tel.add("cg.warm_start_iters_saved", ps.cg_iters_saved as u64);
                 }
             }
 
@@ -534,6 +539,7 @@ impl Pipeline {
                 )
             };
             let update_time = update.elapsed;
+            let train_kernel = model.scoring_kernel().name().to_string();
             let constructor_tel = match (cfg.constructor, &update.stats) {
                 (ConstructorKind::DeltaGradL(dg), Some(stats)) => ConstructorTelemetry {
                     kind: "deltagrad-l".to_string(),
@@ -542,12 +548,14 @@ impl Pipeline {
                     correction_grads: stats.correction_grads,
                     lbfgs_history: dg.m0,
                     epochs: cfg.sgd.epochs,
+                    kernel_path: train_kernel,
                     update_ms: update_time.as_secs_f64() * 1e3,
                 },
                 _ => ConstructorTelemetry {
                     kind: "retrain".to_string(),
                     exact_steps: update.trace.plan.total_iterations(),
                     epochs: cfg.sgd.epochs,
+                    kernel_path: train_kernel,
                     update_ms: update_time.as_secs_f64() * 1e3,
                     ..ConstructorTelemetry::default()
                 },
@@ -741,8 +749,9 @@ struct LoopState {
 /// counters. The single source of truth for both the live loop and the
 /// resume replay — keeping them on one code path is what makes counter
 /// totals match between an uninterrupted run and a crash-plus-resume run
-/// (`increm.provenance_grads` is the sole, documented exception: it is
-/// not part of [`RoundTelemetry`], so resume cannot replay it).
+/// (`increm.provenance_grads` and `cg.warm_start_iters_saved` are the
+/// documented exceptions: neither is part of [`RoundTelemetry`], so
+/// resume cannot replay them).
 fn record_round_counters(tel: &Telemetry, rt: &RoundTelemetry) {
     tel.add("selector.scored", rt.selector.scored as u64);
     tel.add("selector.pruned", rt.selector.pruned as u64);
@@ -751,6 +760,11 @@ fn record_round_counters(tel: &Telemetry, rt: &RoundTelemetry) {
     match rt.selector.kernel_path.as_str() {
         "gemm" => tel.add("selector.kernel_gemm", 1),
         "per_sample" => tel.add("selector.kernel_per_sample", 1),
+        _ => {}
+    }
+    match rt.constructor.kernel_path.as_str() {
+        "gemm" => tel.add("train.kernel_gemm", 1),
+        "per_sample" => tel.add("train.kernel_per_sample", 1),
         _ => {}
     }
     tel.add("annotation.votes", rt.annotation.votes as u64);

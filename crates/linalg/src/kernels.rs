@@ -206,6 +206,81 @@ pub fn affine_nt(x: &[f64], wb: &[f64], d: usize, out: &mut [f64]) {
     }
 }
 
+/// Dot product with four independent accumulators.
+///
+/// [`vector::dot`] is a single sequential floating-point reduction, so
+/// the CPU cannot overlap its multiply-adds — each one waits on the
+/// previous sum. Splitting the reduction into four independent partial
+/// sums (combined as `(s0 + s1) + (s2 + s3)` at the end) breaks that
+/// dependency chain and lets the FMA pipeline fill.
+///
+/// The summation *association* is fixed by the code (lane `i % 4`,
+/// remainder appended to `s0`'s tree), so results are deterministic and
+/// machine-independent — but they are **not** bit-identical to
+/// [`vector::dot`]. Use it only inside kernels whose contract is
+/// "agrees to ≤1e-10 with the per-sample path", never where two code
+/// paths must pin exact equality against `vector::dot`-built results.
+#[inline]
+pub fn dot_unrolled(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dot_unrolled: length mismatch");
+    let mut s0 = 0.0;
+    let mut s1 = 0.0;
+    let mut s2 = 0.0;
+    let mut s3 = 0.0;
+    let xc = x.chunks_exact(4);
+    let yc = y.chunks_exact(4);
+    let (xr, yr) = (xc.remainder(), yc.remainder());
+    for (xs, ys) in xc.zip(yc) {
+        s0 += xs[0] * ys[0];
+        s1 += xs[1] * ys[1];
+        s2 += xs[2] * ys[2];
+        s3 += xs[3] * ys[3];
+    }
+    for (a, b) in xr.iter().zip(yr) {
+        s0 += a * b;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// [`affine_nt`] with the inner dot replaced by [`dot_unrolled`]: same
+/// shapes, same blocking (none — callers block one level up), different
+/// (but fixed, deterministic) summation association. This is the
+/// forward-panel kernel for throughput-critical batched paths such as
+/// the logistic-regression `grad_block`, where the logits panel is the
+/// dominant cost and the ≤1e-10 agreement contract applies.
+///
+/// # Panics
+/// Panics on shape mismatches (`d = 0` is rejected).
+pub fn affine_nt_unrolled(x: &[f64], wb: &[f64], d: usize, out: &mut [f64]) {
+    assert!(d > 0, "affine_nt_unrolled: d must be positive");
+    assert_eq!(
+        x.len() % d,
+        0,
+        "affine_nt_unrolled: x length not a multiple of d"
+    );
+    let cols = d + 1;
+    assert_eq!(
+        wb.len() % cols,
+        0,
+        "affine_nt_unrolled: wb length not a multiple of d+1"
+    );
+    let rows = x.len() / d;
+    let c_rows = wb.len() / cols;
+    assert_eq!(
+        out.len(),
+        rows * c_rows,
+        "affine_nt_unrolled: out shape mismatch"
+    );
+    for i in 0..rows {
+        let xrow = &x[i * d..(i + 1) * d];
+        let orow = &mut out[i * c_rows..(i + 1) * c_rows];
+        for (c, o) in orow.iter_mut().enumerate() {
+            let wrow = &wb[c * cols..(c + 1) * cols];
+            *o = dot_unrolled(xrow, &wrow[..d]) + wrow[d];
+        }
+    }
+}
+
 /// Gathered block matvec: `out[r] = dot(a[rows[r]*k ..][..k], x)` — one
 /// dot product per *selected* row of the row-major matrix `a`, without
 /// copying the gathered rows. This is the Increm-Infl bound pass's
@@ -391,6 +466,48 @@ mod tests {
         matmul_nt_serial(&xt, &wb, d + 1, &mut reference);
         for (a, b) in out.iter().zip(&reference) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dot_unrolled_matches_dot_to_fp_tolerance() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        for len in [0, 1, 3, 4, 5, 8, 17, 64, 257] {
+            let x = rand_vec(len, &mut rng);
+            let y = rand_vec(len, &mut rng);
+            let plain = crate::vector::dot(&x, &y);
+            let fast = dot_unrolled(&x, &y);
+            assert!(
+                (plain - fast).abs() <= 1e-12 * plain.abs().max(1.0),
+                "len {len}: {plain} vs {fast}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_unrolled_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let x = rand_vec(103, &mut rng);
+        let y = rand_vec(103, &mut rng);
+        assert_eq!(
+            dot_unrolled(&x, &y).to_bits(),
+            dot_unrolled(&x, &y).to_bits()
+        );
+    }
+
+    #[test]
+    fn affine_unrolled_matches_affine_to_fp_tolerance() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for (rows, c, d) in [(1, 2, 1), (33, 3, 5), (70, 4, 32), (9, 2, 65)] {
+            let x = rand_vec(rows * d, &mut rng);
+            let wb = rand_vec(c * (d + 1), &mut rng);
+            let mut plain = vec![0.0; rows * c];
+            let mut fast = vec![0.0; rows * c];
+            affine_nt(&x, &wb, d, &mut plain);
+            affine_nt_unrolled(&x, &wb, d, &mut fast);
+            for (a, b) in plain.iter().zip(&fast) {
+                assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+            }
         }
     }
 

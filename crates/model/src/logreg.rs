@@ -30,6 +30,10 @@ use chef_linalg::{kernels, vector, Matrix, Workspace};
 /// cache while the accumulator row stays hot.
 const HVP_BLOCK: usize = 256;
 
+/// Samples per block in the batched [`Model::grad_block`] override —
+/// same cache story as [`HVP_BLOCK`], with only the `P` panel live.
+const GRAD_BLOCK: usize = 256;
+
 /// Softmax regression over `dim` raw features and `num_classes` classes.
 #[derive(Debug, Clone)]
 pub struct LogisticRegression {
@@ -180,6 +184,41 @@ impl LogisticRegression {
         }
         kernels::affine_nt(xs, v, d, ub);
     }
+
+    /// Fill `pb` (`bsz×C` softmax probabilities) from a pre-gathered
+    /// feature block `xs` — the single panel [`Model::grad_block`]
+    /// consumes. Unlike [`Self::block_panels`] the logits run through
+    /// the ILP-unrolled affine kernel ([`kernels::affine_nt_unrolled`]):
+    /// the forward panel dominates the minibatch-gradient cost, and
+    /// grad_block's contract is ≤1e-10 agreement with the per-sample
+    /// path, not bit equality.
+    fn proba_panel(&self, w: &[f64], xs: &[f64], pb: &mut [f64]) {
+        let c = self.num_classes;
+        kernels::affine_nt_unrolled(xs, w, self.dim, pb);
+        for r in 0..pb.len() / c {
+            vector::softmax_in_place(&mut pb[r * c..(r + 1) * c]);
+        }
+    }
+}
+
+/// Borrow a block's feature rows: the dataset's contiguous storage for
+/// consecutive blocks (the common case — minibatches from `BatchPlan`
+/// are ascending ranges), a gather into `xb` otherwise.
+fn block_features<'a>(
+    data: &'a Dataset,
+    block: &[usize],
+    d: usize,
+    xb: &'a mut [f64],
+) -> &'a [f64] {
+    let consecutive = block.windows(2).all(|pair| pair[1] == pair[0] + 1);
+    if consecutive && !block.is_empty() {
+        data.feature_rows(block[0], block[0] + block.len())
+    } else {
+        for (r, &i) in block.iter().enumerate() {
+            xb[r * d..(r + 1) * d].copy_from_slice(data.feature(i));
+        }
+        xb
+    }
 }
 
 impl Model for LogisticRegression {
@@ -302,6 +341,75 @@ impl Model for LogisticRegression {
         ws.put(ub);
         ws.put(pb);
         ws.put(xb);
+        KernelPath::Gemm
+    }
+
+    /// Blocked closed-form minibatch gradient: every per-sample gradient
+    /// is rank-1 (`(p − y) ⊗ x̃`), so a block needs exactly one `B×C`
+    /// probability panel — the batched forward pass — after which the
+    /// weighted sum `Σ_r γ_r (p_r − y_r) ⊗ x̃_r` is the `Xᵀ·P̃`
+    /// accumulation with `P̃[r][k] = γ_r (p_r[k] − y_r[k])`, straight
+    /// into `out`. No per-sample gradient vector is ever materialized,
+    /// and the accumulation consumes two samples per pass so every
+    /// `out`-row element is loaded and stored once per *pair* (two FMAs
+    /// per round trip) instead of once per sample.
+    #[allow(clippy::too_many_arguments)]
+    fn grad_block(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        batch: &[usize],
+        gamma: f64,
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) -> KernelPath {
+        let (d, c, cols) = (self.dim, self.num_classes, self.cols());
+        debug_assert_eq!(out.len(), self.num_params());
+        out.fill(0.0);
+        for chunk in batch.chunks(GRAD_BLOCK) {
+            let bsz = chunk.len();
+            let mut xb = ws.take_uninit(bsz * d);
+            let mut pb = ws.take_uninit(bsz * c);
+            let xs = block_features(data, chunk, d, &mut xb);
+            self.proba_panel(w, xs, &mut pb[..bsz * c]);
+            // Overwrite the probability panel with the weighted
+            // coefficient panel P̃.
+            for (r, &i) in chunk.iter().enumerate() {
+                let weight = data.weight(i, gamma);
+                let y = data.label(i);
+                let p = &mut pb[r * c..(r + 1) * c];
+                for (k, pk) in p.iter_mut().enumerate() {
+                    *pk = weight * (*pk - y.prob(k));
+                }
+            }
+            // out += X̃ᵀ·P̃, two samples per pass.
+            let mut r = 0;
+            while r + 1 < bsz {
+                let x0 = &xs[r * d..(r + 1) * d];
+                let x1 = &xs[(r + 1) * d..(r + 2) * d];
+                for k in 0..c {
+                    let s0 = pb[r * c + k];
+                    let s1 = pb[(r + 1) * c + k];
+                    let row = &mut out[k * cols..(k + 1) * cols];
+                    for ((ri, &x0j), &x1j) in row[..d].iter_mut().zip(x0).zip(x1) {
+                        *ri += s0 * x0j + s1 * x1j;
+                    }
+                    row[d] += s0 + s1;
+                }
+                r += 2;
+            }
+            if r < bsz {
+                let x0 = &xs[r * d..(r + 1) * d];
+                for k in 0..c {
+                    let s0 = pb[r * c + k];
+                    let row = &mut out[k * cols..(k + 1) * cols];
+                    vector::axpy(s0, x0, &mut row[..d]);
+                    row[d] += s0;
+                }
+            }
+            ws.put(pb);
+            ws.put(xb);
+        }
         KernelPath::Gemm
     }
 

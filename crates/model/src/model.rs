@@ -163,6 +163,36 @@ pub trait Model: Send + Sync {
         KernelPath::PerSample
     }
 
+    /// Batched weighted gradient over an index set: overwrites `out`
+    /// with `Σ_{i∈batch} γ_{z_i} ∇_w F(w, z_i)` — the raw weighted sum,
+    /// with no `1/|batch|` normalization and no L2 term (both belong to
+    /// [`crate::WeightedObjective`], which is the caller). This is the
+    /// minibatch-SGD / DeltaGrad-replay twin of [`Model::hvp_block`]:
+    /// the default loops per-sample [`Model::grad_ws`] and returns
+    /// [`KernelPath::PerSample`]; structured models override it with a
+    /// blocked closed form (logistic regression: one `B×C` probability
+    /// panel, then `C` axpys per sample — the `Xᵀ·P̃` accumulation) and
+    /// return [`KernelPath::Gemm`]. Overrides must agree with this
+    /// default to ~1e-10.
+    fn grad_block(
+        &self,
+        w: &[f64],
+        data: &Dataset,
+        batch: &[usize],
+        gamma: f64,
+        out: &mut [f64],
+        ws: &mut Workspace,
+    ) -> KernelPath {
+        out.fill(0.0);
+        let mut g = ws.take(self.num_params());
+        for &i in batch {
+            self.grad_ws(w, data.feature(i), data.label(i), &mut g, ws);
+            vector::axpy(data.weight(i, gamma), &g, out);
+        }
+        ws.put(g);
+        KernelPath::PerSample
+    }
+
     /// Batched weighted Hessian-vector product over an index set:
     /// overwrites `out` with `Σ_{i∈batch} γ_{z_i} H(w, z_i) v` — the raw
     /// weighted sum, with no `1/|batch|` normalization and no L2 term

@@ -23,41 +23,74 @@ use chef_linalg::{vector, LinearOperator, Workspace};
 /// path computes a result is reproducible everywhere.
 pub const PAR_GRAIN: usize = 512;
 
-/// Parallel weighted accumulation `out = Σ_j weight(j) · term_j`, where
-/// `term(j, scratch, ws)` writes the `j`-th length-`m` vector into
-/// `scratch`, drawing any internal buffers from the thread-local
-/// [`Workspace`].
-///
-/// Each worker chunk folds into a thread-local accumulator (one scratch +
-/// one partial-sum allocation + one workspace per chunk, not per term)
-/// and the per-chunk partial sums are combined **in chunk order**, so the
-/// floating-point reduction order is deterministic for a given input
-/// length regardless of the thread count.
+/// Samples per task when a gradient accumulation splits into
+/// [`crate::Model::grad_block`] calls. Always compiled: the serial and
+/// parallel gradient paths share this *identical* chunk partitioning
+/// (and combine the per-chunk partial sums in chunk order), so their
+/// floating-point reductions associate the same way and the two paths
+/// are **bit-identical** at every batch size — not merely ~1e-10 close.
+/// Half of [`PAR_GRAIN`] so a batch right at the parallel threshold
+/// still yields more than one task.
+const GRAD_CHUNK: usize = PAR_GRAIN / 2;
+
+/// Shared body of the gradient accumulations: overwrite `out` with the
+/// raw weighted sum `Σ γ_z ∇F(w, z)` over `batch` (no normalization, no
+/// L2), chunked by [`GRAD_CHUNK`] once the batch reaches [`PAR_GRAIN`].
+/// Below the grain a single [`crate::Model::grad_block`] call runs; the
+/// dispatching entry points fan the *same* chunks out over the thread
+/// pool and combine them in the same order.
+fn grad_weighted_sum_serial<M: Model + ?Sized>(
+    model: &M,
+    data: &Dataset,
+    batch: &[usize],
+    gamma: f64,
+    w: &[f64],
+    out: &mut [f64],
+) {
+    let mut ws = Workspace::new();
+    if batch.len() >= PAR_GRAIN {
+        out.fill(0.0);
+        let mut part = vec![0.0; model.num_params()];
+        for chunk in batch.chunks(GRAD_CHUNK) {
+            model.grad_block(w, data, chunk, gamma, &mut part, &mut ws);
+            vector::axpy(1.0, &part, out);
+        }
+    } else {
+        model.grad_block(w, data, batch, gamma, out, &mut ws);
+    }
+}
+
+/// Parallel twin of [`grad_weighted_sum_serial`]: the same
+/// [`GRAD_CHUNK`] partitioning fanned out with one task per chunk,
+/// partial sums combined in chunk order — bit-identical to the serial
+/// path by construction. Callers gate on batch size *and* pool size;
+/// the gate cannot change results, only which code computes them.
 #[cfg(feature = "parallel")]
-fn par_weighted_sum<T, W>(m: usize, len: usize, term: T, weight: W, out: &mut [f64])
-where
-    T: Fn(usize, &mut [f64], &mut Workspace) + Sync,
-    W: Fn(usize) -> f64 + Sync,
-{
+fn grad_weighted_sum_parallel<M: Model + ?Sized>(
+    model: &M,
+    data: &Dataset,
+    batch: &[usize],
+    gamma: f64,
+    w: &[f64],
+    out: &mut [f64],
+) {
     use rayon::prelude::*;
-    let (sum, _scratch, _ws) = (0..len)
+    let m = model.num_params();
+    let nchunks = batch.len().div_ceil(GRAD_CHUNK);
+    let parts: Vec<Vec<f64>> = (0..nchunks)
         .into_par_iter()
-        .fold(
-            || (vec![0.0; m], vec![0.0; m], Workspace::new()),
-            |(mut sum, mut scratch, mut ws), j| {
-                term(j, &mut scratch, &mut ws);
-                vector::axpy(weight(j), &scratch, &mut sum);
-                (sum, scratch, ws)
-            },
-        )
-        .reduce(
-            || (vec![0.0; m], Vec::new(), Workspace::new()),
-            |(mut a, s, ws), (b, _, _)| {
-                vector::axpy(1.0, &b, &mut a);
-                (a, s, ws)
-            },
-        );
-    out.copy_from_slice(&sum);
+        .map_init(Workspace::new, |ws, ci| {
+            let lo = ci * GRAD_CHUNK;
+            let hi = (lo + GRAD_CHUNK).min(batch.len());
+            let mut part = vec![0.0; m];
+            model.grad_block(w, data, &batch[lo..hi], gamma, &mut part, ws);
+            part
+        })
+        .collect();
+    out.fill(0.0);
+    for part in &parts {
+        vector::axpy(1.0, part, out);
+    }
 }
 
 /// Samples per task when the parallel Hessian path splits a batch into
@@ -119,10 +152,16 @@ impl WeightedObjective {
     /// Minibatch gradient
     /// `∇F(w, B) = (1/|B|) Σ_{z∈B} γ_z ∇F(w, z) + λw` into `out`.
     ///
-    /// With the `parallel` feature (default) batches of at least
-    /// [`PAR_GRAIN`] samples are accumulated across the thread pool with
-    /// a deterministic chunk-ordered reduction; smaller batches (and
-    /// `--no-default-features` builds) use [`Self::batch_grad_serial`].
+    /// Runs the model's batched [`Model::grad_block`] kernel
+    /// (closed-form GEMM panels for logistic regression, a per-sample
+    /// fallback otherwise). With the `parallel` feature (default) and a
+    /// thread pool larger than one worker, batches of at least
+    /// [`PAR_GRAIN`] samples fan `GRAD_CHUNK`-sized tasks out across
+    /// the pool; the serial and parallel paths share the same chunk
+    /// partitioning and combination order, so dispatch is bit-identical
+    /// to [`Self::batch_grad_serial`] at every size (which is what makes
+    /// the pool-size gate safe: it can only change *which code* computes
+    /// the result).
     pub fn batch_grad<M: Model + ?Sized>(
         &self,
         model: &M,
@@ -132,14 +171,8 @@ impl WeightedObjective {
         out: &mut [f64],
     ) {
         #[cfg(feature = "parallel")]
-        if batch.len() >= PAR_GRAIN {
-            par_weighted_sum(
-                model.num_params(),
-                batch.len(),
-                |j, g, ws| model.grad_ws(w, data.feature(batch[j]), data.label(batch[j]), g, ws),
-                |j| data.weight(batch[j], self.gamma),
-                out,
-            );
+        if batch.len() >= PAR_GRAIN && rayon::current_num_threads() > 1 {
+            grad_weighted_sum_parallel(model, data, batch, self.gamma, w, out);
             vector::scale(1.0 / batch.len() as f64, out);
             vector::axpy(self.l2, w, out);
             return;
@@ -148,7 +181,8 @@ impl WeightedObjective {
     }
 
     /// Single-threaded [`Self::batch_grad`]. Always compiled; the public
-    /// entry point falls back to it below the parallel grain size.
+    /// entry point falls back to it below the parallel grain size (and
+    /// on single-worker pools, where fan-out overhead buys nothing).
     pub fn batch_grad_serial<M: Model + ?Sized>(
         &self,
         model: &M,
@@ -157,14 +191,8 @@ impl WeightedObjective {
         w: &[f64],
         out: &mut [f64],
     ) {
-        out.fill(0.0);
+        grad_weighted_sum_serial(model, data, batch, self.gamma, w, out);
         if !batch.is_empty() {
-            let mut ws = Workspace::new();
-            let mut g = vec![0.0; model.num_params()];
-            for &i in batch {
-                model.grad_ws(w, data.feature(i), data.label(i), &mut g, &mut ws);
-                vector::axpy(data.weight(i, self.gamma), &g, out);
-            }
             vector::scale(1.0 / batch.len() as f64, out);
         }
         vector::axpy(self.l2, w, out);
@@ -283,7 +311,12 @@ impl WeightedObjective {
 
     /// Gradient of [`Self::val_loss`]: `∇_w F(w, Z_val)` into `out`.
     ///
-    /// Parallelized above [`PAR_GRAIN`] samples like [`Self::batch_grad`].
+    /// Runs [`Model::grad_block`] with an explicit `γ = 1` (validation
+    /// samples are never down-weighted, so the objective's own `γ` and
+    /// `λ` are irrelevant here — any two objectives produce bitwise
+    /// equal validation gradients). Parallelized above [`PAR_GRAIN`]
+    /// samples like [`Self::batch_grad`], with the same bit-identical
+    /// serial/parallel guarantee.
     pub fn val_grad<M: Model + ?Sized>(
         &self,
         model: &M,
@@ -292,14 +325,10 @@ impl WeightedObjective {
         out: &mut [f64],
     ) {
         #[cfg(feature = "parallel")]
-        if val.len() >= PAR_GRAIN {
-            par_weighted_sum(
-                model.num_params(),
-                val.len(),
-                |i, g, ws| model.grad_ws(w, val.feature(i), val.label(i), g, ws),
-                |_| 1.0,
-                out,
-            );
+        if val.len() >= PAR_GRAIN && rayon::current_num_threads() > 1 {
+            assert!(!val.is_empty(), "val_grad: empty validation set");
+            let batch: Vec<usize> = (0..val.len()).collect();
+            grad_weighted_sum_parallel(model, val, &batch, 1.0, w, out);
             vector::scale(1.0 / val.len() as f64, out);
             return;
         }
@@ -307,7 +336,8 @@ impl WeightedObjective {
     }
 
     /// Single-threaded [`Self::val_grad`]. Always compiled; the public
-    /// entry point falls back to it below the parallel grain size.
+    /// entry point falls back to it below the parallel grain size (and
+    /// on single-worker pools).
     pub fn val_grad_serial<M: Model + ?Sized>(
         &self,
         model: &M,
@@ -316,13 +346,8 @@ impl WeightedObjective {
         out: &mut [f64],
     ) {
         assert!(!val.is_empty(), "val_grad: empty validation set");
-        out.fill(0.0);
-        let mut ws = Workspace::new();
-        let mut g = vec![0.0; model.num_params()];
-        for i in 0..val.len() {
-            model.grad_ws(w, val.feature(i), val.label(i), &mut g, &mut ws);
-            vector::axpy(1.0, &g, out);
-        }
+        let batch: Vec<usize> = (0..val.len()).collect();
+        grad_weighted_sum_serial(model, val, &batch, 1.0, w, out);
         vector::scale(1.0 / val.len() as f64, out);
     }
 
@@ -589,6 +614,30 @@ mod tests {
         obj.val_grad(&model, &data, &w, &mut pa);
         obj.val_grad_serial(&model, &data, &w, &mut se);
         close(&pa, &se, "val_grad");
+    }
+
+    /// Unlike the HVP reduction, the gradient paths share one chunk
+    /// partitioning between serial and parallel dispatch, so equality is
+    /// exact — at, below, and above the parallel grain.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn batch_grad_dispatch_is_bit_identical_to_serial() {
+        let model = LogisticRegression::new(3, 2);
+        let obj = WeightedObjective::new(0.6, 0.02);
+        let m = model.num_params();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let w: Vec<f64> = (0..m).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        for n in [PAR_GRAIN - 1, PAR_GRAIN, PAR_GRAIN * 2 + 17] {
+            let data = toy_data(n, 3, n as u64);
+            let batch: Vec<usize> = (0..n).collect();
+            let (mut pa, mut se) = (vec![0.0; m], vec![0.0; m]);
+            obj.batch_grad(&model, &data, &batch, &w, &mut pa);
+            obj.batch_grad_serial(&model, &data, &batch, &w, &mut se);
+            assert_eq!(pa, se, "batch_grad at n={n}");
+            obj.val_grad(&model, &data, &w, &mut pa);
+            obj.val_grad_serial(&model, &data, &w, &mut se);
+            assert_eq!(pa, se, "val_grad at n={n}");
+        }
     }
 
     #[test]

@@ -81,6 +81,15 @@ pub struct ConstructorTelemetry {
     pub lbfgs_history: usize,
     /// SGD epoch budget of this construction.
     pub epochs: usize,
+    /// Which minibatch-gradient kernel the construction ran on
+    /// (`"gemm"` for the batched closed form, `"per_sample"` for the
+    /// generic fallback, empty when the constructor doesn't report one).
+    ///
+    /// Additive `telemetry.v1` field: omitted from the serialized object
+    /// when empty so documents (and `checkpoint.v1` files, which embed
+    /// round telemetry) written before the field existed still
+    /// round-trip byte-identically.
+    pub kernel_path: String,
     /// Wall-clock of the constructor phase in milliseconds.
     pub update_ms: f64,
 }
@@ -193,6 +202,9 @@ impl ConstructorTelemetry {
         w.field_u64("correction_grads", self.correction_grads as u64);
         w.field_u64("lbfgs_history", self.lbfgs_history as u64);
         w.field_u64("epochs", self.epochs as u64);
+        if !self.kernel_path.is_empty() {
+            w.field_str("kernel_path", &self.kernel_path);
+        }
         w.field_f64("update_ms", self.update_ms);
         w.end_object();
     }
@@ -206,6 +218,14 @@ impl ConstructorTelemetry {
             correction_grads: req_usize(v, "constructor", "correction_grads")?,
             lbfgs_history: req_usize(v, "constructor", "lbfgs_history")?,
             epochs: req_usize(v, "constructor", "epochs")?,
+            // Optional (additive): absent in pre-PR-5 documents.
+            kernel_path: match v.get("kernel_path") {
+                Some(k) => k
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ParseError::schema("constructor: non-string \"kernel_path\""))?,
+                None => String::new(),
+            },
             update_ms: req_f64(v, "constructor", "update_ms")?,
         })
     }
@@ -316,6 +336,7 @@ mod tests {
                 correction_grads: 30,
                 lbfgs_history: 2,
                 epochs: 10,
+                kernel_path: "gemm".into(),
                 update_ms: 9.75,
             },
         };
@@ -329,6 +350,34 @@ mod tests {
         let mut w2 = JsonWriter::new();
         restored.write_json(&mut w2);
         assert_eq!(w2.finish(), json);
+    }
+
+    #[test]
+    fn constructor_kernel_path_is_additive_and_optional() {
+        // A pre-PR-5 constructor object (no kernel_path) still parses,
+        // defaults to empty, and re-serializes byte-identically — the
+        // guarantee that keeps old telemetry.v1 documents and the
+        // checkpoint.v1 golden file valid.
+        let old = r#"{"kind":"retrain","exact_steps":5,"replay_steps":0,"correction_grads":0,"lbfgs_history":0,"epochs":3,"update_ms":1.5}"#;
+        let parsed = crate::parse::parse_json(old).unwrap();
+        let ct = ConstructorTelemetry::from_json(&parsed).unwrap();
+        assert_eq!(ct.kernel_path, "");
+        let mut w = JsonWriter::new();
+        ct.write_json(&mut w);
+        assert_eq!(w.finish(), old);
+
+        // A populated field survives its own round trip.
+        let with = ConstructorTelemetry {
+            kernel_path: "gemm".into(),
+            ..ct
+        };
+        let mut w = JsonWriter::new();
+        with.write_json(&mut w);
+        let json = w.finish();
+        assert!(json.contains("\"kernel_path\":\"gemm\""));
+        let reparsed =
+            ConstructorTelemetry::from_json(&crate::parse::parse_json(&json).unwrap()).unwrap();
+        assert_eq!(reparsed, with);
     }
 
     #[test]

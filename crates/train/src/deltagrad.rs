@@ -20,6 +20,7 @@
 //! DeltaGrad-L needs) between an `old` and `new` dataset of equal size.
 
 use crate::sgd::{TrainOutcome, TrainTrace};
+use crate::trace::TraceStore;
 use chef_linalg::{vector, LbfgsBuffer};
 use chef_model::{Dataset, Model, WeightedObjective};
 
@@ -117,12 +118,12 @@ pub fn deltagrad_update<M: Model + ?Sized>(
     }
 
     let per_epoch = trace.plan.batches_per_epoch();
-    let mut w = trace.params[0].clone();
+    let mut w = trace.params.row(0).to_vec();
     let mut lbfgs = LbfgsBuffer::new(cfg.m0.max(1), m);
     let mut stats = DeltaGradStats::default();
 
-    let mut new_params = Vec::with_capacity(trace.params.len());
-    let mut new_grads = Vec::with_capacity(trace.grads.len());
+    let mut new_params = TraceStore::with_capacity(m, trace.params.len());
+    let mut new_grads = TraceStore::with_capacity(m, trace.grads.len());
     let mut checkpoints = Vec::new();
 
     let mut g_base = vec![0.0; m];
@@ -132,15 +133,15 @@ pub fn deltagrad_update<M: Model + ?Sized>(
         if cfg.is_explicit(t) {
             // Exact gradient on the OLD dataset at the new parameters.
             objective.batch_grad(model, old_data, &batch, &w, &mut g_base);
-            let s = vector::sub(&w, &trace.params[t]);
-            let y = vector::sub(&g_base, &trace.grads[t]);
+            let s = vector::sub(&w, trace.params.row(t));
+            let y = vector::sub(&g_base, trace.grads.row(t));
             lbfgs.push(&s, &y);
             stats.explicit_iters += 1;
         } else {
             // Eq. 5: ∇F(wᴵ, B_t) ≈ B(wᴵ − w_t) + ∇F(w_t, B_t).
-            let s = vector::sub(&w, &trace.params[t]);
+            let s = vector::sub(&w, trace.params.row(t));
             let bv = lbfgs.hessian_vec(&s);
-            g_base.copy_from_slice(&trace.grads[t]);
+            g_base.copy_from_slice(trace.grads.row(t));
             vector::axpy(1.0, &bv, &mut g_base);
             stats.approx_iters += 1;
         }
@@ -162,8 +163,8 @@ pub fn deltagrad_update<M: Model + ?Sized>(
             stats.correction_grads += 2;
         }
 
-        new_params.push(w.clone());
-        new_grads.push(g_base.clone());
+        new_params.push(&w);
+        new_grads.push(&g_base);
         vector::axpy(-trace.lr, &g_base, &mut w);
         if (t + 1) % per_epoch == 0 {
             checkpoints.push(w.clone());

@@ -19,7 +19,9 @@
 pub mod batch;
 pub mod deltagrad;
 pub mod sgd;
+pub mod trace;
 
 pub use batch::BatchPlan;
 pub use deltagrad::{deltagrad_update, DeltaGradConfig, DeltaGradOutcome, DeltaGradStats};
 pub use sgd::{select_early_stop, train, train_traced, SgdConfig, TrainOutcome, TrainTrace};
+pub use trace::TraceStore;

@@ -10,6 +10,7 @@
 //! `∇F(w_t, B_t)` that DeltaGrad replays against.
 
 use crate::batch::BatchPlan;
+use crate::trace::TraceStore;
 use chef_linalg::vector;
 use chef_model::{Dataset, Model, WeightedObjective};
 
@@ -41,14 +42,20 @@ impl Default for SgdConfig {
 }
 
 /// Per-iteration provenance plus per-epoch checkpoints.
+///
+/// The per-iteration matrices live in flat [`TraceStore`] arenas (one
+/// allocation each, rows at `t·m`); the handful of per-epoch checkpoints
+/// stay as plain vectors since they are cloned out individually by early
+/// stopping and warm starts.
 #[derive(Debug, Clone)]
 pub struct TrainTrace {
     /// The minibatch plan (replayable; stores no index lists).
     pub plan: BatchPlan,
-    /// `w_t` for `t = 0..T` (parameters *entering* iteration `t`).
-    pub params: Vec<Vec<f64>>,
-    /// `∇F(w_t, B_t)` for `t = 0..T`.
-    pub grads: Vec<Vec<f64>>,
+    /// `w_t` for `t = 0..T` (parameters *entering* iteration `t`),
+    /// row `t` of the arena.
+    pub params: TraceStore,
+    /// `∇F(w_t, B_t)` for `t = 0..T`, row `t` of the arena.
+    pub grads: TraceStore,
     /// Parameters at the end of each epoch (for early stopping).
     pub epoch_checkpoints: Vec<Vec<f64>>,
     /// Learning rate used (the replay must match it).
@@ -106,12 +113,15 @@ pub fn train_traced<M: Model + ?Sized>(
 
     let mut w = w0.to_vec();
     let mut g = vec![0.0; model.num_params()];
-    let mut params = Vec::new();
-    let mut grads = Vec::new();
+    let mut params = TraceStore::new(model.num_params());
+    let mut grads = TraceStore::new(model.num_params());
     let mut checkpoints = Vec::new();
     if cfg.cache_provenance {
-        params.reserve(total);
-        grads.reserve(total);
+        // Reserve the whole arena once: T rows of m parameters each, no
+        // growth reallocations (and no per-iteration Vec clones) during
+        // the training loop.
+        params.reserve_rows(total);
+        grads.reserve_rows(total);
     }
 
     for (t, batch) in plan.iter() {
@@ -119,8 +129,8 @@ pub fn train_traced<M: Model + ?Sized>(
             let _batch_timer = telemetry.timer("train.batch_ms");
             objective.batch_grad(model, data, &batch, &w, &mut g);
             if cfg.cache_provenance {
-                params.push(w.clone());
-                grads.push(g.clone());
+                params.push(&w);
+                grads.push(&g);
             }
             vector::axpy(-cfg.lr, &g, &mut w);
         }
@@ -251,7 +261,8 @@ mod tests {
         assert_eq!(trace.grads.len(), 15);
         assert_eq!(trace.epoch_checkpoints.len(), 3);
         // First cached parameters are w0; last checkpoint is the final w.
-        assert_eq!(trace.params[0], model.init_params());
+        assert_eq!(trace.params.row(0), model.init_params().as_slice());
+        assert_eq!(trace.params.row_len(), model.num_params());
         assert_eq!(trace.epoch_checkpoints[2], out.w);
     }
 
@@ -271,8 +282,8 @@ mod tests {
         let trace = out.trace.unwrap();
         let mut g = vec![0.0; model.num_params()];
         for (t, batch) in trace.plan.iter() {
-            obj.batch_grad(&model, &data, &batch, &trace.params[t], &mut g);
-            assert_eq!(g, trace.grads[t], "iteration {t}");
+            obj.batch_grad(&model, &data, &batch, trace.params.row(t), &mut g);
+            assert_eq!(g.as_slice(), trace.grads.row(t), "iteration {t}");
         }
     }
 

@@ -17,7 +17,7 @@
 
 use chef_core::{Checkpoint, CheckpointError, LabelPatch, RoundReport, Selection};
 use chef_obs::{expect_schema, parse_json, JsonWriter, RoundTelemetry, SelectorTelemetry};
-use chef_train::{BatchPlan, TrainTrace};
+use chef_train::{BatchPlan, TraceStore, TrainTrace};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -105,8 +105,14 @@ fn golden_checkpoint() -> Checkpoint {
         w_eval: vec![0.05, -0.15, 0.25],
         trace: TrainTrace {
             plan: BatchPlan::new(12, 4, 2, 3),
-            params: (0..6).map(|t| vec![t as f64 * 0.5; m]).collect(),
-            grads: (0..6).map(|t| vec![-(t as f64) * 0.25; m]).collect(),
+            params: TraceStore::from_flat(
+                m,
+                (0..6).flat_map(|t| vec![t as f64 * 0.5; m]).collect(),
+            ),
+            grads: TraceStore::from_flat(
+                m,
+                (0..6).flat_map(|t| vec![-(t as f64) * 0.25; m]).collect(),
+            ),
             epoch_checkpoints: vec![vec![1.0; m], vec![2.0; m]],
             lr: 0.1,
         },
@@ -236,6 +242,29 @@ fn checkpoint_golden_file_reserializes_byte_identical() {
     assert_eq!(decoded.to_bytes(), golden);
     // …and match today's serializer output for the same logical content.
     assert_eq!(golden_checkpoint().to_bytes(), golden);
+}
+
+/// The committed golden checkpoint was written before `TrainTrace` moved
+/// its provenance into flat `TraceStore` arenas. Because `checkpoint.v1`
+/// always stored the rows concatenated, a pre-TraceStore file must load
+/// into the arena with every row bit-identical — the arena is an
+/// in-memory layout change only, invisible on disk.
+#[test]
+fn pre_tracestore_golden_checkpoint_loads_with_exact_rows() {
+    let golden = std::fs::read(golden_dir().join("checkpoint_v1_golden.bin"))
+        .expect("golden file missing — run CHEF_REGEN_GOLDEN=1 cargo test --test schema_roundtrip");
+    let decoded = Checkpoint::from_bytes(&golden).expect("golden checkpoint decodes");
+    let m = decoded.w_raw.len();
+    assert_eq!(decoded.trace.params.row_len(), m);
+    assert_eq!(decoded.trace.params.len(), 6);
+    assert_eq!(decoded.trace.grads.len(), 6);
+    for t in 0..6 {
+        assert_eq!(decoded.trace.params.row(t), vec![t as f64 * 0.5; m]);
+        assert_eq!(decoded.trace.grads.row(t), vec![-(t as f64) * 0.25; m]);
+    }
+    assert_eq!(decoded.trace.epoch_checkpoints.len(), 2);
+    // And the arena re-serializes to the very bytes it was read from.
+    assert_eq!(decoded.to_bytes(), golden);
 }
 
 #[test]
