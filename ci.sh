@@ -16,6 +16,12 @@ cargo clippy -p chef-linalg -p chef-model -p chef-core -p chef-bench -p chef-obs
 echo "==> cargo test (default features: parallel)"
 cargo test -q --workspace
 
+echo "==> cargo test (default features, 4 rayon workers)"
+# The shim's pool size is env-pinned; re-running the suite at 4 workers
+# exercises the chunked parallel paths the 1-worker run dispatches away
+# from (serial/parallel equivalence tests then compare real threads).
+RAYON_NUM_THREADS=4 cargo test -q --workspace
+
 echo "==> cargo test (serial: --no-default-features)"
 # --no-default-features applies to the packages that own the `parallel`
 # and `telemetry` features; the rest of the workspace is unaffected.
@@ -29,6 +35,9 @@ cargo test -q -p chef-core --no-default-features --features fault-inject --test 
 
 echo "==> infl_kernels bench (quick smoke: batched kernels run end-to-end)"
 cargo run -q --release -p chef-bench --bin infl_kernels -- --quick
+
+echo "==> par_speedup bench (quick smoke: thread sweep re-execs at 1/2/4 workers)"
+cargo run -q --release -p chef-bench --bin par_speedup -- --quick --threads 1,2,4
 
 echo "==> train_kernels bench (quick smoke, default features)"
 cargo run -q --release -p chef-bench --bin train_kernels -- --quick

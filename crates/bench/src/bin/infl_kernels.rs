@@ -12,18 +12,21 @@
 //! * `batched` — the dispatching public API (threaded when the
 //!   `parallel` feature is on).
 //!
-//! Results go to `BENCH_infl_kernels.json` at the workspace root as a
-//! telemetry.v1 document (see DESIGN.md §10/§11). On 1-core hardware
-//! `batched` ≈ `batched_serial`; the headline `batched_speedup` column
+//! Each rayon pool size runs in a re-exec'd child (see
+//! `chef_bench::sweep`); the parent assembles `BENCH_infl_kernels.json`
+//! at the workspace root as a telemetry.v1 document (see DESIGN.md
+//! §10/§11) whose top-level `results` is the one-thread run and whose
+//! `thread_sweep` carries the full trajectory. At one thread `batched`
+//! ≈ `batched_serial`; the headline `batched_speedup` column
 //! (per-sample / batched) comes from arithmetic restructuring — two
 //! block GEMMs plus O(C) per sample instead of `C + 1` dense gradient
-//! materializations — not from threads.
+//! materializations — threads then multiply it.
 //!
 //! Usage: `cargo run --release -p chef-bench --bin infl_kernels`
-//! (`--reps R` for best-of-R timing, `--quick` for a tiny CI-sized run
-//! with no JSON output).
+//! (`--reps R` for best-of-R timing, `--threads 1,2,4` to pick the
+//! sweep, `--quick` for a tiny CI-sized run with no JSON output).
 
-use chef_bench::prepare;
+use chef_bench::{prepare, sweep};
 use chef_core::influence::{
     influence_vector, rank_infl_with_vector, rank_infl_with_vector_per_sample,
     rank_infl_with_vector_serial, InflConfig,
@@ -155,36 +158,8 @@ fn run_case(n: usize, reps: usize) -> Case {
     }
 }
 
-fn workspace_root() -> PathBuf {
-    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    p.pop();
-    p.pop();
-    p
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    // At least one rep, or every timing stays +inf and the JSON is garbage.
-    let reps: usize = if quick {
-        1
-    } else {
-        chef_bench::arg_value(&args, "--reps", 3).max(1)
-    };
-    let sizes: &[usize] = if quick {
-        &[2_000]
-    } else {
-        &[10_000, 50_000, 200_000]
-    };
-    let cores = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
-    let threads = rayon::current_num_threads();
-    let parallel_feature = cfg!(feature = "parallel");
-    println!(
-        "infl_kernels: cores={cores} rayon_threads={threads} parallel_feature={parallel_feature} quick={quick}"
-    );
-
+/// Measure all sizes at the current pool size, printing paper-style rows.
+fn measure(sizes: &[usize], reps: usize) -> Vec<Case> {
     let mut cases = Vec::new();
     for &n in sizes {
         let c = run_case(n, reps);
@@ -202,31 +177,14 @@ fn main() {
         );
         cases.push(c);
     }
-    if quick {
-        println!("quick mode: skipping BENCH_infl_kernels.json");
-        return;
-    }
+    cases
+}
 
-    // telemetry.v1 envelope: common header (schema/kind/context), then the
-    // kind-specific `results` payload. See DESIGN.md §10.
+/// The per-thread-count `results` payload (one array element per n).
+fn results_fragment(cases: &[Case]) -> String {
     let mut w = JsonWriter::new();
-    w.begin_object();
-    w.field_str("schema", chef_obs::SCHEMA_VERSION);
-    w.field_str("kind", "infl_kernels");
-    w.key("context");
-    w.begin_object();
-    w.field_u64("available_cores", cores as u64);
-    w.field_u64("rayon_threads", threads as u64);
-    w.field_bool("parallel_feature", parallel_feature);
-    w.field_bool("telemetry_feature", cfg!(feature = "telemetry"));
-    w.field_u64("reps", reps as u64);
-    w.field_u64("dim", 32);
-    w.field_u64("num_classes", 2);
-    w.field_str("unit", "ms (best of reps)");
-    w.end_object();
-    w.key("results");
     w.begin_array();
-    for c in &cases {
+    for c in cases {
         w.begin_object();
         w.field_u64("n", c.n as u64);
         w.key("score");
@@ -249,6 +207,71 @@ fn main() {
         w.end_object();
     }
     w.end_array();
+    w.finish()
+}
+
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // At least one rep, or every timing stays +inf and the JSON is garbage.
+    let reps: usize = if quick {
+        1
+    } else {
+        chef_bench::arg_value(&args, "--reps", 3).max(1)
+    };
+    let sizes: &[usize] = if quick {
+        &[2_000]
+    } else {
+        &[10_000, 50_000, 200_000]
+    };
+    let cores = sweep::available_cores();
+    let threads = rayon::current_num_threads();
+    let parallel_feature = cfg!(feature = "parallel");
+    println!(
+        "infl_kernels: cores={cores} rayon_threads={threads} parallel_feature={parallel_feature} quick={quick}"
+    );
+
+    if sweep::is_child(&args) {
+        let cases = measure(sizes, reps);
+        sweep::emit_child_result(&results_fragment(&cases));
+        return;
+    }
+
+    let entries = sweep::run(&args);
+    if quick {
+        println!("quick mode: skipping BENCH_infl_kernels.json");
+        return;
+    }
+
+    // telemetry.v1 envelope: common header (schema/kind/context), then the
+    // kind-specific `results` payload — the one-thread run, for readers
+    // that predate `thread_sweep`. See DESIGN.md §10.
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", chef_obs::SCHEMA_VERSION);
+    w.field_str("kind", "infl_kernels");
+    w.key("context");
+    w.begin_object();
+    w.field_u64("available_cores", cores as u64);
+    w.field_u64("rayon_threads", sweep::baseline(&entries).threads as u64);
+    w.field_bool("parallel_feature", parallel_feature);
+    w.field_bool("telemetry_feature", cfg!(feature = "telemetry"));
+    w.field_u64("reps", reps as u64);
+    w.field_u64("dim", 32);
+    w.field_u64("num_classes", 2);
+    w.field_str("unit", "ms (best of reps)");
+    sweep::write_context_fields(&mut w, &entries);
+    w.end_object();
+    w.key("results");
+    w.raw(&sweep::baseline(&entries).fragment);
+    sweep::write_thread_sweep(&mut w, &entries, "results", |f| f.to_string());
     w.end_object();
     let path = workspace_root().join("BENCH_infl_kernels.json");
     std::fs::write(&path, w.finish() + "\n").expect("write BENCH_infl_kernels.json");

@@ -1,13 +1,18 @@
-//! Serial-vs-parallel wall time for the selector hot path.
+//! Serial-vs-parallel wall time for the selector hot path, swept over
+//! rayon pool sizes.
 //!
 //! Times one Infl ranking pass (`rank_infl_with_vector`) and one
 //! Increm-Infl bound pass (`IncremInfl::candidates`) at n ∈ {10k, 50k,
 //! 200k} candidates, comparing the always-compiled `*_serial` entry
 //! points against the dispatching (parallel when the `parallel` feature
-//! is on) public API. Results go to `BENCH_selector.json` at the
-//! workspace root as a telemetry.v1 document (see DESIGN.md §10) whose
-//! `context` records the hardware — a speedup below the core count is
-//! only meaningful relative to `available_cores` and `rayon_threads`.
+//! is on) public API. Because the rayon shim pins its pool size once per
+//! process, each thread count runs in a re-exec'd child (see
+//! `chef_bench::sweep`); the parent assembles `BENCH_selector.json` at
+//! the workspace root as a telemetry.v1 document (see DESIGN.md §10)
+//! whose top-level `results` is the one-thread run and whose
+//! `thread_sweep` carries the full trajectory. A speedup below the core
+//! count is only meaningful relative to `context.available_cores` and
+//! the per-entry thread count.
 //!
 //! The timed kernels carry no instrumentation at all (counters are
 //! derived at phase level, see DESIGN.md §10), so the measured numbers
@@ -16,9 +21,10 @@
 //! checkable.
 //!
 //! Usage: `cargo run --release -p chef-bench --bin par_speedup`
-//! (set `RAYON_NUM_THREADS` to pin the pool size).
+//! (`--reps R` for best-of-R timing, `--threads 1,2,4` to pick the
+//! sweep, `--quick` for a tiny CI-sized run with no JSON output).
 
-use chef_bench::prepare;
+use chef_bench::{prepare, sweep};
 use chef_core::increm::IncremInfl;
 use chef_core::influence::{
     influence_vector, rank_infl_with_vector, rank_infl_with_vector_serial, InflConfig,
@@ -49,15 +55,11 @@ fn spec_for(n: usize) -> DatasetSpec {
     }
 }
 
-/// Best-of-`reps` wall time in milliseconds.
-fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t = Instant::now();
-        black_box(f());
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
-    }
-    best
+/// One wall-time measurement in milliseconds.
+fn once_ms<R>(mut f: impl FnMut() -> R) -> f64 {
+    let t = Instant::now();
+    black_box(f());
+    t.elapsed().as_secs_f64() * 1e3
 }
 
 struct Case {
@@ -88,18 +90,36 @@ fn run_case(n: usize, reps: usize) -> Case {
     let pool = data.uncleaned_indices();
     assert_eq!(pool.len(), n, "entire training set should be uncleaned");
 
-    let rank_serial_ms = time_ms(reps, || {
-        rank_infl_with_vector_serial(&model, data, &w_k, &v, &pool, obj.gamma)
-    });
-    let rank_parallel_ms = time_ms(reps, || {
-        rank_infl_with_vector(&model, data, &w_k, &v, &pool, obj.gamma)
-    });
-    let bounds_serial_ms = time_ms(reps, || {
-        increm.candidates_serial(&model, data, &w_k, &v, &pool, 10, obj.gamma)
-    });
-    let bounds_parallel_ms = time_ms(reps, || {
-        increm.candidates(&model, data, &w_k, &v, &pool, 10, obj.gamma)
-    });
+    // Interleave the variants inside each repetition (rather than timing
+    // all reps of one variant back to back) so scheduler noise and
+    // frequency excursions hit serial and parallel equally; rep 0 is an
+    // untimed warmup, best-of-reps then picks each variant's cleanest
+    // window. Timing serial-then-parallel per rep also keeps a 1-worker
+    // pool honest: the gate dispatches both to the same code, so the
+    // ratio should sit at ~1.0, not inherit a drift-shaped bias.
+    let mut rank_serial_ms = f64::INFINITY;
+    let mut rank_parallel_ms = f64::INFINITY;
+    let mut bounds_serial_ms = f64::INFINITY;
+    let mut bounds_parallel_ms = f64::INFINITY;
+    for rep in 0..=reps {
+        let warmup = rep == 0;
+        let t = once_ms(|| rank_infl_with_vector_serial(&model, data, &w_k, &v, &pool, obj.gamma));
+        if !warmup {
+            rank_serial_ms = rank_serial_ms.min(t);
+        }
+        let t = once_ms(|| rank_infl_with_vector(&model, data, &w_k, &v, &pool, obj.gamma));
+        if !warmup {
+            rank_parallel_ms = rank_parallel_ms.min(t);
+        }
+        let t = once_ms(|| increm.candidates_serial(&model, data, &w_k, &v, &pool, 10, obj.gamma));
+        if !warmup {
+            bounds_serial_ms = bounds_serial_ms.min(t);
+        }
+        let t = once_ms(|| increm.candidates(&model, data, &w_k, &v, &pool, 10, obj.gamma));
+        if !warmup {
+            bounds_parallel_ms = bounds_parallel_ms.min(t);
+        }
+    }
     Case {
         n,
         rank_serial_ms,
@@ -109,28 +129,10 @@ fn run_case(n: usize, reps: usize) -> Case {
     }
 }
 
-fn workspace_root() -> PathBuf {
-    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    p.pop();
-    p.pop();
-    p
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    // At least one rep, or every timing stays +inf and the JSON is garbage.
-    let reps: usize = chef_bench::arg_value(&args, "--reps", 3).max(1);
-    let cores = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
-    let threads = rayon::current_num_threads();
-    let parallel_feature = cfg!(feature = "parallel");
-    println!(
-        "par_speedup: cores={cores} rayon_threads={threads} parallel_feature={parallel_feature}"
-    );
-
+/// Measure all sizes at the current pool size, printing paper-style rows.
+fn measure(sizes: &[usize], reps: usize) -> Vec<Case> {
     let mut cases = Vec::new();
-    for n in [10_000usize, 50_000, 200_000] {
+    for &n in sizes {
         let c = run_case(n, reps);
         println!(
             "n={:>7}  rank: serial {:.2} ms / parallel {:.2} ms ({:.2}x)   bounds: serial {:.2} ms / parallel {:.2} ms ({:.2}x)",
@@ -144,25 +146,14 @@ fn main() {
         );
         cases.push(c);
     }
+    cases
+}
 
-    // telemetry.v1 envelope: common header (schema/kind/context), then the
-    // kind-specific `results` payload. See DESIGN.md §10.
+/// The per-thread-count `results` payload (one array element per n).
+fn results_fragment(cases: &[Case]) -> String {
     let mut w = JsonWriter::new();
-    w.begin_object();
-    w.field_str("schema", chef_obs::SCHEMA_VERSION);
-    w.field_str("kind", "par_speedup");
-    w.key("context");
-    w.begin_object();
-    w.field_u64("available_cores", cores as u64);
-    w.field_u64("rayon_threads", threads as u64);
-    w.field_bool("parallel_feature", parallel_feature);
-    w.field_bool("telemetry_feature", cfg!(feature = "telemetry"));
-    w.field_u64("reps", reps as u64);
-    w.field_str("unit", "ms (best of reps)");
-    w.end_object();
-    w.key("results");
     w.begin_array();
-    for c in &cases {
+    for c in cases {
         w.begin_object();
         w.field_u64("n", c.n as u64);
         for (section, serial, parallel) in [
@@ -179,6 +170,69 @@ fn main() {
         w.end_object();
     }
     w.end_array();
+    w.finish()
+}
+
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // At least one rep, or every timing stays +inf and the JSON is garbage.
+    let reps: usize = if quick {
+        1
+    } else {
+        chef_bench::arg_value(&args, "--reps", 3).max(1)
+    };
+    let sizes: &[usize] = if quick {
+        &[2_000]
+    } else {
+        &[10_000, 50_000, 200_000]
+    };
+    let cores = sweep::available_cores();
+    let threads = rayon::current_num_threads();
+    let parallel_feature = cfg!(feature = "parallel");
+    println!(
+        "par_speedup: cores={cores} rayon_threads={threads} parallel_feature={parallel_feature} quick={quick}"
+    );
+
+    if sweep::is_child(&args) {
+        let cases = measure(sizes, reps);
+        sweep::emit_child_result(&results_fragment(&cases));
+        return;
+    }
+
+    let entries = sweep::run(&args);
+    if quick {
+        println!("quick mode: skipping BENCH_selector.json");
+        return;
+    }
+
+    // telemetry.v1 envelope: common header (schema/kind/context), then the
+    // kind-specific `results` payload — the one-thread run, for readers
+    // that predate `thread_sweep`. See DESIGN.md §10.
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", chef_obs::SCHEMA_VERSION);
+    w.field_str("kind", "par_speedup");
+    w.key("context");
+    w.begin_object();
+    w.field_u64("available_cores", cores as u64);
+    w.field_u64("rayon_threads", sweep::baseline(&entries).threads as u64);
+    w.field_bool("parallel_feature", parallel_feature);
+    w.field_bool("telemetry_feature", cfg!(feature = "telemetry"));
+    w.field_u64("reps", reps as u64);
+    w.field_str("unit", "ms (best of reps)");
+    sweep::write_context_fields(&mut w, &entries);
+    w.end_object();
+    w.key("results");
+    w.raw(&sweep::baseline(&entries).fragment);
+    sweep::write_thread_sweep(&mut w, &entries, "results", |f| f.to_string());
     w.end_object();
     let path = workspace_root().join("BENCH_selector.json");
     std::fs::write(&path, w.finish() + "\n").expect("write BENCH_selector.json");

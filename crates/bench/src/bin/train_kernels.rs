@@ -2,15 +2,19 @@
 //! the provenance arena footprint and the warm-started iHVP solve.
 //!
 //! Three sections, emitted to `BENCH_train.json` at the workspace root
-//! as a telemetry.v1 document (see DESIGN.md §10/§13):
+//! as a telemetry.v1 document (see DESIGN.md §10/§13). Each rayon pool
+//! size runs in a re-exec'd child (see `chef_bench::sweep`); the
+//! top-level sections are the one-thread run and `thread_sweep` carries
+//! the thread-sensitive `grad` section per pool size (`trace_store` and
+//! `cg` report layout and iteration counts, which threads don't change):
 //!
 //! * `grad` — one full epoch of minibatch gradients at
 //!   n ∈ {10k, 50k, 200k}, comparing the pre-batching reference (one
 //!   `grad_ws` call plus axpy per sample), the `grad_block` closed form
 //!   on one thread (`batch_grad_serial`), and the dispatching public
-//!   `batch_grad`. On 1-core hardware `batched` ≈ `batched_serial`; the
-//!   headline speedup comes from the B×C probability panel and the
-//!   rank-1 `Xᵀ·P̃` accumulation, not from threads.
+//!   `batch_grad`. At one thread `batched` ≈ `batched_serial`; the
+//!   baseline speedup comes from the B×C probability panel and the
+//!   rank-1 `Xᵀ·P̃` accumulation, and threads multiply it.
 //! * `trace_store` — rows/row length/payload bytes of the flat
 //!   provenance arena a `cache_provenance` run records, with the
 //!   per-iteration `Vec<Vec<f64>>` clone layout it replaced as the
@@ -22,10 +26,10 @@
 //!   within the CG tolerance of each other.
 //!
 //! Usage: `cargo run --release -p chef-bench --bin train_kernels`
-//! (`--reps R` for best-of-R timing, `--quick` for a tiny CI-sized run
-//! with no JSON output).
+//! (`--reps R` for best-of-R timing, `--threads 1,2,4` to pick the
+//! sweep, `--quick` for a tiny CI-sized run with no JSON output).
 
-use chef_bench::prepare;
+use chef_bench::{prepare, sweep};
 use chef_core::influence::{influence_vector_outcome_from, InflConfig};
 use chef_data::{DatasetKind, DatasetSpec};
 use chef_linalg::{vector, Workspace};
@@ -267,30 +271,9 @@ fn workspace_root() -> PathBuf {
     p
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    // At least one rep, or every timing stays +inf and the JSON is garbage.
-    let reps: usize = if quick {
-        1
-    } else {
-        chef_bench::arg_value(&args, "--reps", 5).max(1)
-    };
-    let sizes: &[usize] = if quick {
-        &[2_000]
-    } else {
-        &[10_000, 50_000, 200_000]
-    };
-    let (cg_n, cg_rounds) = if quick { (2_000, 3) } else { (50_000, 6) };
-    let cores = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
-    let threads = rayon::current_num_threads();
-    let parallel_feature = cfg!(feature = "parallel");
-    println!(
-        "train_kernels: cores={cores} rayon_threads={threads} parallel_feature={parallel_feature} quick={quick}"
-    );
-
+/// Measure every section at the current pool size and return them as the
+/// child's JSON fragment: `{"grad":[...],"trace_store":{...},"cg":{...}}`.
+fn measure_fragment(sizes: &[usize], reps: usize, cg_n: usize, cg_rounds: usize) -> String {
     let mut grad_cases = Vec::new();
     for &n in sizes {
         let c = run_grad_case(n, reps);
@@ -333,29 +316,8 @@ fn main() {
         "warm start must save iterations over a multi-round run"
     );
 
-    if quick {
-        println!("quick mode: skipping BENCH_train.json");
-        return;
-    }
-
-    // telemetry.v1 envelope: common header (schema/kind/context), then the
-    // kind-specific `results` payload. See DESIGN.md §10.
     let mut w = JsonWriter::new();
     w.begin_object();
-    w.field_str("schema", chef_obs::SCHEMA_VERSION);
-    w.field_str("kind", "train_kernels");
-    w.key("context");
-    w.begin_object();
-    w.field_u64("available_cores", cores as u64);
-    w.field_u64("rayon_threads", threads as u64);
-    w.field_bool("parallel_feature", parallel_feature);
-    w.field_bool("telemetry_feature", cfg!(feature = "telemetry"));
-    w.field_u64("reps", reps as u64);
-    w.field_u64("dim", 32);
-    w.field_u64("num_classes", 2);
-    w.field_u64("batch_size", 1024);
-    w.field_str("unit", "ms (best of reps, one full epoch of minibatches)");
-    w.end_object();
     w.key("grad");
     w.begin_array();
     for c in &grad_cases {
@@ -397,6 +359,78 @@ fn main() {
     w.field_u64("iters_saved", (cold_total - warm_total) as u64);
     w.field_f64("max_solution_gap", cg_gap);
     w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+/// Pull one named section back out of a child fragment.
+fn section(fragment: &str, key: &str) -> String {
+    chef_obs::parse_json(fragment)
+        .expect("sweep child emitted valid JSON")
+        .get(key)
+        .unwrap_or_else(|| panic!("sweep child fragment lacks {key:?}"))
+        .to_json()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // At least one rep, or every timing stays +inf and the JSON is garbage.
+    let reps: usize = if quick {
+        1
+    } else {
+        chef_bench::arg_value(&args, "--reps", 5).max(1)
+    };
+    let sizes: &[usize] = if quick {
+        &[2_000]
+    } else {
+        &[10_000, 50_000, 200_000]
+    };
+    let (cg_n, cg_rounds) = if quick { (2_000, 3) } else { (50_000, 6) };
+    let cores = sweep::available_cores();
+    let threads = rayon::current_num_threads();
+    let parallel_feature = cfg!(feature = "parallel");
+    println!(
+        "train_kernels: cores={cores} rayon_threads={threads} parallel_feature={parallel_feature} quick={quick}"
+    );
+
+    if sweep::is_child(&args) {
+        sweep::emit_child_result(&measure_fragment(sizes, reps, cg_n, cg_rounds));
+        return;
+    }
+
+    let entries = sweep::run(&args);
+    if quick {
+        println!("quick mode: skipping BENCH_train.json");
+        return;
+    }
+
+    // telemetry.v1 envelope: common header (schema/kind/context), then the
+    // kind-specific payload — the one-thread run's sections at top level
+    // for readers that predate `thread_sweep`. See DESIGN.md §10.
+    let base = &sweep::baseline(&entries).fragment;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", chef_obs::SCHEMA_VERSION);
+    w.field_str("kind", "train_kernels");
+    w.key("context");
+    w.begin_object();
+    w.field_u64("available_cores", cores as u64);
+    w.field_u64("rayon_threads", sweep::baseline(&entries).threads as u64);
+    w.field_bool("parallel_feature", parallel_feature);
+    w.field_bool("telemetry_feature", cfg!(feature = "telemetry"));
+    w.field_u64("reps", reps as u64);
+    w.field_u64("dim", 32);
+    w.field_u64("num_classes", 2);
+    w.field_u64("batch_size", 1024);
+    w.field_str("unit", "ms (best of reps, one full epoch of minibatches)");
+    sweep::write_context_fields(&mut w, &entries);
+    w.end_object();
+    for key in ["grad", "trace_store", "cg"] {
+        w.key(key);
+        w.raw(&section(base, key));
+    }
+    sweep::write_thread_sweep(&mut w, &entries, "grad", |f| section(f, "grad"));
     w.end_object();
     let path = workspace_root().join("BENCH_train.json");
     std::fs::write(&path, w.finish() + "\n").expect("write BENCH_train.json");

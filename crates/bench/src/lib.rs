@@ -24,6 +24,7 @@ pub mod grid;
 pub mod methods;
 pub mod prep;
 pub mod report;
+pub mod sweep;
 
 pub use grid::{cell_config, run_cell, run_grid, Cell, CellResult};
 pub use methods::{make_selector, Method};

@@ -1,0 +1,340 @@
+//! Subprocess thread-scaling sweep shared by the kernel bench binaries.
+//!
+//! The rayon shim sizes its pool from `RAYON_NUM_THREADS` exactly once
+//! (on first use, through a `OnceLock`), so one process cannot time the
+//! same kernel at several pool sizes. The sweep re-execs the current
+//! binary once per thread count instead:
+//!
+//! * the parent parses `--threads a,b,c` (default [`DEFAULT_THREADS`],
+//!   capped to the machine's core count with the dropped counts recorded
+//!   as skipped; an explicit `--threads` list is honored verbatim and
+//!   merely flagged `oversubscribed` past the core count),
+//! * each child runs with `RAYON_NUM_THREADS=<t>` plus the sentinel
+//!   [`CHILD_FLAG`], measures, and prints its kind-specific results
+//!   payload on a single [`RESULT_MARKER`] line via
+//!   [`emit_child_result`],
+//! * the parent forwards every other child line (prefixed `[t=N]`),
+//!   collects the fragments, and embeds them verbatim in the BENCH
+//!   document with [`chef_obs::JsonWriter::raw`].
+//!
+//! The BENCH document keeps its pre-sweep shape for the one-thread run
+//! (the [`baseline`] fragment fills the legacy top-level payload) and
+//! adds a `thread_sweep` array with one entry per requested count — see
+//! DESIGN.md §10.
+
+use chef_obs::JsonWriter;
+use std::process::{Command, Stdio};
+
+/// Sentinel argument marking a re-exec'd measurement child.
+pub const CHILD_FLAG: &str = "--_sweep-child";
+
+/// Prefix of the one stdout line carrying a child's JSON fragment.
+pub const RESULT_MARKER: &str = "@@SWEEP_RESULT ";
+
+/// Thread counts swept when `--threads` is not given (capped to the
+/// machine's core count; the skipped tail is recorded, not silently
+/// dropped).
+pub const DEFAULT_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One requested thread count: either a completed child run (with its
+/// JSON fragment) or a skipped entry explaining why it did not run.
+pub struct SweepEntry {
+    pub threads: usize,
+    pub skipped: bool,
+    /// Why the count was skipped; empty for ran entries.
+    pub reason: String,
+    /// Ran with more threads than cores (explicit `--threads` only).
+    pub oversubscribed: bool,
+    /// The child's `RESULT_MARKER` payload; empty for skipped entries.
+    pub fragment: String,
+}
+
+/// Is this process a re-exec'd measurement child?
+pub fn is_child(args: &[String]) -> bool {
+    args.iter().any(|a| a == CHILD_FLAG)
+}
+
+/// Print `fragment` on the marker line the parent scans for. The
+/// fragment must be a complete single-line JSON value.
+pub fn emit_child_result(fragment: &str) {
+    assert!(
+        !fragment.contains('\n'),
+        "sweep fragment must be a single line"
+    );
+    println!("{RESULT_MARKER}{fragment}");
+}
+
+/// The machine's core count (1 when it cannot be determined).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+}
+
+/// Parse `--threads a,b,c` into a deduplicated list, or fall back to
+/// [`DEFAULT_THREADS`]. Returns `(counts, explicit)`.
+pub fn requested_threads(args: &[String]) -> (Vec<usize>, bool) {
+    let list = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1));
+    match list {
+        Some(list) => {
+            let mut out = Vec::new();
+            for part in list.split(',') {
+                let t: usize = part
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--threads: bad thread count {part:?}"));
+                assert!(t >= 1, "--threads: thread count must be >= 1");
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+            assert!(!out.is_empty(), "--threads: empty list");
+            (out, true)
+        }
+        None => (DEFAULT_THREADS.to_vec(), false),
+    }
+}
+
+/// Run the sweep: one re-exec'd child per requested thread count, in
+/// order. Every original argument is passed through (children ignore
+/// `--threads`), plus [`CHILD_FLAG`]; `RAYON_NUM_THREADS` pins each
+/// child's pool. Panics if a child fails or emits no marker line — a
+/// broken sweep must not write a plausible-looking BENCH file.
+pub fn run(args: &[String]) -> Vec<SweepEntry> {
+    let cores = available_cores();
+    let (threads, explicit) = requested_threads(args);
+    let exe = std::env::current_exe().expect("sweep: current_exe");
+    let mut entries = Vec::new();
+    for t in threads {
+        if !explicit && t > cores {
+            println!(
+                "sweep: skipping t={t} (only {cores} core(s) available; pass --threads to force)"
+            );
+            entries.push(SweepEntry {
+                threads: t,
+                skipped: true,
+                reason: format!("exceeds available_cores={cores}"),
+                oversubscribed: false,
+                fragment: String::new(),
+            });
+            continue;
+        }
+        let oversubscribed = t > cores;
+        if oversubscribed {
+            println!("sweep: t={t} exceeds {cores} core(s) — timings are oversubscribed");
+        }
+        let out = Command::new(&exe)
+            .args(args.iter().skip(1))
+            .arg(CHILD_FLAG)
+            .env("RAYON_NUM_THREADS", t.to_string())
+            .stderr(Stdio::inherit())
+            .output()
+            .expect("sweep: spawn child");
+        assert!(
+            out.status.success(),
+            "sweep: child at t={t} failed: {}",
+            out.status
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let mut fragment = None;
+        for line in stdout.lines() {
+            match line.strip_prefix(RESULT_MARKER) {
+                Some(f) => fragment = Some(f.to_string()),
+                None => println!("[t={t}] {line}"),
+            }
+        }
+        let fragment =
+            fragment.unwrap_or_else(|| panic!("sweep: child at t={t} emitted no result marker"));
+        entries.push(SweepEntry {
+            threads: t,
+            skipped: false,
+            reason: String::new(),
+            oversubscribed,
+            fragment,
+        });
+    }
+    assert!(
+        entries.iter().any(|e| !e.skipped),
+        "sweep: no thread count ran"
+    );
+    entries
+}
+
+/// The entry whose fragment fills the legacy top-level payload: the
+/// one-thread run when present, else the first completed run.
+pub fn baseline(entries: &[SweepEntry]) -> &SweepEntry {
+    entries
+        .iter()
+        .find(|e| e.threads == 1 && !e.skipped)
+        .or_else(|| entries.iter().find(|e| !e.skipped))
+        .expect("sweep: no completed entry")
+}
+
+/// Append the sweep's `context` fields: `threads_swept` (counts that
+/// ran) and `threads_skipped` (`{threads, reason}` for the rest). The
+/// writer must be inside the open `context` object.
+pub fn write_context_fields(w: &mut JsonWriter, entries: &[SweepEntry]) {
+    w.key("threads_swept");
+    w.begin_array();
+    for e in entries.iter().filter(|e| !e.skipped) {
+        w.u64(e.threads as u64);
+    }
+    w.end_array();
+    w.key("threads_skipped");
+    w.begin_array();
+    for e in entries.iter().filter(|e| e.skipped) {
+        w.begin_object();
+        w.field_u64("threads", e.threads as u64);
+        w.field_str("reason", &e.reason);
+        w.end_object();
+    }
+    w.end_array();
+}
+
+/// Append the `thread_sweep` array: per ran entry
+/// `{threads[, oversubscribed], <results_key>: <fragment>}`, per skipped
+/// entry `{threads, skipped, reason}`. `project` maps a child fragment
+/// to the JSON embedded for that entry (identity for most binaries;
+/// `train_kernels` projects out the thread-sensitive `grad` section).
+pub fn write_thread_sweep<F: Fn(&str) -> String>(
+    w: &mut JsonWriter,
+    entries: &[SweepEntry],
+    results_key: &str,
+    project: F,
+) {
+    w.key("thread_sweep");
+    w.begin_array();
+    for e in entries {
+        w.begin_object();
+        w.field_u64("threads", e.threads as u64);
+        if e.skipped {
+            w.field_bool("skipped", true);
+            w.field_str("reason", &e.reason);
+        } else {
+            if e.oversubscribed {
+                w.field_bool("oversubscribed", true);
+            }
+            w.key(results_key);
+            w.raw(&project(&e.fragment));
+        }
+        w.end_object();
+    }
+    w.end_array();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(tail: &[&str]) -> Vec<String> {
+        std::iter::once("bench".to_string())
+            .chain(tail.iter().map(|s| s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn default_threads_when_flag_absent() {
+        let (threads, explicit) = requested_threads(&argv(&["--reps", "3"]));
+        assert_eq!(threads, DEFAULT_THREADS.to_vec());
+        assert!(!explicit);
+    }
+
+    #[test]
+    fn explicit_threads_parse_and_dedupe_in_order() {
+        let (threads, explicit) = requested_threads(&argv(&["--threads", "4, 1,4,2"]));
+        assert_eq!(threads, vec![4, 1, 2]);
+        assert!(explicit);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad thread count")]
+    fn non_numeric_thread_count_panics() {
+        requested_threads(&argv(&["--threads", "1,two"]));
+    }
+
+    #[test]
+    fn child_flag_is_detected() {
+        assert!(is_child(&argv(&["--quick", CHILD_FLAG])));
+        assert!(!is_child(&argv(&["--quick"])));
+    }
+
+    fn entry(threads: usize, fragment: &str) -> SweepEntry {
+        SweepEntry {
+            threads,
+            skipped: false,
+            reason: String::new(),
+            oversubscribed: false,
+            fragment: fragment.to_string(),
+        }
+    }
+
+    fn skipped(threads: usize, reason: &str) -> SweepEntry {
+        SweepEntry {
+            threads,
+            skipped: true,
+            reason: reason.to_string(),
+            oversubscribed: false,
+            fragment: String::new(),
+        }
+    }
+
+    #[test]
+    fn baseline_prefers_one_thread_then_first_ran() {
+        let entries = vec![skipped(1, "x"), entry(2, "[2]"), entry(4, "[4]")];
+        assert_eq!(baseline(&entries).fragment, "[2]");
+        let entries = vec![entry(2, "[2]"), entry(1, "[1]")];
+        assert_eq!(baseline(&entries).fragment, "[1]");
+    }
+
+    #[test]
+    fn context_and_sweep_sections_serialize_as_documented() {
+        let mut entries = vec![
+            entry(1, r#"[{"n":10}]"#),
+            skipped(8, "exceeds available_cores=1"),
+        ];
+        entries[0].oversubscribed = false;
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        write_context_fields(&mut w, &entries);
+        write_thread_sweep(&mut w, &entries, "results", |f| f.to_string());
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            concat!(
+                r#"{"threads_swept":[1],"#,
+                r#""threads_skipped":[{"threads":8,"reason":"exceeds available_cores=1"}],"#,
+                r#""thread_sweep":[{"threads":1,"results":[{"n":10}]},"#,
+                r#"{"threads":8,"skipped":true,"reason":"exceeds available_cores=1"}]}"#
+            )
+        );
+    }
+
+    #[test]
+    fn oversubscribed_entries_are_flagged_and_projected() {
+        let mut e = entry(4, r#"{"grad":[1,2],"cg":{}}"#);
+        e.oversubscribed = true;
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        write_thread_sweep(&mut w, &[e], "grad", |f| {
+            chef_obs::parse_json(f)
+                .unwrap()
+                .get("grad")
+                .unwrap()
+                .to_json()
+        });
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"thread_sweep":[{"threads":4,"oversubscribed":true,"grad":[1,2]}]}"#
+        );
+    }
+
+    #[test]
+    fn emitted_fragment_line_round_trips_through_the_marker() {
+        let line = format!("{RESULT_MARKER}{}", r#"[{"n":1}]"#);
+        assert_eq!(line.strip_prefix(RESULT_MARKER), Some(r#"[{"n":1}]"#));
+    }
+}

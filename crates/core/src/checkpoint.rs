@@ -859,6 +859,7 @@ mod tests {
                         hvp_evals: 12,
                         bound_hit_rate: 0.86,
                         kernel_path: "gemm".into(),
+                        kernel_backend: "reference".into(),
                         select_ms: 1.5,
                     },
                     ..RoundTelemetry::default()

@@ -324,9 +324,13 @@ fn score_block_into<M: Model + ?Sized>(
 
 /// Score every candidate through the blocked kernel path, unsorted, in
 /// candidate order. Parallel builds fan [`SCORE_BLOCK`]-sized blocks out
-/// over the thread pool above [`PAR_GRAIN`] candidates; each sample's
-/// dots are row-independent affine products, so scores are bit-identical
-/// to the serial blocked path regardless of block grouping.
+/// over the thread pool above [`PAR_GRAIN`] candidates — but only on a
+/// pool with more than one worker: at one worker the fan-out's
+/// per-block workspaces, output vectors and final merge are pure
+/// overhead (the cause of the parallel-slower-than-serial rank cells in
+/// earlier BENCH_selector.json runs). Each sample's dots are
+/// row-independent affine products, so scores are bit-identical to the
+/// serial blocked path regardless of block grouping.
 fn score_all_blocked<M: Model + ?Sized>(
     model: &M,
     data: &Dataset,
@@ -336,7 +340,7 @@ fn score_all_blocked<M: Model + ?Sized>(
     gamma: f64,
 ) -> Vec<InflScore> {
     #[cfg(feature = "parallel")]
-    if candidates.len() >= PAR_GRAIN {
+    if candidates.len() >= PAR_GRAIN && rayon::current_num_threads() > 1 {
         use rayon::prelude::*;
         let nblocks = candidates.len().div_ceil(SCORE_BLOCK);
         let per_block: Vec<Vec<InflScore>> = (0..nblocks)
@@ -705,6 +709,86 @@ mod tests {
             let want = &full[..b.min(full.len())];
             assert_eq!(top.len(), want.len(), "b = {b}");
             for (t, f) in top.iter().zip(want) {
+                assert_eq!(t.index, f.index, "b = {b}");
+                assert_eq!(t.suggested, f.suggested);
+                assert_eq!(t.score.to_bits(), f.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_scores_totally_orders_non_finite_scores() {
+        let s = |score: f64, index: usize| InflScore {
+            index,
+            suggested: 0,
+            score,
+        };
+        let mut scores = vec![
+            s(f64::NAN, 9),
+            s(f64::INFINITY, 8),
+            s(0.0, 7),
+            s(f64::NEG_INFINITY, 6),
+            s(-1.0, 5),
+            s(f64::NAN, 1),
+            s(-f64::NAN, 3),
+        ];
+        scores.sort_unstable_by(cmp_scores);
+        let order: Vec<usize> = scores.iter().map(|x| x.index).collect();
+        // `total_cmp` ordering: −NaN < −∞ < −1 < 0 < +∞ < +NaN, with
+        // equal-bit NaNs tie-broken by training-set index (1 before 9).
+        assert_eq!(order, vec![3, 6, 5, 7, 8, 1, 9]);
+        // The comparator is a total order even on NaN: antisymmetric
+        // and never Equal for distinct indices.
+        for a in &scores {
+            for b in &scores {
+                if a.index == b.index {
+                    assert_eq!(cmp_scores(a, b), Ordering::Equal);
+                } else {
+                    assert_eq!(cmp_scores(a, b), cmp_scores(b, a).reverse());
+                    assert_ne!(cmp_scores(a, b), Ordering::Equal);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_scores_rank_deterministically_and_match_serial() {
+        // An influence vector with ±∞ rows drives some score dots to
+        // ±∞ and (via ∞ − ∞) NaN; the (total_cmp, index) order must
+        // keep the ranking deterministic, serial/parallel-identical,
+        // and top-b-consistent even then.
+        let (model, obj, data, _val) = fixture(8);
+        let m = chef_model::Model::num_params(&model);
+        let w = vec![0.0; m];
+        let mut v = vec![1.0; m];
+        v[0] = f64::INFINITY;
+        v[m - 1] = f64::NEG_INFINITY;
+        // Three copies of the pool cross the parallel grain (128).
+        let mut candidates = Vec::new();
+        for _ in 0..3 {
+            candidates.extend(data.uncleaned_indices());
+        }
+        let full = rank_infl_with_vector(&model, &data, &w, &v, &candidates, obj.gamma);
+        assert!(
+            full.iter().any(|s| !s.score.is_finite()),
+            "fixture failed to produce non-finite scores"
+        );
+        let serial = rank_infl_with_vector_serial(&model, &data, &w, &v, &candidates, obj.gamma);
+        assert_eq!(full.len(), serial.len());
+        for (a, b) in full.iter().zip(&serial) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.suggested, b.suggested);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        // The ranking is a cmp_scores-sorted sequence (NaNs at the end,
+        // not interleaved), and top-b is exactly its prefix.
+        for pair in full.windows(2) {
+            assert_ne!(cmp_scores(&pair[0], &pair[1]), Ordering::Greater);
+        }
+        for b in [1, 7, 130, candidates.len()] {
+            let top = rank_infl_top_b(&model, &data, &w, &v, &candidates, obj.gamma, b);
+            assert_eq!(top.len(), b.min(candidates.len()), "b = {b}");
+            for (t, f) in top.iter().zip(&full) {
                 assert_eq!(t.index, f.index, "b = {b}");
                 assert_eq!(t.suggested, f.suggested);
                 assert_eq!(t.score.to_bits(), f.score.to_bits());

@@ -464,6 +464,7 @@ impl Pipeline {
                     hvp_evals: ps.hvp_evals,
                     bound_hit_rate: ps.bound_hit_rate,
                     kernel_path: ps.kernel_path.to_string(),
+                    kernel_backend: ps.kernel_backend.to_string(),
                     select_ms: select_time.as_secs_f64() * 1e3,
                 },
                 // Baselines report no cost counters; pool size is still known.
@@ -540,6 +541,12 @@ impl Pipeline {
             };
             let update_time = update.elapsed;
             let train_kernel = model.scoring_kernel().name().to_string();
+            // The backend is a GEMM-panel property: meaningless (and
+            // omitted) on the per-sample fallback path.
+            let train_backend = match model.scoring_kernel() {
+                chef_model::KernelPath::Gemm => model.kernel_backend().name().to_string(),
+                chef_model::KernelPath::PerSample => String::new(),
+            };
             let constructor_tel = match (cfg.constructor, &update.stats) {
                 (ConstructorKind::DeltaGradL(dg), Some(stats)) => ConstructorTelemetry {
                     kind: "deltagrad-l".to_string(),
@@ -549,6 +556,7 @@ impl Pipeline {
                     lbfgs_history: dg.m0,
                     epochs: cfg.sgd.epochs,
                     kernel_path: train_kernel,
+                    kernel_backend: train_backend,
                     update_ms: update_time.as_secs_f64() * 1e3,
                 },
                 _ => ConstructorTelemetry {
@@ -556,6 +564,7 @@ impl Pipeline {
                     exact_steps: update.trace.plan.total_iterations(),
                     epochs: cfg.sgd.epochs,
                     kernel_path: train_kernel,
+                    kernel_backend: train_backend,
                     update_ms: update_time.as_secs_f64() * 1e3,
                     ..ConstructorTelemetry::default()
                 },

@@ -31,6 +31,7 @@ pub mod mlp;
 pub mod model;
 pub mod objective;
 
+pub use chef_linalg::KernelBackend;
 pub use dataset::Dataset;
 pub use label::SoftLabel;
 pub use logreg::LogisticRegression;

@@ -237,7 +237,9 @@ impl WeightedObjective {
     /// Above [`PAR_GRAIN`] samples the batch splits into `HVP_CHUNK`
     /// tasks, each a blocked [`Model::hvp_block`] call, combined with
     /// the same chunk-ordered deterministic reduction as
-    /// [`Self::batch_grad`].
+    /// [`Self::batch_grad`] — and, like it, only on a pool with more
+    /// than one worker (the fan-out's partial-sum allocations are pure
+    /// overhead at one worker).
     pub fn batch_hvp<M: Model + ?Sized>(
         &self,
         model: &M,
@@ -248,7 +250,7 @@ impl WeightedObjective {
         out: &mut [f64],
     ) {
         #[cfg(feature = "parallel")]
-        if batch.len() >= PAR_GRAIN {
+        if batch.len() >= PAR_GRAIN && rayon::current_num_threads() > 1 {
             use rayon::prelude::*;
             let m = model.num_params();
             let nchunks = batch.len().div_ceil(HVP_CHUNK);

@@ -40,6 +40,15 @@ pub struct SelectorTelemetry {
     /// structure-aware closed form, `"per_sample"` for the generic
     /// fallback, empty when the selector doesn't report one.
     pub kernel_path: String,
+    /// Which precision/ILP backend the GEMM panels ran on
+    /// (`"reference"`, `"unrolled_f64"` or `"mixed_f32"`; empty when
+    /// `kernel_path` is not `"gemm"`).
+    ///
+    /// Additive `telemetry.v1` field: omitted from the serialized object
+    /// when empty so documents (and `checkpoint.v1` files, which embed
+    /// round telemetry) written before the field existed still
+    /// round-trip byte-identically.
+    pub kernel_backend: String,
     /// Wall-clock of the selector phase in milliseconds (Time_inf).
     pub select_ms: f64,
 }
@@ -90,6 +99,11 @@ pub struct ConstructorTelemetry {
     /// round telemetry) written before the field existed still
     /// round-trip byte-identically.
     pub kernel_path: String,
+    /// Which precision/ILP backend the training GEMM panels ran on
+    /// (`"reference"`, `"unrolled_f64"` or `"mixed_f32"`; empty when
+    /// `kernel_path` is not `"gemm"`). Additive and omitted when empty,
+    /// like `kernel_path`.
+    pub kernel_backend: String,
     /// Wall-clock of the constructor phase in milliseconds.
     pub update_ms: f64,
 }
@@ -134,6 +148,19 @@ fn req_str(v: &JsonValue, section: &str, key: &str) -> Result<String, ParseError
         .ok_or_else(|| ParseError::schema(format!("{section}: missing/non-string \"{key}\"")))
 }
 
+/// Pull an **additive-optional** string field: absent (a pre-field
+/// document) parses as empty, which the writers in turn omit — the pair
+/// of rules that keeps old documents round-tripping byte-identically.
+fn opt_str(v: &JsonValue, section: &str, key: &str) -> Result<String, ParseError> {
+    match v.get(key) {
+        Some(k) => k
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| ParseError::schema(format!("{section}: non-string \"{key}\""))),
+        None => Ok(String::new()),
+    }
+}
+
 impl SelectorTelemetry {
     /// Serialize as a JSON object in value position.
     pub fn write_json(&self, w: &mut JsonWriter) {
@@ -146,6 +173,9 @@ impl SelectorTelemetry {
         w.field_u64("hvp_evals", self.hvp_evals as u64);
         w.field_f64("bound_hit_rate", self.bound_hit_rate);
         w.field_str("kernel_path", &self.kernel_path);
+        if !self.kernel_backend.is_empty() {
+            w.field_str("kernel_backend", &self.kernel_backend);
+        }
         w.field_f64("select_ms", self.select_ms);
         w.end_object();
     }
@@ -161,6 +191,8 @@ impl SelectorTelemetry {
             hvp_evals: req_usize(v, "selector", "hvp_evals")?,
             bound_hit_rate: req_f64(v, "selector", "bound_hit_rate")?,
             kernel_path: req_str(v, "selector", "kernel_path")?,
+            // Optional (additive): absent in pre-PR-6 documents.
+            kernel_backend: opt_str(v, "selector", "kernel_backend")?,
             select_ms: req_f64(v, "selector", "select_ms")?,
         })
     }
@@ -205,6 +237,9 @@ impl ConstructorTelemetry {
         if !self.kernel_path.is_empty() {
             w.field_str("kernel_path", &self.kernel_path);
         }
+        if !self.kernel_backend.is_empty() {
+            w.field_str("kernel_backend", &self.kernel_backend);
+        }
         w.field_f64("update_ms", self.update_ms);
         w.end_object();
     }
@@ -219,13 +254,9 @@ impl ConstructorTelemetry {
             lbfgs_history: req_usize(v, "constructor", "lbfgs_history")?,
             epochs: req_usize(v, "constructor", "epochs")?,
             // Optional (additive): absent in pre-PR-5 documents.
-            kernel_path: match v.get("kernel_path") {
-                Some(k) => k
-                    .as_str()
-                    .map(str::to_string)
-                    .ok_or_else(|| ParseError::schema("constructor: non-string \"kernel_path\""))?,
-                None => String::new(),
-            },
+            kernel_path: opt_str(v, "constructor", "kernel_path")?,
+            // Optional (additive): absent in pre-PR-6 documents.
+            kernel_backend: opt_str(v, "constructor", "kernel_backend")?,
             update_ms: req_f64(v, "constructor", "update_ms")?,
         })
     }
@@ -286,6 +317,7 @@ mod tests {
                 hvp_evals: 12,
                 bound_hit_rate: 0.9,
                 kernel_path: "gemm".into(),
+                kernel_backend: "reference".into(),
                 select_ms: 1.25,
             },
             ..RoundTelemetry::default()
@@ -319,6 +351,7 @@ mod tests {
                 hvp_evals: 40,
                 bound_hit_rate: 0.0,
                 kernel_path: "per_sample".into(),
+                kernel_backend: String::new(),
                 select_ms: 3.5,
             },
             annotation: AnnotationTelemetry {
@@ -337,6 +370,7 @@ mod tests {
                 lbfgs_history: 2,
                 epochs: 10,
                 kernel_path: "gemm".into(),
+                kernel_backend: "unrolled_f64".into(),
                 update_ms: 9.75,
             },
         };
@@ -378,6 +412,39 @@ mod tests {
         let reparsed =
             ConstructorTelemetry::from_json(&crate::parse::parse_json(&json).unwrap()).unwrap();
         assert_eq!(reparsed, with);
+    }
+
+    #[test]
+    fn kernel_backend_is_additive_and_optional_in_both_sections() {
+        // Pre-PR-6 documents carry kernel_path but no kernel_backend:
+        // they must parse (empty backend) and re-serialize byte-
+        // identically, in both the selector and constructor sections.
+        let old_sel = r#"{"selector":"Infl","pool":10,"pruned":0,"scored":10,"grad_evals":30,"hvp_evals":4,"bound_hit_rate":0,"kernel_path":"gemm","select_ms":1.5}"#;
+        let st = SelectorTelemetry::from_json(&crate::parse::parse_json(old_sel).unwrap()).unwrap();
+        assert_eq!(st.kernel_backend, "");
+        let mut w = JsonWriter::new();
+        st.write_json(&mut w);
+        assert_eq!(w.finish(), old_sel);
+
+        let with = SelectorTelemetry {
+            kernel_backend: "mixed_f32".into(),
+            ..st
+        };
+        let mut w = JsonWriter::new();
+        with.write_json(&mut w);
+        let json = w.finish();
+        assert!(json.contains("\"kernel_backend\":\"mixed_f32\""));
+        let reparsed =
+            SelectorTelemetry::from_json(&crate::parse::parse_json(&json).unwrap()).unwrap();
+        assert_eq!(reparsed, with);
+
+        let old_ctor = r#"{"kind":"retrain","exact_steps":5,"replay_steps":0,"correction_grads":0,"lbfgs_history":0,"epochs":3,"kernel_path":"gemm","update_ms":1.5}"#;
+        let ct =
+            ConstructorTelemetry::from_json(&crate::parse::parse_json(old_ctor).unwrap()).unwrap();
+        assert_eq!(ct.kernel_backend, "");
+        let mut w = JsonWriter::new();
+        ct.write_json(&mut w);
+        assert_eq!(w.finish(), old_ctor);
     }
 
     #[test]
