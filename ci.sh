@@ -28,10 +28,10 @@ echo "==> cargo test (serial: --no-default-features)"
 cargo test -q -p chef-linalg -p chef-model -p chef-core -p chef-bench -p chef-obs --no-default-features
 
 echo "==> cargo test (fault injection: crash/torn-write/bit-flip replay equivalence)"
-cargo test -q -p chef-core --features fault-inject --test checkpoint_resume
+cargo test -q -p chef-core --features fault-inject --test checkpoint_resume --test store_equivalence
 
 echo "==> cargo test (fault injection, serial: --no-default-features)"
-cargo test -q -p chef-core --no-default-features --features fault-inject --test checkpoint_resume
+cargo test -q -p chef-core --no-default-features --features fault-inject --test checkpoint_resume --test store_equivalence
 
 echo "==> infl_kernels bench (quick smoke: batched kernels run end-to-end)"
 cargo run -q --release -p chef-bench --bin infl_kernels -- --quick
@@ -44,6 +44,15 @@ cargo run -q --release -p chef-bench --bin train_kernels -- --quick
 
 echo "==> train_kernels bench (quick smoke, --no-default-features)"
 cargo run -q --release -p chef-bench --bin train_kernels --no-default-features -- --quick
+
+echo "==> oocs_scale bench (quick smoke: in-memory vs mmap store bit-identity + RSS)"
+cargo run -q --release -p chef-bench --bin oocs_scale -- --quick
+# Scratch hygiene: the bench must remove its per-run store directories.
+if compgen -G "target/oocs_scale-*" > /dev/null; then
+  echo "oocs_scale left scratch directories behind:" >&2
+  ls -d target/oocs_scale-* >&2
+  exit 1
+fi
 
 echo "==> cargo test --doc (default features)"
 cargo test -q --doc --workspace

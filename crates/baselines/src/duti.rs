@@ -94,8 +94,10 @@ impl SampleSelector for Duti {
         let c_count = model.num_classes();
         let n = ctx.data.len() as f64;
 
-        // Work on a private copy whose labels we relax.
-        let mut relaxed = ctx.data.clone();
+        // Work on a private in-memory copy whose labels we relax
+        // (DUTI's relaxation mutates every pool label, so an overlay
+        // would not help; materializing is the honest cost).
+        let mut relaxed = ctx.data.to_dataset();
         let mut w = ctx.w.to_vec();
         let mut g = vec![0.0; m];
         let all: Vec<usize> = (0..ctx.data.len()).collect();

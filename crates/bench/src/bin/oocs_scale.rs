@@ -1,0 +1,442 @@
+//! Out-of-core scaling bench: one full cleaning round on an in-memory
+//! dataset vs the same data served from a memory-mapped `store.v1`
+//! directory, at n ∈ {50k, 200k, 1M}.
+//!
+//! For each size the parent **streams** a training store to disk once
+//! (`generate_train_store`, so the parent itself never materializes the
+//! features), then re-execs the current binary twice — once per mode —
+//! because peak RSS (`VmHWM` in `/proc/self/status`) is a per-process
+//! high-water mark that cannot be reset between measurements:
+//!
+//! * `memory`: the child materializes the store into a plain [`Dataset`](chef_model::Dataset)
+//!   and runs the round on it (the pre-§15 configuration),
+//! * `mmap`: the child runs the round directly on the [`MmapStore`]
+//!   with a bounded residency window — features never fully resident.
+//!
+//! Both children weaken labels with the same seed and report a
+//! **selection fingerprint** (FNV-1a over every selected index +
+//! suggested label + the final parameter bits + final F1 bits); the
+//! parent asserts the two modes match bit-for-bit before writing
+//! `BENCH_oocs.json` — the document is only ever written for runs where
+//! out-of-core execution provably changed nothing but the memory
+//! footprint. See DESIGN.md §15 and EXPERIMENTS.md (`oocs_scale`).
+//!
+//! Usage: `cargo run --release -p chef-bench --bin oocs_scale`
+//! (`--quick` for a 50k-only CI smoke with no JSON output, `--sizes
+//! a,b,c` to override the size list, `--dir PATH` for the scratch
+//! directory, which defaults to `target/oocs_scale-<pid>` and is
+//! removed on exit).
+
+use chef_core::{
+    AnnotationConfig, ConstructorKind, InflSelector, LabelStrategy, Pipeline, PipelineConfig,
+    StorePipelineReport,
+};
+use chef_data::store::write_store;
+use chef_data::{generate_train_store, DatasetKind, DatasetSpec, MmapStore, StoreOptions};
+use chef_model::{DatasetStore, LogisticRegression, WeightedObjective};
+use chef_obs::JsonWriter;
+use chef_train::SgdConfig;
+use chef_weak::random_probabilistic_labels;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+/// Sentinel argument marking a re-exec'd measurement child.
+const CHILD_FLAG: &str = "--_oocs-child";
+/// Prefix of the one stdout line carrying a child's JSON fragment.
+const RESULT_MARKER: &str = "@@OOCS_RESULT ";
+
+const SEED: u64 = 1;
+const DIM: usize = 32;
+const CHUNK_ROWS: usize = 8192;
+const RESIDENCY_CHUNKS: usize = 32;
+/// One cleaning round: budget == round_size.
+const ROUND: usize = 16;
+
+fn spec_for(n: usize) -> DatasetSpec {
+    DatasetSpec {
+        name: "oocs_scale",
+        kind: DatasetKind::FullyClean,
+        train: n,
+        val: 2_000,
+        test: 1_000,
+        dim: DIM,
+        num_classes: 2,
+        class_sep: 1.0,
+        positive_rate: 0.45,
+        truth_noise: 0.0,
+        weak_quality: 0.5,
+        annotator_error: 0.05,
+    }
+}
+
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        budget: ROUND,
+        round_size: ROUND,
+        objective: WeightedObjective::new(0.8, 0.2),
+        sgd: SgdConfig {
+            lr: 0.1,
+            // Two epochs keep the 1M-row child's wall time in minutes
+            // while still exercising a full SGD stream per round.
+            epochs: 2,
+            batch_size: 512,
+            seed: SEED,
+            cache_provenance: true,
+        },
+        constructor: ConstructorKind::Retrain,
+        annotation: AnnotationConfig {
+            strategy: LabelStrategy::HumansOnly(3),
+            error_rate: 0.05,
+            seed: SEED ^ 0x77,
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+/// Peak resident set of this process in bytes (`VmHWM`), the
+/// high-water mark the kernel tracks for us — covers every allocation
+/// and faulted-in mapped page since the process started.
+fn peak_rss_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Bit-exact digest of everything the cleaning round decided: the
+/// selected samples (with suggestions), the final parameters, and the
+/// F1s. Two runs with equal fingerprints made identical choices.
+fn fingerprint(report: &StorePipelineReport) -> String {
+    let mut h = FNV_OFFSET;
+    for round in &report.rounds {
+        for sel in &round.selected {
+            h = fnv_fold(h, &(sel.index as u64).to_le_bytes());
+            let suggested = sel.suggested.map_or(0u64, |c| c as u64 + 1);
+            h = fnv_fold(h, &suggested.to_le_bytes());
+        }
+        h = fnv_fold(h, &round.val_f1.to_bits().to_le_bytes());
+        h = fnv_fold(h, &round.test_f1.to_bits().to_le_bytes());
+    }
+    for &w in &report.final_w {
+        h = fnv_fold(h, &w.to_bits().to_le_bytes());
+    }
+    format!("{h:016x}")
+}
+
+fn dirs_for(root: &Path, n: usize) -> (PathBuf, PathBuf, PathBuf) {
+    (
+        root.join(format!("n{n}-train")),
+        root.join(format!("n{n}-val")),
+        root.join(format!("n{n}-test")),
+    )
+}
+
+fn run_child(args: &[String]) {
+    let n: usize = chef_bench::arg_value(args, "--n", 0);
+    let mode = args
+        .iter()
+        .position(|a| a == "--mode")
+        .and_then(|i| args.get(i + 1))
+        .expect("child needs --mode")
+        .clone();
+    let root = PathBuf::from(
+        args.iter()
+            .position(|a| a == "--dir")
+            .and_then(|i| args.get(i + 1))
+            .expect("child needs --dir"),
+    );
+    let (train_dir, val_dir, test_dir) = dirs_for(&root, n);
+
+    // Val/test are small and trusted: materialize for both modes.
+    let val = MmapStore::open(&val_dir)
+        .expect("open val store")
+        .to_dataset();
+    let test = MmapStore::open(&test_dir)
+        .expect("open test store")
+        .to_dataset();
+
+    let model = LogisticRegression::new(DIM, 2);
+    let mut selector = InflSelector::full();
+    let pipeline = Pipeline::new(pipeline_config());
+    let weaken_seed = SEED ^ 0xabcd;
+
+    let start = Instant::now();
+    let report = match mode.as_str() {
+        "memory" => {
+            // Pre-§15 configuration: everything heap-resident. The
+            // bounded-residency open keeps the *materialization* scan
+            // from counting the whole file against this child's RSS —
+            // only the owned Dataset should.
+            let store = MmapStore::open_with(
+                &train_dir,
+                StoreOptions {
+                    residency_chunks: RESIDENCY_CHUNKS,
+                    ..StoreOptions::default()
+                },
+            )
+            .expect("open train store");
+            let mut data = store.to_dataset();
+            drop(store);
+            random_probabilistic_labels(&mut data, weaken_seed);
+            pipeline.run_store(&model, &mut data, &val, &test, &mut selector)
+        }
+        "mmap" => {
+            let mut store = MmapStore::open_with(
+                &train_dir,
+                StoreOptions {
+                    residency_chunks: RESIDENCY_CHUNKS,
+                    ..StoreOptions::default()
+                },
+            )
+            .expect("open train store");
+            random_probabilistic_labels(&mut store, weaken_seed);
+            pipeline.run_store(&model, &mut store, &val, &test, &mut selector)
+        }
+        other => panic!("unknown --mode {other:?}"),
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("mode", &mode);
+    w.field_u64("n", n as u64);
+    w.field_f64("wall_s", wall_s);
+    w.field_f64("init_s", report.init_time.as_secs_f64());
+    w.field_f64(
+        "select_s",
+        report
+            .rounds
+            .iter()
+            .map(|r| r.select_time.as_secs_f64())
+            .sum(),
+    );
+    w.field_u64("peak_rss_bytes", peak_rss_bytes());
+    w.field_u64("cleaned", report.cleaned_total as u64);
+    w.field_f64("val_f1", report.final_val_f1());
+    w.field_f64("test_f1", report.final_test_f1());
+    w.field_str("fingerprint", &fingerprint(&report));
+    w.end_object();
+    println!("{RESULT_MARKER}{}", w.finish());
+}
+
+/// Re-exec this binary for one `(n, mode)` cell, forwarding its chatter
+/// and returning the marker fragment.
+fn spawn_child(n: usize, mode: &str, root: &Path) -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = Command::new(&exe)
+        .arg(CHILD_FLAG)
+        .args(["--n", &n.to_string(), "--mode", mode])
+        .arg("--dir")
+        .arg(root)
+        .stderr(Stdio::inherit())
+        .output()
+        .expect("spawn oocs child");
+    assert!(
+        out.status.success(),
+        "oocs child (n={n}, mode={mode}) failed: {}",
+        out.status
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut fragment = None;
+    for line in stdout.lines() {
+        match line.strip_prefix(RESULT_MARKER) {
+            Some(f) => fragment = Some(f.to_string()),
+            None => println!("[{mode} n={n}] {line}"),
+        }
+    }
+    fragment.unwrap_or_else(|| panic!("child (n={n}, mode={mode}) emitted no result marker"))
+}
+
+fn field_str(fragment: &str, key: &str) -> String {
+    chef_obs::parse_json(fragment)
+        .expect("child fragment parses")
+        .get(key)
+        .unwrap_or_else(|| panic!("fragment missing {key}"))
+        .as_str()
+        .expect("string field")
+        .to_string()
+}
+
+fn field_u64(fragment: &str, key: &str) -> u64 {
+    chef_obs::parse_json(fragment)
+        .expect("child fragment parses")
+        .get(key)
+        .unwrap_or_else(|| panic!("fragment missing {key}"))
+        .as_f64()
+        .expect("numeric field") as u64
+}
+
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == CHILD_FLAG) {
+        run_child(&args);
+        return;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let sizes: Vec<usize> = match args
+        .iter()
+        .position(|a| a == "--sizes")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("--sizes: bad size"))
+            .collect(),
+        None if quick => vec![50_000],
+        None => vec![50_000, 200_000, 1_000_000],
+    };
+    let root = args
+        .iter()
+        .position(|a| a == "--dir")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            workspace_root()
+                .join("target")
+                .join(format!("oocs_scale-{}", std::process::id()))
+        });
+    println!(
+        "oocs_scale: sizes={sizes:?} dim={DIM} chunk_rows={CHUNK_ROWS} residency_chunks={RESIDENCY_CHUNKS} scratch={}",
+        root.display()
+    );
+
+    struct Row {
+        n: usize,
+        fingerprint: String,
+        memory: String,
+        mmap: String,
+    }
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let spec = spec_for(n);
+        let (train_dir, val_dir, test_dir) = dirs_for(&root, n);
+        println!("n={n}: streaming store to {}", train_dir.display());
+        let (manifest, val, test) =
+            generate_train_store(&spec, SEED, &train_dir, CHUNK_ROWS).expect("generate store");
+        write_store(&val, &val_dir, CHUNK_ROWS).expect("write val store");
+        write_store(&test, &test_dir, CHUNK_ROWS).expect("write test store");
+        drop((val, test));
+        println!(
+            "n={n}: {} shards, {} MB of features",
+            manifest.chunks.len(),
+            n * DIM * 8 / (1 << 20)
+        );
+
+        let memory = spawn_child(n, "memory", &root);
+        let mmap = spawn_child(n, "mmap", &root);
+
+        let fp_mem = field_str(&memory, "fingerprint");
+        let fp_map = field_str(&mmap, "fingerprint");
+        assert_eq!(
+            fp_mem, fp_map,
+            "n={n}: in-memory and mmap runs diverged — selector output is not bit-identical"
+        );
+        let (rss_mem, rss_map) = (
+            field_u64(&memory, "peak_rss_bytes"),
+            field_u64(&mmap, "peak_rss_bytes"),
+        );
+        println!(
+            "n={n}: fingerprints match ({fp_mem}); peak RSS memory={} MB mmap={} MB ({:.2}x)",
+            rss_mem / (1 << 20),
+            rss_map / (1 << 20),
+            rss_mem as f64 / rss_map.max(1) as f64,
+        );
+        rows.push(Row {
+            n,
+            fingerprint: fp_mem,
+            memory,
+            mmap,
+        });
+
+        // Disk hygiene: drop this size's shards before generating the
+        // next (1M alone is a quarter GB of features).
+        for d in [&train_dir, &val_dir, &test_dir] {
+            std::fs::remove_dir_all(d).expect("remove store dir");
+        }
+    }
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("remove scratch dir");
+    }
+
+    if quick {
+        println!("quick mode: skipping BENCH_oocs.json");
+        return;
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", chef_obs::SCHEMA_VERSION);
+    w.field_str("kind", "oocs_scale");
+    w.key("context");
+    w.begin_object();
+    w.field_u64("dim", DIM as u64);
+    w.field_u64("chunk_rows", CHUNK_ROWS as u64);
+    w.field_u64("residency_chunks", RESIDENCY_CHUNKS as u64);
+    w.field_u64("round_size", ROUND as u64);
+    w.field_u64("sgd_epochs", 2);
+    w.field_u64("seed", SEED);
+    w.field_str("selector", "Infl (full ranking, sharded top-b merge)");
+    w.field_str(
+        "rss_metric",
+        "VmHWM from /proc/self/status, per re-exec'd child",
+    );
+    w.field_u64(
+        "available_cores",
+        chef_bench::sweep::available_cores() as u64,
+    );
+    w.field_bool("parallel_feature", cfg!(feature = "parallel"));
+    w.end_object();
+    w.key("results");
+    w.begin_array();
+    for row in &rows {
+        w.begin_object();
+        w.field_u64("n", row.n as u64);
+        w.field_u64("feature_bytes", (row.n * DIM * 8) as u64);
+        w.field_str("fingerprint", &row.fingerprint);
+        w.field_bool("fingerprint_match", true);
+        let (rss_mem, rss_map) = (
+            field_u64(&row.memory, "peak_rss_bytes"),
+            field_u64(&row.mmap, "peak_rss_bytes"),
+        );
+        w.field_f64("peak_rss_ratio", rss_mem as f64 / rss_map.max(1) as f64);
+        w.key("memory");
+        w.raw(&row.memory);
+        w.key("mmap");
+        w.raw(&row.mmap);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let path = workspace_root().join("BENCH_oocs.json");
+    std::fs::write(&path, w.finish() + "\n").expect("write BENCH_oocs.json");
+    println!("wrote {}", path.display());
+}

@@ -15,7 +15,7 @@
 //! | Infl (three)   | 2 human voters   | yes              |
 
 use crate::selector::Selection;
-use chef_model::Dataset;
+use chef_model::DatasetStore;
 use chef_weak::{majority_vote, AnnotatorPanel, VoteOutcome};
 
 /// How cleaned labels are produced from panel votes and suggestions.
@@ -121,14 +121,18 @@ impl AnnotationPhase {
     ///
     /// Returns one [`AnnotationOutcome`] per selection, in order. Cleaned
     /// samples get a deterministic label and weight 1 (`clean_label`).
-    pub fn annotate(&self, data: &mut Dataset, selections: &[Selection]) -> Vec<AnnotationOutcome> {
+    pub fn annotate(
+        &self,
+        data: &mut dyn DatasetStore,
+        selections: &[Selection],
+    ) -> Vec<AnnotationOutcome> {
         self.annotate_with_stats(data, selections).0
     }
 
     /// [`Self::annotate`] plus the round's vote-level telemetry counters.
     pub fn annotate_with_stats(
         &self,
-        data: &mut Dataset,
+        data: &mut dyn DatasetStore,
         selections: &[Selection],
     ) -> (Vec<AnnotationOutcome>, AnnotationStats) {
         let c = data.num_classes();
@@ -185,6 +189,7 @@ impl AnnotationPhase {
 mod tests {
     use super::*;
     use chef_linalg::Matrix;
+    use chef_model::Dataset;
     use chef_model::SoftLabel;
 
     fn data(n: usize) -> Dataset {

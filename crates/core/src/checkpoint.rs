@@ -748,7 +748,10 @@ impl Checkpoint {
 
     /// Replay the label patches onto a pristine copy of the dataset the
     /// original run started from.
-    pub fn apply_labels(&self, data: &mut chef_model::Dataset) -> Result<(), CheckpointError> {
+    pub fn apply_labels(
+        &self,
+        data: &mut dyn chef_model::DatasetStore,
+    ) -> Result<(), CheckpointError> {
         let c = data.num_classes();
         for p in &self.labels {
             if p.index >= data.len() {

@@ -9,7 +9,7 @@
 //! previous round as provenance and `A_t = B_t ∩ R⁽ᵏ⁾` with updated
 //! labels (the paper's modifications 1–4 to Eq. 4).
 
-use chef_model::{Dataset, Model, WeightedObjective};
+use chef_model::{DatasetStore, Model, WeightedObjective};
 use chef_train::{
     deltagrad_update, train_traced, DeltaGradConfig, DeltaGradStats, SgdConfig, TrainTrace,
 };
@@ -88,7 +88,7 @@ impl ModelConstructor {
         &self,
         model: &M,
         objective: &WeightedObjective,
-        data: &Dataset,
+        data: &dyn DatasetStore,
     ) -> ConstructorOutcome {
         let start = Instant::now();
         let w0 = model.initial_params(self.sgd.seed);
@@ -107,8 +107,8 @@ impl ModelConstructor {
         &self,
         model: &M,
         objective: &WeightedObjective,
-        old_data: &Dataset,
-        new_data: &Dataset,
+        old_data: &dyn DatasetStore,
+        new_data: &dyn DatasetStore,
         changed: &[usize],
         prev_trace: &TrainTrace,
     ) -> ConstructorOutcome {
@@ -151,7 +151,7 @@ impl ModelConstructor {
 mod tests {
     use super::*;
     use chef_linalg::{vector, Matrix};
-    use chef_model::{LogisticRegression, SoftLabel};
+    use chef_model::{Dataset, LogisticRegression, SoftLabel};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 

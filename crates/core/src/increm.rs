@@ -26,9 +26,9 @@
 //! by their value at `w⁽⁰⁾`; the `slack` factor (default 1, i.e. the
 //! paper's behaviour) can widen the interval to absorb that approximation.
 
-use crate::influence::{rank_infl_top_b, InflScore};
+use crate::influence::{rank_infl_top_b_sharded, InflScore};
 use chef_linalg::kernels;
-use chef_model::{Dataset, Model};
+use chef_model::{DatasetStore, Model};
 
 /// Minimum pool size before the `parallel` feature fans the provenance
 /// initialization / bound pass out to the thread pool. The fan-out is
@@ -78,7 +78,7 @@ struct ProvenanceRow {
 /// buffer of length `model.num_params()`.
 fn provenance_row<M: Model + ?Sized>(
     model: &M,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     w0: &[f64],
     i: usize,
     g: &mut [f64],
@@ -201,32 +201,39 @@ impl IncremInfl {
     /// thread, the per-sample rows are computed across the thread pool;
     /// every row is independent (no floating-point reduction), so the
     /// provenance is bit-identical to the serial computation.
-    pub fn initialize<M: Model + ?Sized>(model: &M, data: &Dataset, w0: &[f64]) -> Self {
+    pub fn initialize<M: Model + ?Sized>(model: &M, data: &dyn DatasetStore, w0: &[f64]) -> Self {
         let m = model.num_params();
         let n = data.len();
-        #[cfg(feature = "parallel")]
-        let rows: Vec<ProvenanceRow> = if n >= PAR_GRAIN && rayon::current_num_threads() > 1 {
-            use rayon::prelude::*;
-            (0..n)
-                .into_par_iter()
-                .map_init(
-                    || vec![0.0; m],
-                    |g, i| provenance_row(model, data, w0, i, g),
-                )
-                .collect()
-        } else {
+        // One storage shard at a time: each shard's feature rows are
+        // prefetched, swept, and released before the next shard is
+        // touched, so an out-of-core store never holds more than one
+        // shard resident during the initialization step. Rows are
+        // independent (no cross-row reduction), so the slab partition —
+        // and the parallel fan-out within a slab — cannot change a bit
+        // of the provenance relative to one flat 0..n sweep.
+        let bounds = data.shard_boundaries();
+        let mut rows: Vec<ProvenanceRow> = Vec::with_capacity(n);
+        for win in bounds.windows(2) {
+            let (lo, hi) = (win[0], win[1]);
+            data.advise_range(lo, hi);
+            #[cfg(feature = "parallel")]
+            if hi - lo >= PAR_GRAIN && rayon::current_num_threads() > 1 {
+                use rayon::prelude::*;
+                let mut slab: Vec<ProvenanceRow> = (lo..hi)
+                    .into_par_iter()
+                    .map_init(
+                        || vec![0.0; m],
+                        |g, i| provenance_row(model, data, w0, i, g),
+                    )
+                    .collect();
+                rows.append(&mut slab);
+                data.advise_scanned(lo, hi);
+                continue;
+            }
             let mut g = vec![0.0; m];
-            (0..n)
-                .map(|i| provenance_row(model, data, w0, i, &mut g))
-                .collect()
-        };
-        #[cfg(not(feature = "parallel"))]
-        let rows: Vec<ProvenanceRow> = {
-            let mut g = vec![0.0; m];
-            (0..n)
-                .map(|i| provenance_row(model, data, w0, i, &mut g))
-                .collect()
-        };
+            rows.extend((lo..hi).map(|i| provenance_row(model, data, w0, i, &mut g)));
+            data.advise_scanned(lo, hi);
+        }
 
         let c_count = model.num_classes();
         let mut grads0 = Vec::with_capacity(n * m);
@@ -302,7 +309,7 @@ impl IncremInfl {
     #[cfg(test)]
     fn frozen_influence(
         &self,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         m: usize,
         v_pos: &[f64],
         i: usize,
@@ -336,7 +343,7 @@ impl IncremInfl {
     #[allow(clippy::too_many_arguments)]
     fn bound_entry(
         &self,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         e1: f64,
         e2: f64,
         gamma: f64,
@@ -399,7 +406,7 @@ impl IncremInfl {
     pub fn candidates<M: Model + ?Sized>(
         &self,
         model: &M,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         w_k: &[f64],
         v_pos: &[f64],
         pool: &[usize],
@@ -415,7 +422,7 @@ impl IncremInfl {
     pub fn candidates_serial<M: Model + ?Sized>(
         &self,
         model: &M,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         w_k: &[f64],
         v_pos: &[f64],
         pool: &[usize],
@@ -429,7 +436,7 @@ impl IncremInfl {
     fn candidates_impl<M: Model + ?Sized>(
         &self,
         model: &M,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         w_k: &[f64],
         v_pos: &[f64],
         pool: &[usize],
@@ -546,7 +553,7 @@ impl IncremInfl {
     pub fn select<M: Model + ?Sized>(
         &self,
         model: &M,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         w_k: &[f64],
         v_pos: &[f64],
         pool: &[usize],
@@ -554,7 +561,7 @@ impl IncremInfl {
         gamma: f64,
     ) -> (Vec<InflScore>, IncremStats) {
         let (cands, stats) = self.candidates(model, data, w_k, v_pos, pool, b, gamma);
-        let ranked = rank_infl_top_b(model, data, w_k, v_pos, &cands, gamma, b);
+        let ranked = rank_infl_top_b_sharded(model, data, w_k, v_pos, &cands, gamma, b);
         (ranked, stats)
     }
 }
@@ -564,7 +571,7 @@ mod tests {
     use super::*;
     use crate::influence::{influence_vector, rank_infl_with_vector, InflConfig};
     use chef_linalg::Matrix;
-    use chef_model::{LogisticRegression, SoftLabel, WeightedObjective};
+    use chef_model::{Dataset, LogisticRegression, SoftLabel, WeightedObjective};
     use chef_train::{train, SgdConfig};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
@@ -619,7 +626,7 @@ mod tests {
     fn fit(
         model: &LogisticRegression,
         obj: &WeightedObjective,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         epochs: usize,
         seed: u64,
     ) -> Vec<f64> {

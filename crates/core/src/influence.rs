@@ -19,7 +19,9 @@
 
 use chef_linalg::cg::{conjugate_gradient, conjugate_gradient_from, CgConfig};
 use chef_linalg::{vector, Workspace};
-use chef_model::{Dataset, Model, WeightedObjective};
+#[cfg(test)]
+use chef_model::Dataset;
+use chef_model::{DatasetStore, Model, WeightedObjective};
 use std::cmp::Ordering;
 
 /// Configuration for influence computations.
@@ -99,8 +101,8 @@ pub struct InflVectorOutcome {
 pub fn influence_vector<M: Model + ?Sized>(
     model: &M,
     objective: &WeightedObjective,
-    data: &Dataset,
-    val: &Dataset,
+    data: &dyn DatasetStore,
+    val: &dyn DatasetStore,
     w: &[f64],
     cfg: &InflConfig,
 ) -> Vec<f64> {
@@ -111,8 +113,8 @@ pub fn influence_vector<M: Model + ?Sized>(
 pub fn influence_vector_outcome<M: Model + ?Sized>(
     model: &M,
     objective: &WeightedObjective,
-    data: &Dataset,
-    val: &Dataset,
+    data: &dyn DatasetStore,
+    val: &dyn DatasetStore,
     w: &[f64],
     cfg: &InflConfig,
 ) -> InflVectorOutcome {
@@ -131,8 +133,8 @@ pub fn influence_vector_outcome<M: Model + ?Sized>(
 pub fn influence_vector_outcome_from<M: Model + ?Sized>(
     model: &M,
     objective: &WeightedObjective,
-    data: &Dataset,
-    val: &Dataset,
+    data: &dyn DatasetStore,
+    val: &dyn DatasetStore,
     w: &[f64],
     cfg: &InflConfig,
     warm_start: Option<&[f64]>,
@@ -187,7 +189,7 @@ fn hessian_subsample(n: usize, k: usize, seed: u64) -> Vec<usize> {
 #[allow(clippy::too_many_arguments)]
 pub fn influence_of_label<M: Model + ?Sized>(
     model: &M,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     w: &[f64],
     v: &[f64],
     index: usize,
@@ -236,8 +238,8 @@ impl InflScratch {
 pub fn rank_infl<M: Model + ?Sized>(
     model: &M,
     objective: &WeightedObjective,
-    data: &Dataset,
-    val: &Dataset,
+    data: &dyn DatasetStore,
+    val: &dyn DatasetStore,
     w: &[f64],
     candidates: &[usize],
     cfg: &InflConfig,
@@ -280,7 +282,7 @@ fn cmp_scores(a: &InflScore, b: &InflScore) -> Ordering {
 #[allow(clippy::too_many_arguments)]
 fn score_block_into<M: Model + ?Sized>(
     model: &M,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     w: &[f64],
     v: &[f64],
     block: &[usize],
@@ -333,7 +335,7 @@ fn score_block_into<M: Model + ?Sized>(
 /// serial blocked path regardless of block grouping.
 fn score_all_blocked<M: Model + ?Sized>(
     model: &M,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     w: &[f64],
     v: &[f64],
     candidates: &[usize],
@@ -372,7 +374,7 @@ fn score_all_blocked<M: Model + ?Sized>(
 /// `C` class perturbations. Shared by the serial and parallel rankers.
 fn score_candidate<M: Model + ?Sized>(
     model: &M,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     w: &[f64],
     v: &[f64],
     index: usize,
@@ -407,7 +409,7 @@ fn score_candidate<M: Model + ?Sized>(
 /// full ranking deterministic even under exact score ties.
 pub fn rank_infl_with_vector<M: Model + ?Sized>(
     model: &M,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     w: &[f64],
     v: &[f64],
     candidates: &[usize],
@@ -424,7 +426,7 @@ pub fn rank_infl_with_vector<M: Model + ?Sized>(
 /// baseline.
 pub fn rank_infl_with_vector_serial<M: Model + ?Sized>(
     model: &M,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     w: &[f64],
     v: &[f64],
     candidates: &[usize],
@@ -448,7 +450,7 @@ pub fn rank_infl_with_vector_serial<M: Model + ?Sized>(
 /// `rank_infl_with_vector(..)[..b]`.
 pub fn rank_infl_top_b<M: Model + ?Sized>(
     model: &M,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     w: &[f64],
     v: &[f64],
     candidates: &[usize],
@@ -467,6 +469,88 @@ pub fn rank_infl_top_b<M: Model + ?Sized>(
     scores
 }
 
+/// Sharded [`rank_infl_top_b`]: scores candidates one storage shard at
+/// a time, releasing each shard's residency before touching the next,
+/// and merges the per-shard top-`b` lists under the same
+/// `(score, index)` total order.
+///
+/// **Determinism argument** (DESIGN.md §15.4): every candidate's score
+/// depends only on its own feature row, label and the shared `(w, v)`
+/// vectors, never on which shard scored it — the blocked kernels read
+/// rows through the same `DatasetStore` surface either way. The global
+/// top-`b` under a total order is therefore exactly the top-`b` of the
+/// union of per-shard top-`b` lists: any sample ranked inside the
+/// global top-`b` is necessarily inside its own shard's top-`b`. The
+/// k-way merge compares with `cmp_scores`, whose index tie-break
+/// makes the result independent of shard boundaries and shard visit
+/// order — bit-identical to `rank_infl_top_b` over the whole pool.
+///
+/// On a single-shard store (`shard_boundaries() == [0, n]`) this *is*
+/// `rank_infl_top_b`, so in-memory callers pay nothing.
+pub fn rank_infl_top_b_sharded<M: Model + ?Sized>(
+    model: &M,
+    data: &dyn DatasetStore,
+    w: &[f64],
+    v: &[f64],
+    candidates: &[usize],
+    gamma: f64,
+    b: usize,
+) -> Vec<InflScore> {
+    let bounds = data.shard_boundaries();
+    if bounds.len() <= 2 {
+        return rank_infl_top_b(model, data, w, v, candidates, gamma, b);
+    }
+    if b == 0 {
+        return Vec::new();
+    }
+    // Partition the candidate pool by shard. Candidates arrive in any
+    // order; a per-shard bucket scan keeps this O(n + k).
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); bounds.len() - 1];
+    for &i in candidates {
+        // bounds is sorted ascending; partition_point finds the shard.
+        let s = bounds.partition_point(|&lo| lo <= i) - 1;
+        buckets[s].push(i);
+    }
+    let mut per_shard: Vec<Vec<InflScore>> = Vec::new();
+    for (s, bucket) in buckets.iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        let (lo, hi) = (bounds[s], bounds[s + 1]);
+        data.prefetch_rows(bucket);
+        per_shard.push(rank_infl_top_b(model, data, w, v, bucket, gamma, b));
+        data.advise_scanned(lo, hi);
+    }
+    merge_top_b(per_shard, b)
+}
+
+/// Deterministic k-way merge of `cmp_scores`-sorted lists into the
+/// global top-`b`. The comparator is a total order (index tie-break),
+/// so the output is independent of the order of `lists`.
+fn merge_top_b(lists: Vec<Vec<InflScore>>, b: usize) -> Vec<InflScore> {
+    let mut heads = vec![0usize; lists.len()];
+    let mut out = Vec::with_capacity(b.min(lists.iter().map(Vec::len).sum()));
+    while out.len() < b {
+        let mut best: Option<usize> = None;
+        for (l, list) in lists.iter().enumerate() {
+            if heads[l] >= list.len() {
+                continue;
+            }
+            best = match best {
+                None => Some(l),
+                Some(k) if cmp_scores(&list[heads[l]], &lists[k][heads[k]]) == Ordering::Less => {
+                    Some(l)
+                }
+                keep => keep,
+            };
+        }
+        let Some(l) = best else { break };
+        out.push(lists[l][heads[l]]);
+        heads[l] += 1;
+    }
+    out
+}
+
 /// Per-sample reference ranking: the pre-batching implementation, one
 /// `C + 1`-gradient `score_candidate` loop per candidate. Kept as the
 /// equivalence baseline the batched kernels are tested and benchmarked
@@ -474,7 +558,7 @@ pub fn rank_infl_top_b<M: Model + ?Sized>(
 /// used by the pipeline.
 pub fn rank_infl_with_vector_per_sample<M: Model + ?Sized>(
     model: &M,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     w: &[f64],
     v: &[f64],
     candidates: &[usize],

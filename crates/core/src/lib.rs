@@ -70,7 +70,7 @@ pub use influence::{
 };
 pub use lissa::{lissa_influence_vector, lissa_solve, LissaConfig};
 pub use metrics::{accuracy, confusion_matrix, evaluate_f1, f1_score, macro_f1, Evaluation};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, RoundReport};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, RoundReport, StorePipelineReport};
 pub use selector::{
     InflSelector, SampleSelector, Selection, SelectorCheckpoint, SelectorContext, SelectorStats,
 };

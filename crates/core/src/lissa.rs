@@ -23,7 +23,7 @@
 //! with out-of-core training sets would use.
 
 use chef_linalg::vector;
-use chef_model::{Dataset, Model, WeightedObjective};
+use chef_model::{DatasetStore, Model, WeightedObjective};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -63,7 +63,7 @@ impl Default for LissaConfig {
 pub fn lissa_solve<M: Model + ?Sized>(
     model: &M,
     objective: &WeightedObjective,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     w: &[f64],
     b: &[f64],
     cfg: &LissaConfig,
@@ -101,8 +101,8 @@ pub fn lissa_solve<M: Model + ?Sized>(
 pub fn lissa_influence_vector<M: Model + ?Sized>(
     model: &M,
     objective: &WeightedObjective,
-    data: &Dataset,
-    val: &Dataset,
+    data: &dyn DatasetStore,
+    val: &dyn DatasetStore,
     w: &[f64],
     cfg: &LissaConfig,
 ) -> Vec<f64> {
@@ -116,7 +116,7 @@ mod tests {
     use super::*;
     use crate::influence::{influence_vector, rank_infl_with_vector, InflConfig};
     use chef_linalg::Matrix;
-    use chef_model::{LogisticRegression, SoftLabel};
+    use chef_model::{Dataset, LogisticRegression, SoftLabel};
     use rand::Rng;
 
     fn fixture(n: usize, seed: u64) -> (LogisticRegression, WeightedObjective, Dataset, Dataset) {

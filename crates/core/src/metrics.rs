@@ -4,7 +4,7 @@
 //! the held-out test set. These helpers compute F1/accuracy from a model,
 //! its parameters, and a dataset with ground-truth labels.
 
-use chef_model::{Dataset, Model};
+use chef_model::{DatasetStore, Model};
 
 /// Confusion counts for one class treated as positive.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -65,7 +65,7 @@ impl ConfusionMatrix {
 pub fn confusion_matrix<M: Model + ?Sized>(
     model: &M,
     w: &[f64],
-    data: &Dataset,
+    data: &dyn DatasetStore,
     positive_class: usize,
 ) -> ConfusionMatrix {
     let mut cm = ConfusionMatrix::default();
@@ -85,18 +85,18 @@ pub fn confusion_matrix<M: Model + ?Sized>(
 }
 
 /// F1 of the positive class (class 1, the paper's convention).
-pub fn f1_score<M: Model + ?Sized>(model: &M, w: &[f64], data: &Dataset) -> f64 {
+pub fn f1_score<M: Model + ?Sized>(model: &M, w: &[f64], data: &dyn DatasetStore) -> f64 {
     confusion_matrix(model, w, data, 1).f1()
 }
 
 /// Plain accuracy.
-pub fn accuracy<M: Model + ?Sized>(model: &M, w: &[f64], data: &Dataset) -> f64 {
+pub fn accuracy<M: Model + ?Sized>(model: &M, w: &[f64], data: &dyn DatasetStore) -> f64 {
     confusion_matrix(model, w, data, 1).accuracy()
 }
 
 /// Macro-averaged F1 over all classes (used by the multiclass extension;
 /// the paper's binary tasks report the positive-class F1 instead).
-pub fn macro_f1<M: Model + ?Sized>(model: &M, w: &[f64], data: &Dataset) -> f64 {
+pub fn macro_f1<M: Model + ?Sized>(model: &M, w: &[f64], data: &dyn DatasetStore) -> f64 {
     let c = data.num_classes();
     (0..c)
         .map(|class| confusion_matrix(model, w, data, class).f1())
@@ -118,7 +118,7 @@ pub struct Evaluation {
 }
 
 /// Evaluate a model on a dataset with ground truth.
-pub fn evaluate_f1<M: Model + ?Sized>(model: &M, w: &[f64], data: &Dataset) -> Evaluation {
+pub fn evaluate_f1<M: Model + ?Sized>(model: &M, w: &[f64], data: &dyn DatasetStore) -> Evaluation {
     let cm = confusion_matrix(model, w, data, 1);
     Evaluation {
         f1: cm.f1(),
@@ -132,6 +132,7 @@ pub fn evaluate_f1<M: Model + ?Sized>(model: &M, w: &[f64], data: &Dataset) -> E
 mod tests {
     use super::*;
     use chef_linalg::Matrix;
+    use chef_model::Dataset;
     use chef_model::{LogisticRegression, SoftLabel};
 
     /// Dataset where sample i has feature x and truth t.

@@ -15,7 +15,7 @@ use crate::fault::FaultPlan;
 use crate::increm::IncremStats;
 use crate::metrics::evaluate_f1;
 use crate::selector::{SampleSelector, Selection, SelectorContext};
-use chef_model::{Dataset, Model, WeightedObjective};
+use chef_model::{Dataset, DatasetStore, LabelOverlay, Model, WeightedObjective};
 use chef_obs::{
     AnnotationTelemetry, ConstructorTelemetry, RoundTelemetry, SelectorTelemetry, Telemetry,
 };
@@ -163,6 +163,68 @@ impl PipelineReport {
     }
 }
 
+/// A [`PipelineReport`] without the materialized `final_data` copy: the
+/// result of the store-generic entry points ([`Pipeline::run_store`],
+/// [`Pipeline::resume_store`]), which mutate the caller's
+/// [`DatasetStore`] in place. An out-of-core run at n = 10⁶ must not
+/// end by cloning a quarter-gigabyte of features into RAM; callers that
+/// do want an owned snapshot call [`DatasetStore::to_dataset`]
+/// explicitly.
+#[derive(Debug, Clone)]
+pub struct StorePipelineReport {
+    /// Validation F1 of the uncleaned model.
+    pub initial_val_f1: f64,
+    /// Test F1 of the uncleaned model.
+    pub initial_test_f1: f64,
+    /// Wall-clock time of the initialization training.
+    pub init_time: Duration,
+    /// Per-round measurements.
+    pub rounds: Vec<RoundReport>,
+    /// Final (early-stopped) parameters.
+    pub final_w: Vec<f64>,
+    /// Final full-budget parameters (not early-stopped).
+    pub final_w_raw: Vec<f64>,
+    /// Whether the run stopped before exhausting the budget.
+    pub early_terminated: bool,
+    /// Total samples cleaned (deterministic labels installed).
+    pub cleaned_total: usize,
+    /// Whether the run was cut short by an injected crash.
+    pub interrupted: bool,
+}
+
+impl StorePipelineReport {
+    /// Attach an owned final dataset, producing the classic
+    /// [`PipelineReport`]. Used by [`Pipeline::run`], which owns its
+    /// in-memory training copy anyway.
+    pub fn into_report(self, final_data: Dataset) -> PipelineReport {
+        PipelineReport {
+            initial_val_f1: self.initial_val_f1,
+            initial_test_f1: self.initial_test_f1,
+            init_time: self.init_time,
+            rounds: self.rounds,
+            final_w: self.final_w,
+            final_w_raw: self.final_w_raw,
+            early_terminated: self.early_terminated,
+            cleaned_total: self.cleaned_total,
+            final_data,
+            interrupted: self.interrupted,
+        }
+    }
+
+    /// Test F1 after the last round (or of the uncleaned model when no
+    /// rounds ran).
+    pub fn final_test_f1(&self) -> f64 {
+        self.rounds
+            .last()
+            .map_or(self.initial_test_f1, |r| r.test_f1)
+    }
+
+    /// Validation F1 after the last round.
+    pub fn final_val_f1(&self) -> f64 {
+        self.rounds.last().map_or(self.initial_val_f1, |r| r.val_f1)
+    }
+}
+
 /// The CHEF pipeline driver.
 pub struct Pipeline {
     cfg: PipelineConfig,
@@ -237,11 +299,30 @@ impl Pipeline {
     pub fn run(
         &self,
         model: &dyn Model,
-        data: Dataset,
+        mut data: Dataset,
         val: &Dataset,
         test: &Dataset,
         selector: &mut dyn SampleSelector,
     ) -> PipelineReport {
+        let out = self.run_store(model, &mut data, val, test, selector);
+        out.into_report(data)
+    }
+
+    /// Storage-generic [`Self::run`]: drives the cleaning loop over any
+    /// [`DatasetStore`], mutating its labels in place. This is the entry
+    /// point for out-of-core runs (DESIGN.md §15) — a
+    /// `chef_data::MmapStore` keeps features on disk while labels and
+    /// flags update in RAM — and is exactly what [`Self::run`] calls on
+    /// its owned in-memory copy, so both paths are one code path and
+    /// bit-identical on the same data.
+    pub fn run_store(
+        &self,
+        model: &dyn Model,
+        data: &mut dyn DatasetStore,
+        val: &dyn DatasetStore,
+        test: &dyn DatasetStore,
+        selector: &mut dyn SampleSelector,
+    ) -> StorePipelineReport {
         let cfg = &self.cfg;
         let tel = &cfg.telemetry;
         let ctor = self.constructor();
@@ -249,7 +330,7 @@ impl Pipeline {
         // ---- Initialization step (offline): train + provenance. ----
         let init = {
             let _span = tel.span("pipeline.init");
-            ctor.initial_train(model, &cfg.objective, &data)
+            ctor.initial_train(model, &cfg.objective, data)
         };
         let trace = init.trace;
         let w_raw = init.w;
@@ -259,7 +340,6 @@ impl Pipeline {
         let initial_test_f1 = evaluate_f1(model, &w_eval, test).f1;
 
         let state = LoopState {
-            data,
             w_raw,
             w_eval,
             trace,
@@ -275,7 +355,7 @@ impl Pipeline {
             initial_test_f1,
             init_time: init.elapsed,
         };
-        self.drive(model, val, test, selector, state)
+        self.drive(model, data, val, test, selector, state)
     }
 
     /// Resume an interrupted run from the checkpoint file at `path`.
@@ -298,12 +378,31 @@ impl Pipeline {
     pub fn resume(
         &self,
         model: &dyn Model,
-        data: Dataset,
+        mut data: Dataset,
         val: &Dataset,
         test: &Dataset,
         selector: &mut dyn SampleSelector,
         path: &Path,
     ) -> Result<PipelineReport, CheckpointError> {
+        let out = self.resume_store(model, &mut data, val, test, selector, path)?;
+        Ok(out.into_report(data))
+    }
+
+    /// Storage-generic [`Self::resume`]: replays the checkpoint's label
+    /// patches onto `data` (which must be the pristine training store
+    /// the original run started from) and continues the loop in place.
+    /// `checkpoint.v1` stores row indices and label vectors only — no
+    /// feature bytes — so the same file resumes an in-memory run or an
+    /// out-of-core one interchangeably.
+    pub fn resume_store(
+        &self,
+        model: &dyn Model,
+        data: &mut dyn DatasetStore,
+        val: &dyn DatasetStore,
+        test: &dyn DatasetStore,
+        selector: &mut dyn SampleSelector,
+        path: &Path,
+    ) -> Result<StorePipelineReport, CheckpointError> {
         let ckpt = Checkpoint::read_from(path)?;
         self.resume_from(model, data, val, test, selector, ckpt, 0)
     }
@@ -314,12 +413,29 @@ impl Pipeline {
     pub fn resume_latest(
         &self,
         model: &dyn Model,
-        data: Dataset,
+        mut data: Dataset,
         val: &Dataset,
         test: &Dataset,
         selector: &mut dyn SampleSelector,
         dir: &Path,
     ) -> Result<PipelineReport, CheckpointError> {
+        let (ckpt, _path, corrupt_skipped) = Checkpoint::latest_in_dir(dir)?;
+        let out = self.resume_from(model, &mut data, val, test, selector, ckpt, corrupt_skipped)?;
+        Ok(out.into_report(data))
+    }
+
+    /// [`Self::resume_store`] from the newest readable generation in
+    /// `dir`, with the same corrupt-generation fallback as
+    /// [`Self::resume_latest`].
+    pub fn resume_latest_store(
+        &self,
+        model: &dyn Model,
+        data: &mut dyn DatasetStore,
+        val: &dyn DatasetStore,
+        test: &dyn DatasetStore,
+        selector: &mut dyn SampleSelector,
+        dir: &Path,
+    ) -> Result<StorePipelineReport, CheckpointError> {
         let (ckpt, _path, corrupt_skipped) = Checkpoint::latest_in_dir(dir)?;
         self.resume_from(model, data, val, test, selector, ckpt, corrupt_skipped)
     }
@@ -328,13 +444,13 @@ impl Pipeline {
     fn resume_from(
         &self,
         model: &dyn Model,
-        mut data: Dataset,
-        val: &Dataset,
-        test: &Dataset,
+        data: &mut dyn DatasetStore,
+        val: &dyn DatasetStore,
+        test: &dyn DatasetStore,
         selector: &mut dyn SampleSelector,
         ckpt: Checkpoint,
         corrupt_skipped: usize,
-    ) -> Result<PipelineReport, CheckpointError> {
+    ) -> Result<StorePipelineReport, CheckpointError> {
         let cfg = &self.cfg;
         if ckpt.annotation_seed != cfg.annotation.seed {
             return Err(CheckpointError::Mismatch(format!(
@@ -348,7 +464,7 @@ impl Pipeline {
                 ckpt.sgd_seed, cfg.sgd.seed
             )));
         }
-        ckpt.apply_labels(&mut data)?;
+        ckpt.apply_labels(data)?;
         selector
             .restore_checkpoint(ckpt.selector.clone())
             .map_err(CheckpointError::Mismatch)?;
@@ -372,7 +488,6 @@ impl Pipeline {
         }
 
         let state = LoopState {
-            data,
             w_raw: ckpt.w_raw,
             w_eval: ckpt.w_eval,
             trace: ckpt.trace,
@@ -386,7 +501,7 @@ impl Pipeline {
             initial_test_f1: ckpt.initial_test_f1,
             init_time: Duration::from_nanos(ckpt.init_ns),
         };
-        Ok(self.drive(model, val, test, selector, state))
+        Ok(self.drive(model, data, val, test, selector, state))
     }
 
     fn constructor(&self) -> ModelConstructor {
@@ -402,11 +517,12 @@ impl Pipeline {
     fn drive(
         &self,
         model: &dyn Model,
-        val: &Dataset,
-        test: &Dataset,
+        data: &mut dyn DatasetStore,
+        val: &dyn DatasetStore,
+        test: &dyn DatasetStore,
         selector: &mut dyn SampleSelector,
         mut state: LoopState,
-    ) -> PipelineReport {
+    ) -> StorePipelineReport {
         let cfg = &self.cfg;
         let tel = &cfg.telemetry;
         let ctor = self.constructor();
@@ -415,8 +531,7 @@ impl Pipeline {
         let mut interrupted = false;
         while !state.early_terminated && state.spent < cfg.budget {
             let b = cfg.round_size.min(cfg.budget - state.spent);
-            let pool: Vec<usize> = state
-                .data
+            let pool: Vec<usize> = data
                 .uncleaned_indices()
                 .into_iter()
                 .filter(|i| !state.attempted.contains(i))
@@ -432,7 +547,7 @@ impl Pipeline {
                 let ctx = SelectorContext {
                     model,
                     objective: &cfg.objective,
-                    data: &state.data,
+                    data: &*data,
                     val,
                     // Influence is computed at the full-budget parameters
                     // w_raw: they evolve smoothly across rounds (early
@@ -492,7 +607,20 @@ impl Pipeline {
 
             // ---- Human annotation phase. ----
             let annotate_start = Instant::now();
-            let old_data = state.data.clone();
+            // DeltaGrad-L's Eq. 4 corrections need the *pre-annotation*
+            // labels of exactly the selected samples. An overlay of
+            // those few labels over the post-annotation store replaces
+            // the former full `state.data.clone()` — O(b) instead of
+            // O(n·d) per round, and the only way an out-of-core store
+            // could provide an "old dataset" at all.
+            let mut prior = LabelOverlay::new();
+            for sel in &selections {
+                prior.insert(
+                    sel.index,
+                    data.label(sel.index).clone(),
+                    data.is_clean(sel.index),
+                );
+            }
             let (outcomes, ann_stats) = if self.annotators_time_out(state.round) {
                 // Injected timeout: the whole batch abstains — labels
                 // stay probabilistic, budget slots are still consumed.
@@ -506,7 +634,7 @@ impl Pipeline {
                 )
             } else {
                 let _span = tel.span("round.annotate");
-                annotator.annotate_with_stats(&mut state.data, &selections)
+                annotator.annotate_with_stats(data, &selections)
             };
             let annotate_time = annotate_start.elapsed();
             let mut changed = Vec::new();
@@ -530,11 +658,12 @@ impl Pipeline {
             // ---- Model constructor phase. ----
             let update = {
                 let _span = tel.span("round.update");
+                let old_view = prior.over(&*data);
                 ctor.update(
                     model,
                     &cfg.objective,
-                    &old_data,
-                    &state.data,
+                    &old_view,
+                    &*data,
                     &changed,
                     &state.trace,
                 )
@@ -623,7 +752,7 @@ impl Pipeline {
             // ---- Durability boundary. ----
             if let Some(ckcfg) = &cfg.checkpoint {
                 if ckcfg.every_rounds > 0 && state.round.is_multiple_of(ckcfg.every_rounds) {
-                    self.write_checkpoint(ckcfg, &state, &*selector, finished);
+                    self.write_checkpoint(ckcfg, &state, &*data, &*selector, finished);
                 }
             }
             if self.crash_requested(finished) {
@@ -632,7 +761,7 @@ impl Pipeline {
             }
         }
 
-        PipelineReport {
+        StorePipelineReport {
             initial_val_f1: state.initial_val_f1,
             initial_test_f1: state.initial_test_f1,
             init_time: state.init_time,
@@ -641,7 +770,6 @@ impl Pipeline {
             final_w_raw: state.w_raw,
             early_terminated: state.early_terminated,
             cleaned_total: state.cleaned_total,
-            final_data: state.data,
             interrupted,
         }
     }
@@ -650,15 +778,20 @@ impl Pipeline {
     /// exactly the attempted samples — the only ones annotation can have
     /// mutated — so replaying them onto the pristine dataset reproduces
     /// `state.data` bit-for-bit.
-    fn checkpoint_from(&self, state: &LoopState, selector: &dyn SampleSelector) -> Checkpoint {
+    fn checkpoint_from(
+        &self,
+        state: &LoopState,
+        data: &dyn DatasetStore,
+        selector: &dyn SampleSelector,
+    ) -> Checkpoint {
         let mut attempted: Vec<usize> = state.attempted.iter().copied().collect();
         attempted.sort_unstable();
         let labels = attempted
             .iter()
             .map(|&i| LabelPatch {
                 index: i,
-                clean: state.data.is_clean(i),
-                probs: state.data.label(i).probs().to_vec(),
+                clean: data.is_clean(i),
+                probs: data.label(i).probs().to_vec(),
             })
             .collect();
         Checkpoint {
@@ -685,11 +818,12 @@ impl Pipeline {
         &self,
         ckcfg: &CheckpointConfig,
         state: &LoopState,
+        data: &dyn DatasetStore,
         selector: &dyn SampleSelector,
         finished_round: usize,
     ) {
         let tel = &self.cfg.telemetry;
-        let ckpt = self.checkpoint_from(state, selector);
+        let ckpt = self.checkpoint_from(state, data, selector);
         let start = Instant::now();
         match ckpt.write_generation(ckcfg) {
             Ok((path, bytes)) => {
@@ -739,7 +873,6 @@ impl Pipeline {
 /// exactly the state a [`Checkpoint`] must persist for
 /// [`Pipeline::resume`] to continue bit-identically.
 struct LoopState {
-    data: Dataset,
     w_raw: Vec<f64>,
     w_eval: Vec<f64>,
     trace: TrainTrace,

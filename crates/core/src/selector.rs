@@ -8,8 +8,8 @@
 //! independent labeler (§4.3).
 
 use crate::increm::{IncremInfl, IncremSnapshot, IncremStats};
-use crate::influence::{influence_vector_outcome_from, rank_infl_top_b, InflConfig};
-use chef_model::{Dataset, Model, WeightedObjective};
+use crate::influence::{influence_vector_outcome_from, rank_infl_top_b_sharded, InflConfig};
+use chef_model::{DatasetStore, Model, WeightedObjective};
 
 /// Everything a selector may look at when ranking the uncleaned pool.
 pub struct SelectorContext<'a> {
@@ -17,10 +17,11 @@ pub struct SelectorContext<'a> {
     pub model: &'a dyn Model,
     /// The weighted objective (γ, λ).
     pub objective: &'a WeightedObjective,
-    /// Current training data.
-    pub data: &'a Dataset,
+    /// Current training data (any [`DatasetStore`]: the in-memory
+    /// [`chef_model::Dataset`] or an out-of-core mmap store).
+    pub data: &'a dyn DatasetStore,
     /// Trusted validation set.
-    pub val: &'a Dataset,
+    pub val: &'a dyn DatasetStore,
     /// Current model parameters.
     pub w: &'a [f64],
     /// Indices still eligible for cleaning.
@@ -257,7 +258,7 @@ impl SampleSelector for InflSelector {
             scores
         } else {
             self.last_stats = None;
-            rank_infl_top_b(
+            rank_infl_top_b_sharded(
                 ctx.model,
                 ctx.data,
                 ctx.w,
@@ -335,7 +336,7 @@ impl SampleSelector for InflSelector {
 mod tests {
     use super::*;
     use chef_linalg::Matrix;
-    use chef_model::{LogisticRegression, SoftLabel};
+    use chef_model::{Dataset, LogisticRegression, SoftLabel};
 
     fn toy() -> (LogisticRegression, WeightedObjective, Dataset, Dataset) {
         let n = 40;

@@ -64,20 +64,25 @@ fn sample_class(spec: &DatasetSpec, rng: &mut SmallRng) -> usize {
     }
 }
 
-fn make_part(
+/// Draw `n` samples row by row, handing each to `sink` as it is
+/// produced. This is the single source of truth for the per-row RNG
+/// draw order (class → `dim` feature draws → flip roll → flip shift),
+/// shared by the in-memory [`generate`] and the streaming
+/// [`generate_train_store`] so both emit bit-identical rows from the
+/// same seed.
+fn emit_part(
     spec: &DatasetSpec,
     means: &[Vec<f64>],
     n: usize,
     noisy_truth: bool,
     rng: &mut SmallRng,
-) -> Dataset {
-    let mut raw = Vec::with_capacity(n * spec.dim);
-    let mut labels = Vec::with_capacity(n);
-    let mut truth = Vec::with_capacity(n);
+    mut sink: impl FnMut(&[f64], usize) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let mut row = vec![0.0; spec.dim];
     for _ in 0..n {
         let true_class = sample_class(spec, rng);
-        for mu_d in &means[true_class] {
-            raw.push(mu_d + randn(rng));
+        for (x, mu_d) in row.iter_mut().zip(&means[true_class]) {
+            *x = mu_d + randn(rng);
         }
         // Recorded truth may itself be wrong (automated labelers). Both
         // random draws happen unconditionally so that datasets generated
@@ -89,9 +94,28 @@ fn make_part(
         } else {
             true_class
         };
+        sink(&row, recorded)?;
+    }
+    Ok(())
+}
+
+fn make_part(
+    spec: &DatasetSpec,
+    means: &[Vec<f64>],
+    n: usize,
+    noisy_truth: bool,
+    rng: &mut SmallRng,
+) -> Dataset {
+    let mut raw = Vec::with_capacity(n * spec.dim);
+    let mut labels = Vec::with_capacity(n);
+    let mut truth = Vec::with_capacity(n);
+    emit_part(spec, means, n, noisy_truth, rng, |row, recorded| {
+        raw.extend_from_slice(row);
         labels.push(SoftLabel::onehot(recorded, spec.num_classes));
         truth.push(Some(recorded));
-    }
+        Ok(())
+    })
+    .expect("in-memory sink cannot fail");
     Dataset::new(
         Matrix::from_vec(n, spec.dim, raw),
         labels,
@@ -111,6 +135,40 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> Split {
     let val = make_part(spec, &means, spec.val, false, &mut rng);
     let test = make_part(spec, &means, spec.test, false, &mut rng);
     Split { train, val, test }
+}
+
+/// Like [`generate`], but **stream the training part straight into an
+/// on-disk `store.v1` directory** instead of materializing it: peak
+/// memory is one shard plus the O(n) label columns, so a training set
+/// larger than RAM can be produced. The (small) validation and test
+/// parts are returned in memory.
+///
+/// Uses the same RNG stream as [`generate`], so for any `(spec, seed)`
+/// the rows written to `dir` are bit-identical to `generate(spec,
+/// seed).train` and the returned val/test datasets are identical to the
+/// in-memory split's.
+pub fn generate_train_store(
+    spec: &DatasetSpec,
+    seed: u64,
+    dir: &std::path::Path,
+    chunk_rows: usize,
+) -> std::io::Result<(crate::store::Manifest, Dataset, Dataset)> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc5ef_da7a_5eed);
+    let means = class_means(spec, &mut rng);
+    let mut writer =
+        crate::store::StoreWriter::create(dir, spec.dim, spec.num_classes, chunk_rows)?;
+    emit_part(spec, &means, spec.train, true, &mut rng, |row, recorded| {
+        writer.push_row(
+            row,
+            SoftLabel::onehot(recorded, spec.num_classes),
+            true,
+            Some(recorded),
+        )
+    })?;
+    let manifest = writer.finish()?;
+    let val = make_part(spec, &means, spec.val, false, &mut rng);
+    let test = make_part(spec, &means, spec.test, false, &mut rng);
+    Ok((manifest, val, test))
 }
 
 #[cfg(test)]
@@ -245,6 +303,26 @@ mod tests {
             assert!(s.val.is_clean(i));
             assert!(s.val.label(i).is_deterministic());
         }
+    }
+
+    #[test]
+    fn streamed_store_matches_in_memory_generation_bit_for_bit() {
+        use chef_model::DatasetStore;
+        let spec = small_spec();
+        let seed = 13;
+        let dir = std::env::temp_dir().join(format!("chef-gen-store-{}", std::process::id()));
+        let (manifest, val, test) = generate_train_store(&spec, seed, &dir, 64).unwrap();
+        assert_eq!(manifest.n, spec.train);
+        let split = generate(&spec, seed);
+        let store = crate::store::MmapStore::open(&dir).unwrap();
+        for i in 0..spec.train {
+            assert_eq!(store.feature(i), split.train.feature(i), "row {i}");
+            assert_eq!(store.label(i).probs(), split.train.label(i).probs());
+            assert_eq!(store.ground_truth(i), split.train.ground_truth(i));
+        }
+        assert_eq!(val.feature(0), split.val.feature(0));
+        assert_eq!(test.feature(0), split.test.feature(0));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

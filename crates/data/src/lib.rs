@@ -18,11 +18,22 @@
 //! [`DatasetSpec`] describes a dataset; [`generate`] materializes a
 //! train/val/test [`Split`] whose training labels start as ground truth —
 //! the `chef-weak` crate then overwrites them with probabilistic labels.
+//!
+//! For datasets too large for RAM, the [`store`] module provides the
+//! out-of-core `store.v1` substrate: [`generate_train_store`] streams
+//! the training part directly into a sharded on-disk columnar store
+//! that [`MmapStore`] serves back through `chef_model::DatasetStore`
+//! with features memory-mapped instead of heap-allocated (DESIGN.md
+//! §15).
+
+#![warn(missing_docs)]
 
 pub mod csv;
 pub mod generator;
 pub mod spec;
+pub mod store;
 
 pub use csv::{read_dataset, read_split, write_dataset, write_split, CsvError};
-pub use generator::{generate, Split};
+pub use generator::{generate, generate_train_store, Split};
 pub use spec::{by_name, paper_suite, DatasetKind, DatasetSpec};
+pub use store::{Manifest, MmapStore, StoreError, StoreOptions, StoreWriter};

@@ -10,20 +10,38 @@
 //!
 //! This file deliberately holds a single `#[test]`: the harness runs
 //! tests in one process, and any concurrent test's allocations would
-//! race the counter.
+//! race the counter. The counter is additionally gated on a
+//! thread-local flag so the harness's *own* threads (timekeeping,
+//! captured-output buffering) can't be miscounted as pool traffic —
+//! only allocations made by the test thread inside the measured window
+//! are recorded.
 
 use chef_linalg::Workspace;
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// System allocator that counts every `alloc`/`realloc`.
+/// System allocator that counts every `alloc`/`realloc` made while the
+/// current thread has [`COUNTING`] set.
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when this thread is inside the measured window. `try_with`
+/// keeps the allocator safe during TLS construction/teardown.
+fn counting_here() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -32,7 +50,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -63,9 +83,11 @@ fn steady_state_hot_loop_allocates_nothing() {
     let mut sink = hot_iteration(&mut ws);
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(true));
     for _ in 0..1000 {
         sink += hot_iteration(&mut ws);
     }
+    COUNTING.with(|c| c.set(false));
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(
         after - before,

@@ -22,7 +22,12 @@
 //! * [`WeightedObjective`] — the weighted objective of Eq. 1, gluing a
 //!   model, a dataset, the uncleaned-sample weight γ and L2 strength λ
 //!   into full-dataset losses/gradients/HVPs (exposed to the CG solver as
-//!   a [`chef_linalg::LinearOperator`]).
+//!   a [`chef_linalg::LinearOperator`]),
+//! * [`DatasetStore`] — the storage-agnostic access surface those pieces
+//!   actually consume; [`Dataset`] is its in-memory impl and `chef-data`
+//!   provides a memory-mapped sharded one (DESIGN.md §15).
+
+#![warn(missing_docs)]
 
 pub mod dataset;
 pub mod label;
@@ -30,6 +35,7 @@ pub mod logreg;
 pub mod mlp;
 pub mod model;
 pub mod objective;
+pub mod store;
 
 pub use chef_linalg::KernelBackend;
 pub use dataset::Dataset;
@@ -38,3 +44,4 @@ pub use logreg::LogisticRegression;
 pub use mlp::Mlp;
 pub use model::{KernelPath, Model};
 pub use objective::{HessianOperator, WeightedObjective, PAR_GRAIN};
+pub use store::{DatasetStore, LabelOverlay, OverlayView};

@@ -19,9 +19,9 @@
 //!   method on the full `m × m` Hessian via autodiff HVPs; running it on
 //!   the Kronecker core is algebraically identical and far cheaper).
 
-use crate::dataset::Dataset;
 use crate::label::SoftLabel;
 use crate::model::{KernelPath, Model};
+use crate::store::DatasetStore;
 use chef_linalg::power::{power_method, PowerConfig};
 use chef_linalg::{kernels, vector, KernelBackend, Matrix, Workspace};
 
@@ -198,7 +198,7 @@ impl LogisticRegression {
     fn block_panels(
         &self,
         w: &[f64],
-        data: &Dataset,
+        data: &dyn DatasetStore,
         block: &[usize],
         v: &[f64],
         xb: &mut [f64],
@@ -247,13 +247,18 @@ impl LogisticRegression {
 /// consecutive blocks (the common case — minibatches from `BatchPlan`
 /// are ascending ranges), a gather into `xb` otherwise.
 fn block_features<'a>(
-    data: &'a Dataset,
+    data: &'a dyn DatasetStore,
     block: &[usize],
     d: usize,
     xb: &'a mut [f64],
 ) -> &'a [f64] {
     let consecutive = block.windows(2).all(|pair| pair[1] == pair[0] + 1);
-    if consecutive && !block.is_empty() {
+    // Zero-copy only when the run also stays inside one contiguous
+    // storage unit (always true in memory; one chunk for a sharded
+    // store). The gather fallback reads the same f64 bits row by row,
+    // so which path runs can never change a result.
+    if consecutive && !block.is_empty() && data.contiguous_limit(block[0]) >= block[0] + block.len()
+    {
         data.feature_rows(block[0], block[0] + block.len())
     } else {
         for (r, &i) in block.iter().enumerate() {
@@ -356,7 +361,7 @@ impl Model for LogisticRegression {
     fn score_block(
         &self,
         w: &[f64],
-        data: &Dataset,
+        data: &dyn DatasetStore,
         block: &[usize],
         v: &[f64],
         class_dots: &mut [f64],
@@ -403,7 +408,7 @@ impl Model for LogisticRegression {
     fn grad_block(
         &self,
         w: &[f64],
-        data: &Dataset,
+        data: &dyn DatasetStore,
         batch: &[usize],
         gamma: f64,
         out: &mut [f64],
@@ -467,7 +472,7 @@ impl Model for LogisticRegression {
     fn hvp_block(
         &self,
         w: &[f64],
-        data: &Dataset,
+        data: &dyn DatasetStore,
         batch: &[usize],
         gamma: f64,
         v: &[f64],

@@ -7,8 +7,8 @@
 //! cross-entropy terms (Eq. 8) *without* regularization or γ-weighting —
 //! those belong to [`crate::WeightedObjective`], which owns Eq. 1.
 
-use crate::dataset::Dataset;
 use crate::label::SoftLabel;
+use crate::store::DatasetStore;
 use chef_linalg::{vector, KernelBackend, Workspace};
 
 /// Which kernel implementation served a batched [`Model`] call.
@@ -148,7 +148,7 @@ pub trait Model: Send + Sync {
     fn score_block(
         &self,
         w: &[f64],
-        data: &Dataset,
+        data: &dyn DatasetStore,
         block: &[usize],
         v: &[f64],
         class_dots: &mut [f64],
@@ -186,7 +186,7 @@ pub trait Model: Send + Sync {
     fn grad_block(
         &self,
         w: &[f64],
-        data: &Dataset,
+        data: &dyn DatasetStore,
         batch: &[usize],
         gamma: f64,
         out: &mut [f64],
@@ -213,7 +213,7 @@ pub trait Model: Send + Sync {
     fn hvp_block(
         &self,
         w: &[f64],
-        data: &Dataset,
+        data: &dyn DatasetStore,
         batch: &[usize],
         gamma: f64,
         v: &[f64],

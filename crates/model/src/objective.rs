@@ -11,9 +11,9 @@
 //! gradients follow the paper's convention of dividing by the batch size
 //! (not the weight sum).
 
-use crate::dataset::Dataset;
 use crate::label::SoftLabel;
 use crate::model::Model;
+use crate::store::DatasetStore;
 use chef_linalg::{vector, LinearOperator, Workspace};
 
 /// Minimum number of per-sample terms before the `parallel` feature fans
@@ -41,7 +41,7 @@ const GRAD_CHUNK: usize = PAR_GRAIN / 2;
 /// pool and combine them in the same order.
 fn grad_weighted_sum_serial<M: Model + ?Sized>(
     model: &M,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     batch: &[usize],
     gamma: f64,
     w: &[f64],
@@ -68,7 +68,7 @@ fn grad_weighted_sum_serial<M: Model + ?Sized>(
 #[cfg(feature = "parallel")]
 fn grad_weighted_sum_parallel<M: Model + ?Sized>(
     model: &M,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     batch: &[usize],
     gamma: f64,
     w: &[f64],
@@ -120,7 +120,7 @@ impl WeightedObjective {
     }
 
     /// Full-dataset objective value `F(w)`.
-    pub fn loss<M: Model + ?Sized>(&self, model: &M, data: &Dataset, w: &[f64]) -> f64 {
+    pub fn loss<M: Model + ?Sized>(&self, model: &M, data: &dyn DatasetStore, w: &[f64]) -> f64 {
         let idx: Vec<usize> = (0..data.len()).collect();
         self.batch_loss(model, data, &idx, w)
     }
@@ -129,7 +129,7 @@ impl WeightedObjective {
     pub fn batch_loss<M: Model + ?Sized>(
         &self,
         model: &M,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         batch: &[usize],
         w: &[f64],
     ) -> f64 {
@@ -144,7 +144,13 @@ impl WeightedObjective {
     }
 
     /// Full-dataset gradient `∇F(w)` into `out` (overwrites).
-    pub fn grad<M: Model + ?Sized>(&self, model: &M, data: &Dataset, w: &[f64], out: &mut [f64]) {
+    pub fn grad<M: Model + ?Sized>(
+        &self,
+        model: &M,
+        data: &dyn DatasetStore,
+        w: &[f64],
+        out: &mut [f64],
+    ) {
         let idx: Vec<usize> = (0..data.len()).collect();
         self.batch_grad(model, data, &idx, w, out);
     }
@@ -165,7 +171,7 @@ impl WeightedObjective {
     pub fn batch_grad<M: Model + ?Sized>(
         &self,
         model: &M,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         batch: &[usize],
         w: &[f64],
         out: &mut [f64],
@@ -186,7 +192,7 @@ impl WeightedObjective {
     pub fn batch_grad_serial<M: Model + ?Sized>(
         &self,
         model: &M,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         batch: &[usize],
         w: &[f64],
         out: &mut [f64],
@@ -207,7 +213,7 @@ impl WeightedObjective {
     pub fn hvp<M: Model + ?Sized>(
         &self,
         model: &M,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         w: &[f64],
         v: &[f64],
         out: &mut [f64],
@@ -221,7 +227,7 @@ impl WeightedObjective {
     pub fn hvp_serial<M: Model + ?Sized>(
         &self,
         model: &M,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         w: &[f64],
         v: &[f64],
         out: &mut [f64],
@@ -243,7 +249,7 @@ impl WeightedObjective {
     pub fn batch_hvp<M: Model + ?Sized>(
         &self,
         model: &M,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         batch: &[usize],
         w: &[f64],
         v: &[f64],
@@ -286,7 +292,7 @@ impl WeightedObjective {
     pub fn batch_hvp_serial<M: Model + ?Sized>(
         &self,
         model: &M,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         batch: &[usize],
         w: &[f64],
         v: &[f64],
@@ -302,7 +308,7 @@ impl WeightedObjective {
 
     /// Unweighted, unregularized mean cross-entropy over a validation set
     /// — the `F(w, Z_val)` the influence functions differentiate.
-    pub fn val_loss<M: Model + ?Sized>(&self, model: &M, val: &Dataset, w: &[f64]) -> f64 {
+    pub fn val_loss<M: Model + ?Sized>(&self, model: &M, val: &dyn DatasetStore, w: &[f64]) -> f64 {
         assert!(!val.is_empty(), "val_loss: empty validation set");
         let mut sum = 0.0;
         for i in 0..val.len() {
@@ -322,7 +328,7 @@ impl WeightedObjective {
     pub fn val_grad<M: Model + ?Sized>(
         &self,
         model: &M,
-        val: &Dataset,
+        val: &dyn DatasetStore,
         w: &[f64],
         out: &mut [f64],
     ) {
@@ -343,7 +349,7 @@ impl WeightedObjective {
     pub fn val_grad_serial<M: Model + ?Sized>(
         &self,
         model: &M,
-        val: &Dataset,
+        val: &dyn DatasetStore,
         w: &[f64],
         out: &mut [f64],
     ) {
@@ -358,7 +364,7 @@ impl WeightedObjective {
     pub fn sample_loss_with_label<M: Model + ?Sized>(
         &self,
         model: &M,
-        data: &Dataset,
+        data: &dyn DatasetStore,
         i: usize,
         label: &SoftLabel,
         w: &[f64],
@@ -370,7 +376,7 @@ impl WeightedObjective {
     pub fn hessian_operator<'a, M: Model + ?Sized>(
         &self,
         model: &'a M,
-        data: &'a Dataset,
+        data: &'a dyn DatasetStore,
         w: &'a [f64],
     ) -> HessianOperator<'a, M> {
         HessianOperator {
@@ -389,7 +395,7 @@ impl WeightedObjective {
     pub fn hessian_operator_on<'a, M: Model + ?Sized>(
         &self,
         model: &'a M,
-        data: &'a Dataset,
+        data: &'a dyn DatasetStore,
         w: &'a [f64],
         batch: Vec<usize>,
     ) -> HessianOperator<'a, M> {
@@ -409,7 +415,7 @@ impl WeightedObjective {
 pub struct HessianOperator<'a, M: Model + ?Sized> {
     objective: WeightedObjective,
     model: &'a M,
-    data: &'a Dataset,
+    data: &'a dyn DatasetStore,
     w: &'a [f64],
     batch: Option<Vec<usize>>,
     /// Hessian-vector products applied so far (telemetry: the CG solve's
@@ -443,6 +449,7 @@ impl<M: Model + ?Sized> LinearOperator for HessianOperator<'_, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::Dataset;
     use crate::logreg::LogisticRegression;
     use chef_linalg::Matrix;
     use rand::rngs::SmallRng;

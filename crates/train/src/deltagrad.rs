@@ -22,7 +22,7 @@
 use crate::sgd::{TrainOutcome, TrainTrace};
 use crate::trace::TraceStore;
 use chef_linalg::{vector, LbfgsBuffer};
-use chef_model::{Dataset, Model, WeightedObjective};
+use chef_model::{DatasetStore, Model, WeightedObjective};
 
 /// DeltaGrad hyperparameters (paper Appendix F.2 uses
 /// `j₀ = 10, T₀ = 10, m₀ = 2`).
@@ -97,8 +97,8 @@ impl From<DeltaGradOutcome> for TrainOutcome {
 pub fn deltagrad_update<M: Model + ?Sized>(
     model: &M,
     objective: &WeightedObjective,
-    old_data: &Dataset,
-    new_data: &Dataset,
+    old_data: &dyn DatasetStore,
+    new_data: &dyn DatasetStore,
     changed: &[usize],
     trace: &TrainTrace,
     cfg: &DeltaGradConfig,
@@ -132,6 +132,7 @@ pub fn deltagrad_update<M: Model + ?Sized>(
     for (t, batch) in trace.plan.iter() {
         if cfg.is_explicit(t) {
             // Exact gradient on the OLD dataset at the new parameters.
+            old_data.prefetch_rows(&batch);
             objective.batch_grad(model, old_data, &batch, &w, &mut g_base);
             let s = vector::sub(&w, trace.params.row(t));
             let y = vector::sub(&g_base, trace.grads.row(t));
@@ -189,7 +190,7 @@ mod tests {
     use super::*;
     use crate::sgd::{train, SgdConfig};
     use chef_linalg::Matrix;
-    use chef_model::{LogisticRegression, SoftLabel};
+    use chef_model::{Dataset, LogisticRegression, SoftLabel};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 

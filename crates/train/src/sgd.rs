@@ -12,7 +12,7 @@
 use crate::batch::BatchPlan;
 use crate::trace::TraceStore;
 use chef_linalg::vector;
-use chef_model::{Dataset, Model, WeightedObjective};
+use chef_model::{DatasetStore, Model, WeightedObjective};
 
 /// SGD hyperparameters (paper Table 4 equivalents).
 #[derive(Debug, Clone, Copy)]
@@ -77,7 +77,7 @@ pub struct TrainOutcome {
 pub fn train<M: Model + ?Sized>(
     model: &M,
     objective: &WeightedObjective,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     w0: &[f64],
     cfg: &SgdConfig,
 ) -> TrainOutcome {
@@ -99,7 +99,7 @@ pub fn train<M: Model + ?Sized>(
 pub fn train_traced<M: Model + ?Sized>(
     model: &M,
     objective: &WeightedObjective,
-    data: &Dataset,
+    data: &dyn DatasetStore,
     w0: &[f64],
     cfg: &SgdConfig,
     telemetry: &chef_obs::Telemetry,
@@ -127,6 +127,10 @@ pub fn train_traced<M: Model + ?Sized>(
     for (t, batch) in plan.iter() {
         {
             let _batch_timer = telemetry.timer("train.batch_ms");
+            // Residency hint for out-of-core stores (no-op in memory):
+            // the store keeps a bounded window of recently hinted chunks
+            // resident, so a full epoch never holds the whole file.
+            data.prefetch_rows(&batch);
             objective.batch_grad(model, data, &batch, &w, &mut g);
             if cfg.cache_provenance {
                 params.push(&w);
@@ -159,7 +163,7 @@ pub fn train_traced<M: Model + ?Sized>(
 pub fn select_early_stop<M: Model + ?Sized>(
     model: &M,
     objective: &WeightedObjective,
-    val: &Dataset,
+    val: &dyn DatasetStore,
     checkpoints: &[Vec<f64>],
     final_w: &[f64],
 ) -> (Vec<f64>, usize) {
@@ -182,7 +186,7 @@ pub fn select_early_stop<M: Model + ?Sized>(
 mod tests {
     use super::*;
     use chef_linalg::Matrix;
-    use chef_model::{LogisticRegression, SoftLabel};
+    use chef_model::{Dataset, LogisticRegression, SoftLabel};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 

@@ -88,8 +88,11 @@ pub fn weaken_split(split: &mut Split, spec: &DatasetSpec, cfg: &WeakenConfig) {
 }
 
 /// The paper's fully-clean regime: uniform-random probability vectors,
-/// uncorrelated with ground truth.
-pub fn random_probabilistic_labels(train: &mut Dataset, seed: u64) {
+/// uncorrelated with ground truth. Storage-generic (the draw order
+/// depends only on `n` and the class count), so weakening an on-disk
+/// `MmapStore` and its in-memory materialization installs bit-identical
+/// labels — the property the out-of-core equivalence tests rely on.
+pub fn random_probabilistic_labels(train: &mut dyn chef_model::DatasetStore, seed: u64) {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_1abe1);
     let c = train.num_classes();
     for i in 0..train.len() {

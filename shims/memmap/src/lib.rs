@@ -1,0 +1,250 @@
+//! Offline drop-in replacement for the subset of [`memmap2`] this
+//! workspace uses: read-only shared file mappings with residency hints.
+//!
+//! The build container cannot reach crates.io, so the real memmap2
+//! cannot be fetched. This shim declares the three syscall wrappers it
+//! needs (`mmap`, `munmap`, `madvise`) as raw `extern "C"` bindings to
+//! the platform libc — no `libc` crate — and exposes:
+//!
+//! * [`Mmap::map`] — map a whole file read-only (`MAP_SHARED`, so the
+//!   kernel's page cache backs the mapping and clean pages can be
+//!   reclaimed without touching swap),
+//! * [`Mmap::advise_willneed`] / [`Mmap::advise_dontneed`] — the two
+//!   `madvise` hints the out-of-core store uses for prefetch windows and
+//!   post-scan residency release,
+//! * [`read_exact_at`] — a positional-read (`pread`) fallback built on
+//!   `std::os::unix::fs::FileExt`, for callers that must work when
+//!   `mmap` itself fails (exotic filesystems, locked-down sandboxes).
+//!
+//! An empty file maps to an empty slice without calling `mmap` (a
+//! zero-length mapping is `EINVAL` on Linux).
+//!
+//! [`memmap2`]: https://docs.rs/memmap2
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::os::unix::fs::FileExt;
+use std::os::unix::io::AsRawFd;
+
+// Raw libc bindings — the process already links libc through std, so
+// declaring the three symbols we need is enough.
+extern "C" {
+    fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+    fn munmap(addr: *mut u8, len: usize) -> i32;
+    fn madvise(addr: *mut u8, len: usize, advice: i32) -> i32;
+}
+
+const PROT_READ: i32 = 0x1;
+const MAP_SHARED: i32 = 0x01;
+const MAP_FAILED: *mut u8 = usize::MAX as *mut u8;
+const MADV_WILLNEED: i32 = 3;
+const MADV_DONTNEED: i32 = 4;
+
+/// A read-only shared mapping of an entire file.
+///
+/// Dereferences to `&[u8]`; the mapping is unmapped on drop. The
+/// mapping is page-aligned (the kernel guarantees this), so callers may
+/// reinterpret aligned sub-ranges as `&[f64]` after checking alignment.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The mapping is read-only and never moves; sharing it across threads
+// is exactly as safe as sharing a `&[u8]`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `mmap(2)` failure as an [`io::Error`];
+    /// callers fall back to positional reads ([`read_exact_at`]).
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: requesting a fresh read-only shared mapping of a file
+        // we hold open; the kernel picks the address. Failure is
+        // reported via MAP_FAILED and surfaced as an io::Error.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// Hint that `range` of the mapping will be read soon (readahead).
+    /// Best-effort: errors are ignored, as a failed hint only costs
+    /// performance.
+    pub fn advise_willneed(&self, offset: usize, len: usize) {
+        self.advise(offset, len, MADV_WILLNEED);
+    }
+
+    /// Hint that `range` of the mapping will not be needed again soon,
+    /// releasing its resident pages (for a clean file-backed shared
+    /// mapping this drops the pages without any writeback). Best-effort.
+    pub fn advise_dontneed(&self, offset: usize, len: usize) {
+        self.advise(offset, len, MADV_DONTNEED);
+    }
+
+    fn advise(&self, offset: usize, len: usize, advice: i32) {
+        if self.ptr.is_null() || offset >= self.len {
+            return;
+        }
+        let len = len.min(self.len - offset);
+        // madvise wants a page-aligned address: round the start down.
+        let page = page_size();
+        let aligned_off = offset & !(page - 1);
+        let len = len + (offset - aligned_off);
+        // SAFETY: [aligned_off, aligned_off+len) is within our mapping
+        // and page-aligned at the start; madvise does not invalidate
+        // the mapping for a read-only file-backed range.
+        unsafe {
+            madvise(self.ptr.add(aligned_off), len, advice);
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if !self.ptr.is_null() {
+            // SAFETY: unmapping exactly what Self::map mapped.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        if self.ptr.is_null() {
+            &[]
+        } else {
+            // SAFETY: ptr/len describe a live read-only mapping.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// The system page size (used to align `madvise` ranges). Falls back to
+/// 4096 if the `_SC_PAGESIZE` probe is unavailable.
+pub fn page_size() -> usize {
+    extern "C" {
+        fn sysconf(name: i32) -> i64;
+    }
+    const SC_PAGESIZE: i32 = 30; // Linux value; glibc and musl agree.
+                                 // SAFETY: sysconf is async-signal-safe and takes no pointers.
+    let v = unsafe { sysconf(SC_PAGESIZE) };
+    if v > 0 {
+        v as usize
+    } else {
+        4096
+    }
+}
+
+/// Positional-read fallback: fill `buf` from `file` at byte `offset`
+/// without moving the file cursor (`pread`). Retries short reads; EOF
+/// before `buf` is full is an [`io::ErrorKind::UnexpectedEof`] error.
+pub fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("memmap-shim-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        f.sync_all().unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp("basic", b"hello mapping");
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(&map[..], b"hello mapping");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = tmp("empty", b"");
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapping_is_page_aligned_for_f64() {
+        let data: Vec<u8> = (0..64u64).flat_map(|x| (x as f64).to_le_bytes()).collect();
+        let path = tmp("aligned", &data);
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(map.as_ptr() as usize % std::mem::align_of::<f64>(), 0);
+        // SAFETY: alignment just checked; length is a multiple of 8.
+        let floats =
+            unsafe { std::slice::from_raw_parts(map.as_ptr() as *const f64, map.len() / 8) };
+        assert_eq!(floats[63], 63.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn advise_calls_are_safe_no_ops_on_any_range() {
+        let path = tmp("advise", &[7u8; 10_000]);
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        map.advise_willneed(0, 10_000);
+        map.advise_dontneed(4096, 4096);
+        map.advise_dontneed(9_999, 50); // clamped past the end
+        map.advise_willneed(20_000, 1); // out of range: ignored
+        assert_eq!(map[0], 7);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pread_fallback_reads_at_offset() {
+        let path = tmp("pread", b"0123456789");
+        let file = File::open(&path).unwrap();
+        let mut buf = [0u8; 4];
+        read_exact_at(&file, &mut buf, 3).unwrap();
+        assert_eq!(&buf, b"3456");
+        assert!(read_exact_at(&file, &mut buf, 8).is_err(), "EOF detected");
+        std::fs::remove_file(&path).unwrap();
+    }
+}
