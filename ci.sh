@@ -11,7 +11,7 @@ echo "==> cargo clippy (default features)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo clippy (serial/no-telemetry: --no-default-features)"
-cargo clippy -p chef-linalg -p chef-model -p chef-core -p chef-bench -p chef-obs --all-targets --no-default-features -- -D warnings
+cargo clippy -p chef-linalg -p chef-model -p chef-data -p chef-core -p chef-bench -p chef-obs --all-targets --no-default-features -- -D warnings
 
 echo "==> cargo test (default features: parallel)"
 cargo test -q --workspace
@@ -25,7 +25,7 @@ RAYON_NUM_THREADS=4 cargo test -q --workspace
 echo "==> cargo test (serial: --no-default-features)"
 # --no-default-features applies to the packages that own the `parallel`
 # and `telemetry` features; the rest of the workspace is unaffected.
-cargo test -q -p chef-linalg -p chef-model -p chef-core -p chef-bench -p chef-obs --no-default-features
+cargo test -q -p chef-linalg -p chef-model -p chef-data -p chef-core -p chef-bench -p chef-obs --no-default-features
 
 echo "==> cargo test (fault injection: crash/torn-write/bit-flip replay equivalence)"
 cargo test -q -p chef-core --features fault-inject --test checkpoint_resume --test store_equivalence
@@ -45,8 +45,14 @@ cargo run -q --release -p chef-bench --bin train_kernels -- --quick
 echo "==> train_kernels bench (quick smoke, --no-default-features)"
 cargo run -q --release -p chef-bench --bin train_kernels --no-default-features -- --quick
 
-echo "==> oocs_scale bench (quick smoke: in-memory vs mmap store bit-identity + RSS)"
-cargo run -q --release -p chef-bench --bin oocs_scale -- --quick
+echo "==> oocs_scale bench (quick smoke, eager integrity: in-memory vs mmap bit-identity + RSS)"
+cargo run -q --release -p chef-bench --bin oocs_scale -- --quick --integrity eager
+
+echo "==> oocs_scale bench (quick smoke, lazy first-touch integrity + cold-open lane)"
+cargo run -q --release -p chef-bench --bin oocs_scale -- --quick --integrity lazy
+
+echo "==> oocs_scale bench (quick smoke, pread fallback under lazy integrity)"
+cargo run -q --release -p chef-bench --bin oocs_scale -- --quick --integrity lazy --force-pread
 # Scratch hygiene: the bench must remove its per-run store directories.
 if compgen -G "target/oocs_scale-*" > /dev/null; then
   echo "oocs_scale left scratch directories behind:" >&2
@@ -58,13 +64,13 @@ echo "==> cargo test --doc (default features)"
 cargo test -q --doc --workspace
 
 echo "==> cargo test --doc (--no-default-features)"
-cargo test -q --doc -p chef-linalg -p chef-model -p chef-core -p chef-bench -p chef-obs --no-default-features
+cargo test -q --doc -p chef-linalg -p chef-model -p chef-data -p chef-core -p chef-bench -p chef-obs --no-default-features
 
 echo "==> cargo doc (default features, warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 echo "==> cargo doc (--no-default-features, warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
-  -p chef-linalg -p chef-model -p chef-core -p chef-bench -p chef-obs --no-default-features
+  -p chef-linalg -p chef-model -p chef-data -p chef-core -p chef-bench -p chef-obs --no-default-features
 
 echo "ci.sh: all green"

@@ -761,6 +761,17 @@ impl Pipeline {
             }
         }
 
+        // Store-integrity counters (additive-optional: in-memory
+        // datasets report no io_stats, so existing telemetry exports
+        // are byte-identical). Monotonic store-lifetime totals, set
+        // once at end-of-run.
+        if let Some(io) = data.io_stats() {
+            tel.add("store.verify_ms", io.verify_ms);
+            tel.add("store.blocks_verified", io.blocks_verified);
+            tel.add("store.lazy_verify_hits", io.lazy_verify_hits);
+            tel.add("store.prefetch_overlap_ms", io.prefetch_overlap_ms);
+        }
+
         StorePipelineReport {
             initial_val_f1: state.initial_val_f1,
             initial_test_f1: state.initial_test_f1,

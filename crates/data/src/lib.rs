@@ -20,11 +20,14 @@
 //! the `chef-weak` crate then overwrites them with probabilistic labels.
 //!
 //! For datasets too large for RAM, the [`store`] module provides the
-//! out-of-core `store.v1` substrate: [`generate_train_store`] streams
-//! the training part directly into a sharded on-disk columnar store
-//! that [`MmapStore`] serves back through `chef_model::DatasetStore`
-//! with features memory-mapped instead of heap-allocated (DESIGN.md
-//! §15).
+//! out-of-core store substrate: [`generate_train_store`] streams the
+//! training part directly into a sharded on-disk columnar store (a
+//! `store.v2` directory carrying per-block checksums) that
+//! [`MmapStore`] serves back through `chef_model::DatasetStore` with
+//! features memory-mapped instead of heap-allocated, integrity
+//! verification eager, first-touch-lazy or off per [`IntegrityMode`],
+//! and an optional background verify-and-warm prefetch thread
+//! (`parallel` feature; DESIGN.md §15).
 
 #![warn(missing_docs)]
 
@@ -36,4 +39,4 @@ pub mod store;
 pub use csv::{read_dataset, read_split, write_dataset, write_split, CsvError};
 pub use generator::{generate, generate_train_store, Split};
 pub use spec::{by_name, paper_suite, DatasetKind, DatasetSpec};
-pub use store::{Manifest, MmapStore, StoreError, StoreOptions, StoreWriter};
+pub use store::{IntegrityMode, Manifest, MmapStore, StoreError, StoreOptions, StoreWriter};

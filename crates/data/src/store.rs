@@ -35,28 +35,67 @@
 //!   resume.
 //!
 //! Integrity: the manifest records an FNV-1a-64 checksum and byte size
-//! per shard (and for `labels.bin`). [`MmapStore::open`] rejects an
-//! unknown manifest version and detects torn shards (size or checksum
-//! mismatch) before serving any data; verification streams through
-//! `pread` with a small reusable buffer so it never inflates the
-//! process's resident set. See DESIGN.md §15 for the full layout and
-//! the determinism argument for sharded selector passes.
+//! per shard (and for `labels.bin`); `store.v2` manifests additionally
+//! carry a **per-block checksum table** (fixed block size, default
+//! 1 MiB) so verification can be block-granular, plus a `labels_fnv64`
+//! line. The v2-only checksums fold FNV over 64-bit words instead of
+//! bytes — the byte-serial chain alone would floor a lazy cold open —
+//! while the v1 fields stay byte-wise so old directories (and v2
+//! manifests demoted to v1) still verify. [`MmapStore::open`]
+//! rejects an unknown manifest version and detects torn shards before
+//! serving any data. *When* shards are verified is governed by
+//! [`IntegrityMode`]:
+//!
+//! * [`Eager`](IntegrityMode::Eager) — stream every shard checksum at
+//!   open through a pooled `pread` buffer (never inflates the resident
+//!   set). O(dataset bytes) before the first row is served.
+//! * [`LazyFirstTouch`](IntegrityMode::LazyFirstTouch) — defer to the
+//!   access path: each block is verified exactly once, on first touch
+//!   (`feature` / `feature_rows` / `prefetch_rows`), tracked by a
+//!   per-shard atomic bitmap. Cold-open cost becomes O(touched bytes),
+//!   which is what makes the first scored block arrive fast at n=10M.
+//!   Corruption discovered on the access path poisons the store and
+//!   panics with the [`StoreError::Corrupt`] rendering; the fallible
+//!   twins [`MmapStore::verify_rows`] / [`MmapStore::verify_all`]
+//!   surface the error value itself.
+//! * [`Off`](IntegrityMode::Off) — sizes checked, checksums skipped.
+//!
+//! On top of lazy verification sits an optional **background prefetch
+//! pipeline** (`parallel` feature): a single worker thread that
+//! verifies-and-warms the next residency window (`madvise(WILLNEED)`)
+//! while the selector scores the current one. The worker mutates no
+//! visible data — it only flips verification bits (idempotent) and
+//! issues advisory hints — so scored results are bit-identical with the
+//! prefetcher on or off, serial or parallel. See DESIGN.md §15.
 
-use chef_model::{DatasetStore, SoftLabel};
+use chef_model::{DatasetStore, SoftLabel, StoreIoStats};
 use memmap::Mmap;
 use std::collections::VecDeque;
 use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-/// First line of every manifest this version of the code can read.
+/// Version line of first-generation manifests (whole-shard checksums).
 pub const STORE_VERSION: &str = "chef-store.v1";
-/// Manifest file name inside a store directory.
+/// Version line of second-generation manifests (per-block checksums).
+pub const STORE_VERSION_V2: &str = "chef-store.v2";
+/// First-generation manifest file name inside a store directory.
 pub const MANIFEST_FILE: &str = "store.v1";
+/// Second-generation manifest file name inside a store directory.
+/// [`Manifest::read`] looks for this first and falls back to
+/// [`MANIFEST_FILE`], so v1 directories stay readable.
+pub const MANIFEST_FILE_V2: &str = "store.v2";
 /// Label sidecar file name inside a store directory.
 pub const LABELS_FILE: &str = "labels.bin";
+/// Default verification block size written by [`StoreWriter`]: large
+/// enough that the checksum table stays tiny (16 B of hex per MiB of
+/// data), small enough that first-touch verification of one scored
+/// window costs milliseconds, not seconds.
+pub const DEFAULT_BLOCK_BYTES: usize = 1 << 20;
 
 /// File name of shard `idx` (`chunk-00000.bin`, `chunk-00001.bin`, …).
 pub fn chunk_file_name(idx: usize) -> String {
@@ -75,6 +114,23 @@ fn fnv1a64(mut state: u64, bytes: &[u8]) -> u64 {
         state = state.wrapping_mul(FNV_PRIME);
     }
     state
+}
+
+/// FNV-1a folded over 64-bit little-endian words (trailing bytes
+/// byte-wise). The byte-at-a-time form above is a strictly serial
+/// xor→multiply chain (~4 cycles *per byte*), which puts a hard floor
+/// under every verification on the open/first-touch path; folding a
+/// word per step cuts the chain 8×. All checksums that `store.v2`
+/// introduces (the per-block table, the v2 labels hash) use this form;
+/// the whole-shard and v1 labels checksums keep the byte-wise form so
+/// v1 directories still verify.
+fn fnv1a64_words(mut state: u64, bytes: &[u8]) -> u64 {
+    let mut words = bytes.chunks_exact(8);
+    for w in &mut words {
+        state ^= u64::from_le_bytes(w.try_into().unwrap());
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    fnv1a64(state, words.remainder())
 }
 
 /// Errors opening or validating a `store.v1` directory.
@@ -97,7 +153,7 @@ impl fmt::Display for StoreError {
             StoreError::Version(v) => {
                 write!(
                     f,
-                    "unknown store version {v:?} (expected {STORE_VERSION:?})"
+                    "unknown store version {v:?} (expected {STORE_VERSION:?} or {STORE_VERSION_V2:?})"
                 )
             }
             StoreError::Format(m) => write!(f, "malformed store manifest: {m}"),
@@ -123,11 +179,17 @@ pub struct ChunkMeta {
     pub bytes: u64,
     /// FNV-1a-64 checksum of the shard file's contents.
     pub fnv: u64,
+    /// Per-block FNV-1a-64 checksums (`store.v2` only; empty for v1).
+    /// Block `b` covers bytes `[b·block_bytes, (b+1)·block_bytes)` of
+    /// the shard, with the last block possibly short.
+    pub blocks: Vec<u64>,
 }
 
-/// Parsed `store.v1` manifest.
+/// Parsed store manifest (either generation).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
+    /// Manifest generation: `1` for `store.v1`, `2` for `store.v2`.
+    pub version: u32,
     /// Total number of samples across all shards.
     pub n: usize,
     /// Feature dimensionality.
@@ -136,46 +198,102 @@ pub struct Manifest {
     pub num_classes: usize,
     /// Rows per shard (every shard but the last holds exactly this many).
     pub chunk_rows: usize,
+    /// Verification block size in bytes (`store.v2` only; `0` for v1,
+    /// meaning "the whole shard is one block").
+    pub block_bytes: usize,
     /// Byte size of `labels.bin`.
     pub labels_bytes: u64,
-    /// FNV-1a-64 checksum of `labels.bin`.
+    /// Byte-wise FNV-1a-64 checksum of `labels.bin`. Present in both
+    /// dialects, so a v2 manifest demoted to v1 stays verifiable.
     pub labels_fnv: u64,
+    /// Word-folded FNV-1a-64 of `labels.bin` (`store.v2` only; `0` for
+    /// v1). v2 opens verify this one — the byte-serial chain costs ~4
+    /// cycles/byte, which is most of a lazy cold open at n=1M.
+    pub labels_fnv_words: u64,
     /// Shard records, in shard order.
     pub chunks: Vec<ChunkMeta>,
 }
 
 impl Manifest {
-    /// Render the manifest in its on-disk line format.
+    /// Render the manifest in its on-disk line format. A `version: 1`
+    /// manifest renders byte-identically to what pre-v2 code wrote.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(STORE_VERSION);
+        out.push_str(if self.version >= 2 {
+            STORE_VERSION_V2
+        } else {
+            STORE_VERSION
+        });
         out.push('\n');
         out.push_str(&format!("n={}\n", self.n));
         out.push_str(&format!("dim={}\n", self.dim));
         out.push_str(&format!("num_classes={}\n", self.num_classes));
         out.push_str(&format!("chunk_rows={}\n", self.chunk_rows));
+        if self.version >= 2 {
+            out.push_str(&format!("block_bytes={}\n", self.block_bytes));
+        }
         out.push_str(&format!(
             "labels bytes={} fnv={:016x}\n",
             self.labels_bytes, self.labels_fnv
         ));
+        if self.version >= 2 {
+            out.push_str(&format!("labels_fnv64={:016x}\n", self.labels_fnv_words));
+        }
         out.push_str(&format!("chunks={}\n", self.chunks.len()));
         for (i, c) in self.chunks.iter().enumerate() {
             out.push_str(&format!(
                 "chunk={i} rows={} bytes={} fnv={:016x}\n",
                 c.rows, c.bytes, c.fnv
             ));
+            if self.version >= 2 {
+                out.push_str(&format!("blocks={i}"));
+                for b in &c.blocks {
+                    out.push_str(&format!(" {b:016x}"));
+                }
+                out.push('\n');
+            }
         }
         out
+    }
+
+    /// Verification block size effective for shard `c`: the manifest's
+    /// `block_bytes` under v2, the whole shard under v1.
+    pub fn effective_block_bytes(&self, c: usize) -> usize {
+        if self.version >= 2 && self.block_bytes > 0 {
+            self.block_bytes
+        } else {
+            self.chunks[c].bytes as usize
+        }
+    }
+
+    /// Number of verification blocks in shard `c` (at least 1).
+    pub fn num_blocks(&self, c: usize) -> usize {
+        let bytes = self.chunks[c].bytes as usize;
+        bytes.div_ceil(self.effective_block_bytes(c).max(1)).max(1)
+    }
+
+    /// Expected checksum of block `b` of shard `c` (the whole-shard
+    /// checksum under v1, where each shard is a single block).
+    pub fn block_fnv(&self, c: usize, b: usize) -> u64 {
+        if self.version >= 2 {
+            self.chunks[c].blocks[b]
+        } else {
+            self.chunks[c].fnv
+        }
     }
 
     /// Parse a manifest from its on-disk text, rejecting unknown
     /// versions before looking at anything else.
     pub fn parse(text: &str) -> Result<Manifest, StoreError> {
         let mut lines = text.lines();
-        let version = lines.next().unwrap_or("").trim();
-        if version != STORE_VERSION {
-            return Err(StoreError::Version(version.to_string()));
-        }
+        let version_line = lines.next().unwrap_or("").trim();
+        let version: u32 = if version_line == STORE_VERSION {
+            1
+        } else if version_line == STORE_VERSION_V2 {
+            2
+        } else {
+            return Err(StoreError::Version(version_line.to_string()));
+        };
         fn kv<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, StoreError> {
             let line = line.ok_or_else(|| StoreError::Format(format!("missing {key} line")))?;
             line.trim()
@@ -196,10 +314,26 @@ impl Manifest {
                 "dim, num_classes and chunk_rows must be positive".into(),
             ));
         }
+        let block_bytes: usize = if version >= 2 {
+            let bb = num(kv(lines.next(), "block_bytes")?, "block_bytes")?;
+            if bb == 0 {
+                return Err(StoreError::Format("block_bytes must be positive".into()));
+            }
+            bb
+        } else {
+            0
+        };
         let labels_line = lines
             .next()
             .ok_or_else(|| StoreError::Format("missing labels line".into()))?;
         let (labels_bytes, labels_fnv) = parse_sized_entry(labels_line, "labels")?;
+        let labels_fnv_words: u64 = if version >= 2 {
+            let v = kv(lines.next(), "labels_fnv64")?;
+            u64::from_str_radix(v, 16)
+                .map_err(|_| StoreError::Format(format!("bad labels_fnv64 {v:?}")))?
+        } else {
+            0
+        };
         let num_chunks: usize = num(kv(lines.next(), "chunks")?, "chunks")?;
         let mut chunks = Vec::with_capacity(num_chunks);
         for i in 0..num_chunks {
@@ -215,7 +349,39 @@ impl Manifest {
                 .ok_or_else(|| StoreError::Format(format!("bad chunk line {line:?}")))?;
             let rows: usize = num(rows_s, "chunk rows")?;
             let (bytes, fnv) = parse_sized_entry(&format!("x {tail}"), "x")?;
-            chunks.push(ChunkMeta { rows, bytes, fnv });
+            let blocks = if version >= 2 {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| StoreError::Format(format!("missing blocks {i} line")))?;
+                let rest = line
+                    .trim()
+                    .strip_prefix(&format!("blocks={i}"))
+                    .ok_or_else(|| StoreError::Format(format!("bad blocks line {line:?}")))?;
+                let fnvs: Result<Vec<u64>, StoreError> = rest
+                    .split_whitespace()
+                    .map(|s| {
+                        u64::from_str_radix(s, 16)
+                            .map_err(|_| StoreError::Format(format!("bad block fnv {s:?}")))
+                    })
+                    .collect();
+                let fnvs = fnvs?;
+                let expect = (bytes as usize).div_ceil(block_bytes).max(1);
+                if fnvs.len() != expect {
+                    return Err(StoreError::Format(format!(
+                        "chunk {i} lists {} block checksums, expected {expect}",
+                        fnvs.len()
+                    )));
+                }
+                fnvs
+            } else {
+                Vec::new()
+            };
+            chunks.push(ChunkMeta {
+                rows,
+                bytes,
+                fnv,
+                blocks,
+            });
         }
         let total: usize = chunks.iter().map(|c| c.rows).sum();
         if total != n {
@@ -243,20 +409,30 @@ impl Manifest {
             }
         }
         Ok(Manifest {
+            version,
             n,
             dim,
             num_classes,
             chunk_rows,
+            block_bytes,
             labels_bytes,
             labels_fnv,
+            labels_fnv_words,
             chunks,
         })
     }
 
-    /// Read and parse the manifest inside `dir`.
+    /// Read and parse the manifest inside `dir`: `store.v2` if present,
+    /// otherwise the legacy `store.v1` (backward-compat open).
     pub fn read(dir: &Path) -> Result<Manifest, StoreError> {
-        let text = fs::read_to_string(dir.join(MANIFEST_FILE))?;
-        Manifest::parse(&text)
+        match fs::read_to_string(dir.join(MANIFEST_FILE_V2)) {
+            Ok(text) => Manifest::parse(&text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let text = fs::read_to_string(dir.join(MANIFEST_FILE))?;
+                Manifest::parse(&text)
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 }
 
@@ -289,6 +465,7 @@ pub struct StoreWriter {
     dim: usize,
     num_classes: usize,
     chunk_rows: usize,
+    block_bytes: usize,
     buf: Vec<u8>,
     rows_in_chunk: usize,
     chunks: Vec<ChunkMeta>,
@@ -298,7 +475,10 @@ pub struct StoreWriter {
 }
 
 impl StoreWriter {
-    /// Create (or truncate) a store directory.
+    /// Create (or truncate) a store directory. The writer emits a
+    /// `store.v2` manifest with per-block checksums at
+    /// [`DEFAULT_BLOCK_BYTES`] granularity; tune with
+    /// [`with_block_bytes`](Self::with_block_bytes).
     pub fn create(
         dir: &Path,
         dim: usize,
@@ -312,6 +492,7 @@ impl StoreWriter {
             dim,
             num_classes,
             chunk_rows,
+            block_bytes: DEFAULT_BLOCK_BYTES,
             buf: Vec::with_capacity(chunk_rows * dim * 8),
             rows_in_chunk: 0,
             chunks: Vec::new(),
@@ -319,6 +500,19 @@ impl StoreWriter {
             clean: Vec::new(),
             truth: Vec::new(),
         })
+    }
+
+    /// Override the verification block size (bytes). Must be called
+    /// before the first chunk flushes; mainly for tests that want many
+    /// blocks per shard without writing gigabytes.
+    pub fn with_block_bytes(mut self, block_bytes: usize) -> StoreWriter {
+        assert!(block_bytes > 0, "block_bytes must be positive");
+        assert!(
+            self.chunks.is_empty() && self.buf.is_empty(),
+            "with_block_bytes must be called before pushing rows"
+        );
+        self.block_bytes = block_bytes;
+        self
     }
 
     /// Append one sample. Rows land in shards in append order, so row
@@ -357,6 +551,11 @@ impl StoreWriter {
             rows: self.rows_in_chunk,
             bytes: self.buf.len() as u64,
             fnv: fnv1a64(FNV_OFFSET, &self.buf),
+            blocks: self
+                .buf
+                .chunks(self.block_bytes)
+                .map(|b| fnv1a64_words(FNV_OFFSET, b))
+                .collect(),
         });
         self.buf.clear();
         self.rows_in_chunk = 0;
@@ -374,15 +573,18 @@ impl StoreWriter {
         f.write_all(&labels_buf)?;
         f.sync_all()?;
         let manifest = Manifest {
+            version: 2,
             n: self.labels.len(),
             dim: self.dim,
             num_classes: self.num_classes,
             chunk_rows: self.chunk_rows,
+            block_bytes: self.block_bytes,
             labels_bytes: labels_buf.len() as u64,
             labels_fnv: fnv1a64(FNV_OFFSET, &labels_buf),
+            labels_fnv_words: fnv1a64_words(FNV_OFFSET, &labels_buf),
             chunks: std::mem::take(&mut self.chunks),
         };
-        let mut f = File::create(self.dir.join(MANIFEST_FILE))?;
+        let mut f = File::create(self.dir.join(MANIFEST_FILE_V2))?;
         f.write_all(manifest.render().as_bytes())?;
         f.sync_all()?;
         Ok(manifest)
@@ -440,26 +642,28 @@ fn decode_labels(buf: &[u8], n: usize, num_classes: usize) -> Result<DecodedLabe
             buf.len()
         )));
     }
-    let mut labels = Vec::with_capacity(n);
-    for i in 0..n {
-        let probs = (0..num_classes)
-            .map(|c| {
-                let at = (i * num_classes + c) * 8;
-                f64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
-            })
-            .collect();
-        labels.push(SoftLabel::new(probs));
-    }
+    // This loop is the floor of the lazy cold open (it runs once per
+    // sample whatever the integrity mode), so it takes the trusted
+    // constructor: the bytes just passed the manifest checksum and were
+    // written from validated `SoftLabel`s, and re-validating a million
+    // rows costs more than the entire rest of a lazy open.
     let clean_at = n * num_classes * 8;
+    let mut labels = Vec::with_capacity(n);
+    for row in buf[..clean_at].chunks_exact(num_classes * 8) {
+        let probs = row
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        labels.push(SoftLabel::from_verified(probs));
+    }
     let clean: Vec<bool> = buf[clean_at..clean_at + n]
         .iter()
         .map(|&b| b != 0)
         .collect();
-    let truth_at = clean_at + n;
-    let truth = (0..n)
-        .map(|i| {
-            let at = truth_at + i * 8;
-            let v = i64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+    let truth = buf[clean_at + n..]
+        .chunks_exact(8)
+        .map(|b| {
+            let v = i64::from_le_bytes(b.try_into().unwrap());
             if v < 0 {
                 None
             } else {
@@ -468,6 +672,22 @@ fn decode_labels(buf: &[u8], n: usize, num_classes: usize) -> Result<DecodedLabe
         })
         .collect();
     Ok((labels, clean, truth))
+}
+
+/// When shard checksums are verified. File sizes are checked at open
+/// regardless of mode, and `labels.bin` (O(n), RAM-resident anyway) is
+/// always verified at open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityMode {
+    /// Stream every shard checksum at open. Cold-open is O(dataset
+    /// bytes); all subsequent reads are free of verification cost.
+    Eager,
+    /// Verify each block the first time it is touched on the access
+    /// path. Cold-open is O(touched bytes); a corrupt block surfaces
+    /// the moment something reads it.
+    LazyFirstTouch,
+    /// Skip checksum verification entirely.
+    Off,
 }
 
 /// How an [`MmapStore`] opens its shards.
@@ -480,10 +700,14 @@ pub struct StoreOptions {
     /// Skip `mmap` and use the `pread` fallback (loads every chunk
     /// into an owned buffer — correctness fallback, not memory-bounded).
     pub force_pread: bool,
-    /// Verify every shard checksum at open (streamed through a small
-    /// reusable buffer; never inflates the resident set). File sizes
-    /// are checked regardless.
-    pub verify: bool,
+    /// When shard checksums are verified (default: [`IntegrityMode::Eager`],
+    /// matching the historical open-time behaviour).
+    pub integrity: IntegrityMode,
+    /// Spawn the background verify-and-warm prefetch thread serving
+    /// [`DatasetStore::prefetch_upcoming`] hints (`parallel` feature
+    /// only; ignored — the serial twin is the synchronous access path —
+    /// when the feature is off).
+    pub background_prefetch: bool,
 }
 
 impl Default for StoreOptions {
@@ -491,7 +715,8 @@ impl Default for StoreOptions {
         StoreOptions {
             residency_chunks: 32,
             force_pread: false,
-            verify: true,
+            integrity: IntegrityMode::Eager,
+            background_prefetch: true,
         }
     }
 }
@@ -526,11 +751,23 @@ enum ChunkData {
 /// ```
 #[derive(Debug)]
 pub struct MmapStore {
-    manifest: Manifest,
-    data: Vec<ChunkData>,
+    core: Arc<StoreCore>,
     labels: Vec<SoftLabel>,
     clean: Vec<bool>,
     truth: Vec<Option<usize>>,
+    #[cfg(feature = "parallel")]
+    prefetcher: Option<Prefetcher>,
+}
+
+/// The shared, immutable-after-open part of an [`MmapStore`]: shard
+/// data, residency tracking, lazy-verification state and I/O counters.
+/// Lives behind an `Arc` so the background prefetch thread can hold it
+/// without borrowing from the store (label columns stay outside — the
+/// cleaning loop mutates them and the prefetcher never needs them).
+#[derive(Debug)]
+struct StoreCore {
+    manifest: Manifest,
+    data: Vec<ChunkData>,
     // Queue of chunk indices currently hinted resident, oldest first.
     // A Mutex (not RwLock) because every operation mutates the queue;
     // contention is per-chunk-transition, not per-row.
@@ -538,8 +775,118 @@ pub struct MmapStore {
     // Last chunk this store noted an access to — a lock-free dedup so
     // the per-read residency tracking costs one atomic load on the
     // straight-line path (consecutive reads land in the same chunk).
-    last_touched: std::sync::atomic::AtomicUsize,
+    last_touched: AtomicUsize,
     residency_chunks: usize,
+    // First-touch verification state; `None` under Eager (already
+    // verified at open) and Off (verification disabled), so the
+    // access-path check is a single Option discriminant load.
+    verify: Option<LazyVerify>,
+    // Once a corrupt block is seen the whole store is poisoned: every
+    // subsequent verified access fails with the same message, whichever
+    // thread (reader or prefetcher) found the corruption first.
+    poisoned: AtomicBool,
+    poison_msg: Mutex<Option<String>>,
+    stats: IoCounters,
+}
+
+/// Per-shard atomic bitmaps recording which verification blocks have
+/// been checksummed. Bit `b` of `bits[c]` (word `b/64`, bit `b%64`) is
+/// set once block `b` of shard `c` verified clean. Relaxed ordering is
+/// enough: the worst race is two threads verifying the same block once
+/// each — idempotent, and counted honestly by the counters.
+#[derive(Debug)]
+struct LazyVerify {
+    bits: Vec<Vec<AtomicU64>>,
+}
+
+/// Monotonic I/O counters behind [`DatasetStore::io_stats`].
+#[derive(Debug, Default)]
+struct IoCounters {
+    verify_ns: AtomicU64,
+    blocks_verified: AtomicU64,
+    lazy_verify_hits: AtomicU64,
+    prefetch_overlap_ns: AtomicU64,
+}
+
+impl IoCounters {
+    fn snapshot(&self) -> StoreIoStats {
+        StoreIoStats {
+            verify_ms: self.verify_ns.load(Ordering::Relaxed) / 1_000_000,
+            blocks_verified: self.blocks_verified.load(Ordering::Relaxed),
+            lazy_verify_hits: self.lazy_verify_hits.load(Ordering::Relaxed),
+            prefetch_overlap_ms: self.prefetch_overlap_ns.load(Ordering::Relaxed) / 1_000_000,
+        }
+    }
+}
+
+/// Handle to the background verify-and-warm thread. Requests are
+/// coalesced (only the newest window matters); dropping the handle
+/// closes the channel and joins the worker.
+#[cfg(feature = "parallel")]
+#[derive(Debug)]
+struct Prefetcher {
+    tx: Option<std::sync::mpsc::Sender<(usize, usize)>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+#[cfg(feature = "parallel")]
+impl Prefetcher {
+    fn spawn(core: Arc<StoreCore>) -> Prefetcher {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, usize)>();
+        let handle = std::thread::Builder::new()
+            .name("chef-store-prefetch".into())
+            .spawn(move || {
+                while let Ok(mut win) = rx.recv() {
+                    // Coalesce a backlog down to the newest request —
+                    // the selector has already moved past older windows.
+                    while let Ok(next) = rx.try_recv() {
+                        win = next;
+                    }
+                    let t0 = Instant::now();
+                    let hi = win.1.min(core.data.len());
+                    for c in win.0..hi {
+                        if core.poisoned.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // Verify-and-warm. A corrupt block poisons the
+                        // core (inside verify_block); the next verified
+                        // access on the scoring thread surfaces it.
+                        if core.verify_chunk(c).is_err() {
+                            break;
+                        }
+                        if let ChunkData::Mapped(m) = &core.data[c] {
+                            m.advise_willneed(0, m.len());
+                        }
+                    }
+                    core.stats
+                        .prefetch_overlap_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+            })
+            .expect("failed to spawn chef-store-prefetch thread");
+        Prefetcher {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    fn request(&self, chunk_lo: usize, chunk_hi: usize) {
+        if let Some(tx) = &self.tx {
+            // A send error means the worker already exited (poisoned
+            // store); the hint is best-effort either way.
+            let _ = tx.send((chunk_lo, chunk_hi));
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 impl MmapStore {
@@ -557,12 +904,32 @@ impl MmapStore {
     /// Open `dir` with explicit options.
     pub fn open_with(dir: &Path, opts: StoreOptions) -> Result<MmapStore, StoreError> {
         let manifest = Manifest::read(dir)?;
+        let lazy = opts.integrity == IntegrityMode::LazyFirstTouch;
 
-        // Label sidecar: small (O(n)), so verify and decode eagerly.
-        let labels_buf = fs::read(dir.join(LABELS_FILE))?;
-        if labels_buf.len() as u64 != manifest.labels_bytes
-            || fnv1a64(FNV_OFFSET, &labels_buf) != manifest.labels_fnv
-        {
+        // One pooled scratch buffer serves every streamed checksum this
+        // open performs (under Eager, all shards).
+        let mut scratch = vec![0u8; 1 << 20];
+        let mut open_verify_ns = 0u64;
+        let mut open_blocks = 0u64;
+
+        // Label sidecar: small (O(n)) and RAM-resident by design, so it
+        // is verified in every integrity mode — cleaning decisions never
+        // run on unverified labels. Unlike the shards it is about to be
+        // decoded into RAM anyway, so read it once and hash the buffer
+        // in memory rather than paying a streamed-verify pass plus a
+        // read pass; the transient buffer is the same O(n·C) the decoded
+        // labels occupy. This is the floor of the lazy cold open.
+        let labels_path = dir.join(LABELS_FILE);
+        let labels_buf = fs::read(&labels_path)?;
+        let t0 = Instant::now();
+        let labels_ok = labels_buf.len() as u64 == manifest.labels_bytes
+            && if manifest.version >= 2 {
+                fnv1a64_words(FNV_OFFSET, &labels_buf) == manifest.labels_fnv_words
+            } else {
+                fnv1a64(FNV_OFFSET, &labels_buf) == manifest.labels_fnv
+            };
+        open_verify_ns += t0.elapsed().as_nanos() as u64;
+        if !labels_ok {
             return Err(StoreError::Corrupt(
                 "labels.bin size/checksum mismatch".into(),
             ));
@@ -571,7 +938,7 @@ impl MmapStore {
         drop(labels_buf);
 
         let mut data = Vec::with_capacity(manifest.chunks.len());
-        let mut scratch = vec![0u8; 1 << 20];
+        let mut verify_bits: Vec<Vec<AtomicU64>> = Vec::new();
         for (i, meta) in manifest.chunks.iter().enumerate() {
             let path = dir.join(chunk_file_name(i));
             let file = File::open(&path)?;
@@ -583,19 +950,15 @@ impl MmapStore {
                     meta.bytes
                 )));
             }
-            if opts.verify {
-                // Stream the checksum through pread with a reusable 1 MB
+            if opts.integrity == IntegrityMode::Eager {
+                // Stream the checksum through pread with the pooled
                 // buffer: the pages go through the page cache, not this
                 // process's resident set, so opening a 1M-row store does
                 // not cost 1M rows of RSS.
-                let mut state = FNV_OFFSET;
-                let mut off = 0u64;
-                while off < size {
-                    let take = scratch.len().min((size - off) as usize);
-                    memmap::read_exact_at(&file, &mut scratch[..take], off)?;
-                    state = fnv1a64(state, &scratch[..take]);
-                    off += take as u64;
-                }
+                let t0 = Instant::now();
+                let state = streamed_file_fnv(&file, size, &mut scratch)?;
+                open_verify_ns += t0.elapsed().as_nanos() as u64;
+                open_blocks += 1; // whole-shard units under Eager
                 if state != meta.fnv {
                     return Err(StoreError::Corrupt(format!(
                         "torn shard {}: checksum mismatch",
@@ -603,40 +966,121 @@ impl MmapStore {
                     )));
                 }
             }
-            let chunk = if opts.force_pread {
-                ChunkData::Loaded(load_chunk(&file, size)?)
+            let mapped = if opts.force_pread {
+                None
             } else {
                 match Mmap::map(&file) {
                     Ok(map)
                         if (map.as_ptr() as usize).is_multiple_of(std::mem::align_of::<f64>()) =>
                     {
-                        ChunkData::Mapped(map)
+                        Some(map)
                     }
                     // mmap unavailable (or, theoretically, misaligned):
                     // fall back to loading this chunk via pread.
-                    _ => ChunkData::Loaded(load_chunk(&file, size)?),
+                    _ => None,
                 }
             };
+            let chunk = match mapped {
+                Some(map) => ChunkData::Mapped(map),
+                None => {
+                    let bytes = read_file_bytes(&file, size)?;
+                    if lazy {
+                        // The loaded fallback materializes the whole
+                        // shard now anyway, so verify it in full here;
+                        // its lazy bitmap is born all-set below.
+                        let t0 = Instant::now();
+                        let ok = fnv1a64(FNV_OFFSET, &bytes) == meta.fnv;
+                        open_verify_ns += t0.elapsed().as_nanos() as u64;
+                        open_blocks += manifest.num_blocks(i) as u64;
+                        if !ok {
+                            return Err(StoreError::Corrupt(format!(
+                                "torn shard {}: checksum mismatch",
+                                chunk_file_name(i)
+                            )));
+                        }
+                    }
+                    ChunkData::Loaded(bytes_to_floats(&bytes))
+                }
+            };
+            if lazy {
+                let nb = manifest.num_blocks(i);
+                let words = nb.div_ceil(64);
+                let init = match &chunk {
+                    ChunkData::Mapped(_) => 0u64,
+                    ChunkData::Loaded(_) => !0u64, // verified at load
+                };
+                verify_bits.push((0..words).map(|_| AtomicU64::new(init)).collect());
+            }
             data.push(chunk);
         }
 
-        Ok(MmapStore {
+        let stats = IoCounters::default();
+        stats.verify_ns.store(open_verify_ns, Ordering::Relaxed);
+        stats.blocks_verified.store(open_blocks, Ordering::Relaxed);
+        let core = Arc::new(StoreCore {
             manifest,
             data,
+            resident: Mutex::new(VecDeque::new()),
+            last_touched: AtomicUsize::new(usize::MAX),
+            residency_chunks: opts.residency_chunks,
+            verify: lazy.then_some(LazyVerify { bits: verify_bits }),
+            poisoned: AtomicBool::new(false),
+            poison_msg: Mutex::new(None),
+            stats,
+        });
+        #[cfg(feature = "parallel")]
+        let prefetcher = opts
+            .background_prefetch
+            .then(|| Prefetcher::spawn(Arc::clone(&core)));
+        #[cfg(not(feature = "parallel"))]
+        let _ = opts.background_prefetch;
+        Ok(MmapStore {
+            core,
             labels,
             clean,
             truth,
-            resident: Mutex::new(VecDeque::new()),
-            last_touched: std::sync::atomic::AtomicUsize::new(usize::MAX),
-            residency_chunks: opts.residency_chunks,
+            #[cfg(feature = "parallel")]
+            prefetcher,
         })
     }
 
     /// The parsed manifest this store was opened from.
     pub fn manifest(&self) -> &Manifest {
-        &self.manifest
+        &self.core.manifest
     }
 
+    /// Verify (first-touch) every not-yet-verified block covering rows
+    /// `lo..hi`, returning the corruption instead of panicking. A no-op
+    /// under [`IntegrityMode::Eager`] / [`IntegrityMode::Off`].
+    pub fn verify_rows(&self, lo: usize, hi: usize) -> Result<(), StoreError> {
+        assert!(
+            lo <= hi && hi <= self.core.manifest.n,
+            "bad row range {lo}..{hi}"
+        );
+        if lo == hi {
+            return Ok(());
+        }
+        let d8 = self.core.manifest.dim * 8;
+        let rows_per = self.core.manifest.chunk_rows;
+        for c in self.core.chunk_of(lo)..=self.core.chunk_of(hi - 1) {
+            let c_lo = lo.max(c * rows_per) - c * rows_per;
+            let c_hi = hi.min((c + 1) * rows_per) - c * rows_per;
+            self.core.ensure_bytes_verified(c, c_lo * d8, c_hi * d8)?;
+        }
+        Ok(())
+    }
+
+    /// Verify every not-yet-verified block in the store (fallible twin
+    /// of an eager open, usable after a lazy one).
+    pub fn verify_all(&self) -> Result<(), StoreError> {
+        for c in 0..self.core.data.len() {
+            self.core.verify_chunk(c)?;
+        }
+        Ok(())
+    }
+}
+
+impl StoreCore {
     /// The `&[f64]` view of shard `c`.
     fn chunk_floats(&self, c: usize) -> &[f64] {
         match &self.data[c] {
@@ -654,6 +1098,102 @@ impl MmapStore {
     #[inline]
     fn chunk_of(&self, i: usize) -> usize {
         i / self.manifest.chunk_rows
+    }
+
+    /// Record a corrupt-block message and trip the poison flag. The
+    /// message is stored before the flag is raised (Release) so any
+    /// thread that observes the flag (Acquire) reads the message.
+    fn poison(&self, msg: &str) {
+        *self.poison_msg.lock().unwrap() = Some(msg.to_string());
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn poison_check(&self) -> Result<(), StoreError> {
+        if self.poisoned.load(Ordering::Acquire) {
+            let msg = self
+                .poison_msg
+                .lock()
+                .unwrap()
+                .clone()
+                .unwrap_or_else(|| "store poisoned by earlier corruption".into());
+            return Err(StoreError::Corrupt(msg));
+        }
+        Ok(())
+    }
+
+    /// First-touch verification of every block covering the byte range
+    /// `[byte_lo, byte_hi)` of shard `c`. O(1) per already-verified
+    /// block (one Relaxed bitmap load); checksums only what a reader is
+    /// about to consume otherwise.
+    fn ensure_bytes_verified(
+        &self,
+        c: usize,
+        byte_lo: usize,
+        byte_hi: usize,
+    ) -> Result<(), StoreError> {
+        let Some(v) = &self.verify else {
+            return Ok(());
+        };
+        self.poison_check()?;
+        if byte_hi <= byte_lo {
+            return Ok(());
+        }
+        let bb = self.manifest.effective_block_bytes(c).max(1);
+        let words = &v.bits[c];
+        for b in byte_lo / bb..=(byte_hi - 1) / bb {
+            if words[b / 64].load(Ordering::Relaxed) & (1u64 << (b % 64)) != 0 {
+                self.stats.lazy_verify_hits.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.verify_block(c, b)?;
+        }
+        Ok(())
+    }
+
+    /// Verify every block of shard `c` (bitmap-skipping ones already
+    /// done).
+    fn verify_chunk(&self, c: usize) -> Result<(), StoreError> {
+        self.ensure_bytes_verified(c, 0, self.manifest.chunks[c].bytes as usize)
+    }
+
+    /// Checksum one block against the manifest table, set its bitmap
+    /// bit on success, poison the store on mismatch.
+    fn verify_block(&self, c: usize, b: usize) -> Result<(), StoreError> {
+        let v = self.verify.as_ref().expect("verify_block without state");
+        let bb = self.manifest.effective_block_bytes(c).max(1);
+        let got = match &self.data[c] {
+            ChunkData::Mapped(m) => {
+                let t0 = Instant::now();
+                // v2 block-table entries are word-folded; a v1 manifest
+                // has one "block" per shard checked against its
+                // byte-wise whole-shard checksum.
+                let got = if self.manifest.version >= 2 {
+                    fnv1a64_words(FNV_OFFSET, m.byte_range(b * bb, bb))
+                } else {
+                    fnv1a64(FNV_OFFSET, m.byte_range(b * bb, bb))
+                };
+                self.stats
+                    .verify_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                got
+            }
+            // Loaded shards are verified in full when materialized at
+            // open and their bitmaps born all-set, so this arm is only
+            // reachable through a stale bitmap — which cannot happen —
+            // but answering "verified" keeps it harmless if it ever did.
+            ChunkData::Loaded(_) => return Ok(()),
+        };
+        if got != self.manifest.block_fnv(c, b) {
+            let msg = format!(
+                "torn shard {}: block {b} checksum mismatch (first-touch)",
+                chunk_file_name(c)
+            );
+            self.poison(&msg);
+            return Err(StoreError::Corrupt(msg));
+        }
+        self.stats.blocks_verified.fetch_add(1, Ordering::Relaxed);
+        v.bits[c][b / 64].fetch_or(1u64 << (b % 64), Ordering::Relaxed);
+        Ok(())
     }
 
     /// Hint the given chunks resident and evict the oldest hinted
@@ -720,29 +1260,37 @@ impl MmapStore {
 
 impl DatasetStore for MmapStore {
     fn len(&self) -> usize {
-        self.manifest.n
+        self.core.manifest.n
     }
 
     fn dim(&self) -> usize {
-        self.manifest.dim
+        self.core.manifest.dim
     }
 
     fn num_classes(&self) -> usize {
-        self.manifest.num_classes
+        self.core.manifest.num_classes
     }
 
     fn feature(&self, i: usize) -> &[f64] {
-        assert!(i < self.manifest.n, "row {i} out of bounds");
-        let c = self.chunk_of(i);
-        self.note_chunk_access(c);
-        let r = i - c * self.manifest.chunk_rows;
-        let d = self.manifest.dim;
-        &self.chunk_floats(c)[r * d..(r + 1) * d]
+        let core = &*self.core;
+        assert!(i < core.manifest.n, "row {i} out of bounds");
+        let c = core.chunk_of(i);
+        let r = i - c * core.manifest.chunk_rows;
+        let d = core.manifest.dim;
+        // First-touch integrity: &[f64] cannot carry a Result, so a
+        // corrupt block aborts the read with the StoreError rendering
+        // (the fallible twin is MmapStore::verify_rows).
+        if let Err(e) = core.ensure_bytes_verified(c, r * d * 8, (r + 1) * d * 8) {
+            panic!("{e}");
+        }
+        core.note_chunk_access(c);
+        &core.chunk_floats(c)[r * d..(r + 1) * d]
     }
 
     fn feature_rows(&self, lo: usize, hi: usize) -> &[f64] {
+        let core = &*self.core;
         assert!(
-            lo <= hi && hi <= self.manifest.n,
+            lo <= hi && hi <= core.manifest.n,
             "bad row range {lo}..{hi}"
         );
         assert!(
@@ -750,20 +1298,23 @@ impl DatasetStore for MmapStore {
             "feature_rows({lo}, {hi}) crosses a shard boundary; \
              callers must respect contiguous_limit"
         );
-        let c = self.chunk_of(lo);
-        self.note_chunk_access(c);
-        let r = lo - c * self.manifest.chunk_rows;
-        let d = self.manifest.dim;
-        &self.chunk_floats(c)[r * d..(r + (hi - lo)) * d]
+        let c = core.chunk_of(lo);
+        let r = lo - c * core.manifest.chunk_rows;
+        let d = core.manifest.dim;
+        if let Err(e) = core.ensure_bytes_verified(c, r * d * 8, (r + (hi - lo)) * d * 8) {
+            panic!("{e}");
+        }
+        core.note_chunk_access(c);
+        &core.chunk_floats(c)[r * d..(r + (hi - lo)) * d]
     }
 
     fn contiguous_limit(&self, lo: usize) -> usize {
-        ((self.chunk_of(lo) + 1) * self.manifest.chunk_rows).min(self.manifest.n)
+        ((self.core.chunk_of(lo) + 1) * self.core.manifest.chunk_rows).min(self.core.manifest.n)
     }
 
     fn shard_boundaries(&self) -> Vec<usize> {
-        (0..=self.data.len())
-            .map(|c| (c * self.manifest.chunk_rows).min(self.manifest.n))
+        (0..=self.core.data.len())
+            .map(|c| (c * self.core.manifest.chunk_rows).min(self.core.manifest.n))
             .collect()
     }
 
@@ -780,13 +1331,13 @@ impl DatasetStore for MmapStore {
     }
 
     fn clean_label(&mut self, i: usize, label: SoftLabel) {
-        assert_eq!(label.num_classes(), self.manifest.num_classes);
+        assert_eq!(label.num_classes(), self.core.manifest.num_classes);
         self.labels[i] = label;
         self.clean[i] = true;
     }
 
     fn set_label(&mut self, i: usize, label: SoftLabel) {
-        assert_eq!(label.num_classes(), self.manifest.num_classes);
+        assert_eq!(label.num_classes(), self.core.manifest.num_classes);
         self.labels[i] = label;
     }
 
@@ -795,31 +1346,84 @@ impl DatasetStore for MmapStore {
     }
 
     fn prefetch_rows(&self, rows: &[usize]) {
-        self.touch_chunks(self.chunks_of_rows(rows).into_iter());
+        // prefetch_rows is an access path: the caller is about to read
+        // these rows, so first-touch verification happens here (and the
+        // later reads hit the bitmap).
+        let core = &*self.core;
+        let d8 = core.manifest.dim * 8;
+        let rows_per = core.manifest.chunk_rows;
+        for i in rows {
+            let c = core.chunk_of(*i);
+            let r = i - c * rows_per;
+            if let Err(e) = core.ensure_bytes_verified(c, r * d8, (r + 1) * d8) {
+                panic!("{e}");
+            }
+        }
+        core.touch_chunks(core.chunks_of_rows(rows).into_iter());
     }
 
     fn advise_range(&self, lo: usize, hi: usize) {
         if lo >= hi {
             return;
         }
-        self.touch_chunks(self.chunk_of(lo)..=self.chunk_of(hi - 1));
+        self.core
+            .touch_chunks(self.core.chunk_of(lo)..=self.core.chunk_of(hi - 1));
     }
 
     fn advise_scanned(&self, lo: usize, hi: usize) {
         if lo >= hi {
             return;
         }
-        self.release_chunks(self.chunk_of(lo)..=self.chunk_of(hi - 1));
+        self.core
+            .release_chunks(self.core.chunk_of(lo)..=self.core.chunk_of(hi - 1));
+    }
+
+    fn prefetch_upcoming(&self, lo: usize, hi: usize) {
+        #[cfg(feature = "parallel")]
+        {
+            if lo < hi {
+                if let Some(p) = &self.prefetcher {
+                    p.request(self.core.chunk_of(lo), self.core.chunk_of(hi - 1) + 1);
+                }
+            }
+        }
+        // Serial twin: no worker to hand the window to — the access
+        // path verifies on first touch exactly as before the hint.
+        #[cfg(not(feature = "parallel"))]
+        let _ = (lo, hi);
+    }
+
+    fn io_stats(&self) -> Option<StoreIoStats> {
+        Some(self.core.stats.snapshot())
     }
 }
 
-fn load_chunk(file: &File, size: u64) -> io::Result<Vec<f64>> {
+/// Stream an FNV-1a-64 checksum over a whole file through `pread` and
+/// a caller-pooled scratch buffer (pages pass through the page cache,
+/// not this process's resident set).
+fn streamed_file_fnv(file: &File, size: u64, scratch: &mut [u8]) -> io::Result<u64> {
+    let mut state = FNV_OFFSET;
+    let mut off = 0u64;
+    while off < size {
+        let take = scratch.len().min((size - off) as usize);
+        memmap::read_exact_at(file, &mut scratch[..take], off)?;
+        state = fnv1a64(state, &scratch[..take]);
+        off += take as u64;
+    }
+    Ok(state)
+}
+
+fn read_file_bytes(file: &File, size: u64) -> io::Result<Vec<u8>> {
     let mut bytes = vec![0u8; size as usize];
     memmap::read_exact_at(file, &mut bytes, 0)?;
-    Ok(bytes
+    Ok(bytes)
+}
+
+fn bytes_to_floats(bytes: &[u8]) -> Vec<f64> {
+    bytes
         .chunks_exact(8)
         .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
-        .collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -952,13 +1556,221 @@ mod tests {
     fn unknown_version_is_rejected() {
         let dir = tmp_dir("version");
         write_store(&fixture(5, 2), &dir, 4).unwrap();
-        let path = dir.join(MANIFEST_FILE);
+        let path = dir.join(MANIFEST_FILE_V2);
         let text = fs::read_to_string(&path).unwrap();
-        fs::write(&path, text.replacen("chef-store.v1", "chef-store.v2", 1)).unwrap();
+        fs::write(&path, text.replacen("chef-store.v2", "chef-store.v3", 1)).unwrap();
         match MmapStore::open(&dir) {
-            Err(StoreError::Version(v)) => assert_eq!(v, "chef-store.v2"),
+            Err(StoreError::Version(v)) => assert_eq!(v, "chef-store.v3"),
             other => panic!("expected version error, got {other:?}"),
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_manifest_directories_still_open() {
+        let dir = tmp_dir("v1compat");
+        let data = fixture(23, 3);
+        let m2 = write_store(&data, &dir, 6).unwrap();
+        // Rewrite the directory as a v1-era one: demote the manifest to
+        // generation 1 (whole-shard checksums only) under the old file
+        // name and drop store.v2.
+        let m1 = Manifest {
+            version: 1,
+            block_bytes: 0,
+            chunks: m2
+                .chunks
+                .iter()
+                .map(|c| ChunkMeta {
+                    blocks: Vec::new(),
+                    ..c.clone()
+                })
+                .collect(),
+            ..m2.clone()
+        };
+        fs::write(dir.join(MANIFEST_FILE), m1.render()).unwrap();
+        fs::remove_file(dir.join(MANIFEST_FILE_V2)).unwrap();
+        for integrity in [
+            IntegrityMode::Eager,
+            IntegrityMode::LazyFirstTouch,
+            IntegrityMode::Off,
+        ] {
+            let store = MmapStore::open_with(
+                &dir,
+                StoreOptions {
+                    integrity,
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(store.manifest().version, 1);
+            assert_same(&data, &store);
+            // Under lazy, a v1 shard is one whole-shard block.
+            store.verify_all().unwrap();
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_emits_v2_manifest_with_block_table() {
+        let dir = tmp_dir("v2meta");
+        let m = write_store(&fixture(9, 4), &dir, 4).unwrap();
+        assert_eq!(m.version, 2);
+        assert_eq!(m.block_bytes, DEFAULT_BLOCK_BYTES);
+        assert!(dir.join(MANIFEST_FILE_V2).exists());
+        assert!(!dir.join(MANIFEST_FILE).exists());
+        for (c, meta) in m.chunks.iter().enumerate() {
+            // Shards here are far below one block, so each is a single
+            // block covering the whole shard: the word-folded block
+            // checksum sits beside the byte-wise whole-shard one.
+            let bytes = fs::read(dir.join(chunk_file_name(c))).unwrap();
+            assert_eq!(meta.blocks.len(), 1, "chunk {c}");
+            assert_eq!(meta.fnv, fnv1a64(FNV_OFFSET, &bytes), "chunk {c}");
+            assert_eq!(
+                meta.blocks[0],
+                fnv1a64_words(FNV_OFFSET, &bytes),
+                "chunk {c}"
+            );
+            assert_eq!(m.num_blocks(c), 1);
+            assert_eq!(m.block_fnv(c, 0), meta.blocks[0]);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn small_blocks_round_trip_and_verify_lazily() {
+        let dir = tmp_dir("smallblocks");
+        let data = fixture(30, 4);
+        let mut w = StoreWriter::create(&dir, 4, 2, 8)
+            .unwrap()
+            .with_block_bytes(64); // 2 rows per block, 4 blocks per shard
+        for i in 0..30 {
+            w.push_row(
+                data.feature(i),
+                data.label(i).clone(),
+                data.is_clean(i),
+                data.ground_truth(i),
+            )
+            .unwrap();
+        }
+        let m = w.finish().unwrap();
+        assert_eq!(m.chunks[0].blocks.len(), 4);
+        let store = MmapStore::open_with(
+            &dir,
+            StoreOptions {
+                integrity: IntegrityMode::LazyFirstTouch,
+                background_prefetch: false,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_same(&data, &store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_first_touch_verifies_each_block_exactly_once() {
+        let dir = tmp_dir("lazyonce");
+        let data = fixture(40, 3);
+        write_store(&data, &dir, 8).unwrap(); // 5 shards, 1 block each
+        let store = MmapStore::open_with(
+            &dir,
+            StoreOptions {
+                integrity: IntegrityMode::LazyFirstTouch,
+                background_prefetch: false,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        let at_open = store.io_stats().unwrap();
+        assert_eq!(at_open.blocks_verified, 0, "nothing touched yet");
+        for i in 0..40 {
+            assert_eq!(store.feature(i), data.feature(i));
+        }
+        let after_first = store.io_stats().unwrap();
+        assert_eq!(after_first.blocks_verified, 5, "one verify per block");
+        for i in 0..40 {
+            let _ = store.feature(i);
+        }
+        let after_second = store.io_stats().unwrap();
+        assert_eq!(after_second.blocks_verified, 5, "bitmap made reads free");
+        assert!(after_second.lazy_verify_hits > after_first.lazy_verify_hits);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_detects_bitflip_on_first_touch_of_that_block() {
+        let dir = tmp_dir("lazyflip");
+        let data = fixture(30, 4);
+        let mut w = StoreWriter::create(&dir, 4, 2, 8)
+            .unwrap()
+            .with_block_bytes(64);
+        for i in 0..30 {
+            w.push_row(
+                data.feature(i),
+                data.label(i).clone(),
+                data.is_clean(i),
+                data.ground_truth(i),
+            )
+            .unwrap();
+        }
+        w.finish().unwrap();
+        // Flip a bit in the LAST block of shard 0 (rows 6..8).
+        let chunk = dir.join(chunk_file_name(0));
+        let mut bytes = fs::read(&chunk).unwrap();
+        let at = bytes.len() - 5;
+        bytes[at] ^= 0x10;
+        fs::write(&chunk, &bytes).unwrap();
+        let store = MmapStore::open_with(
+            &dir,
+            StoreOptions {
+                integrity: IntegrityMode::LazyFirstTouch,
+                background_prefetch: false,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        // Untouched-block reads still fine:
+        assert_eq!(store.feature(0), data.feature(0));
+        store.verify_rows(0, 6).unwrap();
+        // Touching the corrupt block surfaces Corrupt:
+        match store.verify_rows(6, 8) {
+            Err(StoreError::Corrupt(msg)) => {
+                assert!(msg.contains("checksum mismatch"), "{msg}")
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // ... and the store stays poisoned for verified reads.
+        assert!(matches!(
+            store.verify_rows(0, 6),
+            Err(StoreError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn background_prefetcher_warms_without_changing_data() {
+        let dir = tmp_dir("prefetch");
+        let data = fixture(40, 3);
+        write_store(&data, &dir, 8).unwrap();
+        let store = MmapStore::open_with(
+            &dir,
+            StoreOptions {
+                integrity: IntegrityMode::LazyFirstTouch,
+                background_prefetch: true,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        store.prefetch_upcoming(8, 24); // shards 1..3
+        store.prefetch_upcoming(24, 40); // coalesces/queues behind it
+        for i in 0..40 {
+            assert_eq!(store.feature(i), data.feature(i));
+        }
+        store.verify_all().unwrap();
+        let stats = store.io_stats().unwrap();
+        assert_eq!(stats.blocks_verified, 5, "prefetch + reads share bitmap");
+        drop(store); // joins the worker
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -989,11 +1801,11 @@ mod tests {
             other => panic!("expected checksum error, got {other:?}"),
         }
         // With verification off the torn shard goes undetected — which
-        // is exactly why `verify` defaults to on.
+        // is exactly why integrity defaults to Eager.
         assert!(MmapStore::open_with(
             &dir,
             StoreOptions {
-                verify: false,
+                integrity: IntegrityMode::Off,
                 ..StoreOptions::default()
             }
         )

@@ -48,6 +48,23 @@ impl SoftLabel {
         Self { probs }
     }
 
+    /// Build from probabilities already known to form a valid
+    /// distribution — e.g. decoded from a checksummed store sidecar
+    /// whose bytes were written from validated `SoftLabel`s in the
+    /// first place.
+    ///
+    /// Release builds skip the per-entry validation scan (debug builds
+    /// still run it), which matters when a cold open decodes millions
+    /// of rows. Callers must guarantee the invariant themselves; for
+    /// anything not provenance-checked, use [`SoftLabel::new`].
+    pub fn from_verified(probs: Vec<f64>) -> Self {
+        if cfg!(debug_assertions) {
+            Self::new(probs)
+        } else {
+            Self { probs }
+        }
+    }
+
     /// Build from arbitrary non-negative weights, normalizing to sum 1.
     ///
     /// # Panics

@@ -44,4 +44,4 @@ pub use logreg::LogisticRegression;
 pub use mlp::Mlp;
 pub use model::{KernelPath, Model};
 pub use objective::{HessianOperator, WeightedObjective, PAR_GRAIN};
-pub use store::{DatasetStore, LabelOverlay, OverlayView};
+pub use store::{DatasetStore, LabelOverlay, OverlayView, StoreIoStats};

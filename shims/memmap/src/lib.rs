@@ -107,6 +107,20 @@ impl Mmap {
         self.advise(offset, len, MADV_DONTNEED);
     }
 
+    /// Borrow the byte sub-range `[offset, offset + len)` of the
+    /// mapping, clamped to the mapping's end. Block-granular integrity
+    /// verification reads checksum windows through this instead of
+    /// slicing the whole `Deref` view, so a caller's range arithmetic
+    /// can never index past the file. An offset at or past the end
+    /// yields an empty slice.
+    pub fn byte_range(&self, offset: usize, len: usize) -> &[u8] {
+        let all: &[u8] = self;
+        if offset >= all.len() {
+            return &[];
+        }
+        &all[offset..(offset + len).min(all.len())]
+    }
+
     fn advise(&self, offset: usize, len: usize, advice: i32) {
         if self.ptr.is_null() || offset >= self.len {
             return;
@@ -234,6 +248,18 @@ mod tests {
         map.advise_dontneed(9_999, 50); // clamped past the end
         map.advise_willneed(20_000, 1); // out of range: ignored
         assert_eq!(map[0], 7);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn byte_range_is_clamped_to_the_mapping() {
+        let path = tmp("range", b"abcdefghij");
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(map.byte_range(2, 3), b"cde");
+        assert_eq!(map.byte_range(8, 100), b"ij"); // clamped length
+        assert_eq!(map.byte_range(10, 1), b""); // at the end
+        assert_eq!(map.byte_range(500, 4), b""); // past the end
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -279,27 +279,73 @@ fn golden_store_manifest() -> chef_data::Manifest {
     use chef_data::store::ChunkMeta;
     let dim = 3;
     chef_data::Manifest {
+        version: 1,
         n: 10,
         dim,
         num_classes: 2,
         chunk_rows: 4,
+        block_bytes: 0,
         labels_bytes: 250,
         labels_fnv: 0xdead_beef_0bad_f00d,
+        labels_fnv_words: 0,
         chunks: vec![
             ChunkMeta {
                 rows: 4,
                 bytes: (4 * dim * 8) as u64,
                 fnv: 0x0123_4567_89ab_cdef,
+                blocks: vec![],
             },
             ChunkMeta {
                 rows: 4,
                 bytes: (4 * dim * 8) as u64,
                 fnv: 0xfedc_ba98_7654_3210,
+                blocks: vec![],
             },
             ChunkMeta {
                 rows: 2,
                 bytes: (2 * dim * 8) as u64,
                 fnv: 0x0f1e_2d3c_4b5a_6978,
+                blocks: vec![],
+            },
+        ],
+    }
+}
+
+/// The v2 twin: same logical content plus the per-block checksum table
+/// (one 32-byte block per 96-byte shard would be silly, so the golden
+/// uses a 64-byte block size giving two blocks per full shard and one
+/// for the short tail).
+fn golden_store_manifest_v2() -> chef_data::Manifest {
+    use chef_data::store::ChunkMeta;
+    let dim = 3;
+    chef_data::Manifest {
+        version: 2,
+        n: 10,
+        dim,
+        num_classes: 2,
+        chunk_rows: 4,
+        block_bytes: 64,
+        labels_bytes: 250,
+        labels_fnv: 0xdead_beef_0bad_f00d,
+        labels_fnv_words: 0xc0ff_ee00_dead_1234,
+        chunks: vec![
+            ChunkMeta {
+                rows: 4,
+                bytes: (4 * dim * 8) as u64,
+                fnv: 0x0123_4567_89ab_cdef,
+                blocks: vec![0x1111_2222_3333_4444, 0x5555_6666_7777_8888],
+            },
+            ChunkMeta {
+                rows: 4,
+                bytes: (4 * dim * 8) as u64,
+                fnv: 0xfedc_ba98_7654_3210,
+                blocks: vec![0x9999_aaaa_bbbb_cccc, 0xdddd_eeee_ffff_0000],
+            },
+            ChunkMeta {
+                rows: 2,
+                bytes: (2 * dim * 8) as u64,
+                fnv: 0x0f1e_2d3c_4b5a_6978,
+                blocks: vec![0x1357_9bdf_0246_8ace],
             },
         ],
     }
@@ -323,6 +369,25 @@ fn store_manifest_golden_file_reserializes_byte_identical() {
 }
 
 #[test]
+fn store_manifest_v2_golden_file_reserializes_byte_identical() {
+    let path = golden_dir().join("store_v2_golden.manifest");
+    if regen() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, golden_store_manifest_v2().render()).unwrap();
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing — run CHEF_REGEN_GOLDEN=1 cargo test --test schema_roundtrip");
+    let decoded = chef_data::Manifest::parse(&golden).expect("golden v2 manifest parses");
+    assert_eq!(decoded.render(), golden);
+    assert_eq!(golden_store_manifest_v2().render(), golden);
+    // Block-table accessors agree with the hand-assembled layout.
+    assert_eq!(decoded.num_blocks(0), 2);
+    assert_eq!(decoded.num_blocks(2), 1);
+    assert_eq!(decoded.block_fnv(1, 1), 0xdddd_eeee_ffff_0000);
+    assert_eq!(decoded.effective_block_bytes(0), 64);
+}
+
+#[test]
 fn unknown_store_version_is_rejected_with_clear_error() {
     let text = golden_store_manifest().render().replacen("v1", "v6", 1);
     match chef_data::Manifest::parse(&text) {
@@ -333,6 +398,22 @@ fn unknown_store_version_is_rejected_with_clear_error() {
                 msg.contains("chef-store.v1"),
                 "names supported version: {msg}"
             );
+            assert!(
+                msg.contains("chef-store.v2"),
+                "names both supported versions: {msg}"
+            );
+        }
+        other => panic!("expected Version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_store_v2_bump_is_rejected_with_clear_error() {
+    let text = golden_store_manifest_v2().render().replacen("v2", "v9", 1);
+    match chef_data::Manifest::parse(&text) {
+        Err(err @ chef_data::StoreError::Version(_)) => {
+            let msg = err.to_string();
+            assert!(msg.contains("chef-store.v9"), "names found version: {msg}");
         }
         other => panic!("expected Version error, got {other:?}"),
     }

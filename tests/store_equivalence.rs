@@ -9,9 +9,14 @@
 //! Increm-Infl selector (which additionally exercises the sharded
 //! provenance initialization and the per-shard top-b merge), the
 //! DeltaGrad-L constructor, the `pread` fallback, and a pathologically
-//! small residency window (constant eviction). With `fault-inject`, the
-//! same equivalence is asserted through a crash + `checkpoint.v1`
-//! resume on a freshly opened store.
+//! small residency window (constant eviction). Since `store.v2` the
+//! harness also covers the integrity axis: `LazyFirstTouch` (with and
+//! without the background prefetcher) must be bit-identical to `Eager`,
+//! and a `store.v1` directory (no per-block checksum table) must still
+//! open and produce the same bits. With `fault-inject`, the same
+//! equivalence is asserted through a crash + `checkpoint.v1` resume on
+//! a freshly opened store, and corruption lanes check that a bit-flip
+//! slips past a lazy open but is caught on first touch of its block.
 //!
 //! Like the other equivalence suites, this file runs in both feature
 //! configurations exercised by ci.sh (default and
@@ -22,7 +27,9 @@ use chef_core::{
     AnnotationConfig, ConstructorKind, InflSelector, LabelStrategy, Pipeline, PipelineConfig,
     StorePipelineReport,
 };
-use chef_data::{generate_train_store, DatasetKind, DatasetSpec, MmapStore, StoreOptions};
+use chef_data::{
+    generate_train_store, DatasetKind, DatasetSpec, IntegrityMode, MmapStore, StoreOptions,
+};
 use chef_model::{Dataset, DatasetStore, LogisticRegression, WeightedObjective};
 use chef_train::{DeltaGradConfig, SgdConfig};
 use chef_weak::random_probabilistic_labels;
@@ -215,6 +222,90 @@ fn pread_fallback_is_bit_identical() {
 }
 
 #[test]
+fn lazy_first_touch_is_bit_identical_to_eager() {
+    // The integrity mode must only change *when* checksums are checked,
+    // never what the selector sees — with or without the background
+    // prefetch thread warming blocks ahead of the residency window.
+    let (dir, val, test) = make_store("lazy");
+    let mem = run_in_memory(&dir, ConstructorKind::Retrain, false, &val, &test);
+    let lazy = run_on_store(
+        &dir,
+        StoreOptions {
+            integrity: IntegrityMode::LazyFirstTouch,
+            ..StoreOptions::default()
+        },
+        ConstructorKind::Retrain,
+        false,
+        &val,
+        &test,
+    );
+    assert_equivalent(&mem, &lazy);
+    let lazy_no_prefetch = run_on_store(
+        &dir,
+        StoreOptions {
+            integrity: IntegrityMode::LazyFirstTouch,
+            background_prefetch: false,
+            ..StoreOptions::default()
+        },
+        ConstructorKind::Retrain,
+        false,
+        &val,
+        &test,
+    );
+    assert_equivalent(&mem, &lazy_no_prefetch);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v1_manifest_store_is_still_bit_identical() {
+    // Backward compat: a directory written before store.v2 has no
+    // per-block checksum table. Demote the manifest to the v1 dialect
+    // (drop block lines, flip the version header) and require the
+    // pipeline to produce the same bits in every integrity mode.
+    let (dir, val, test) = make_store("v1compat");
+    let v2_path = dir.join(chef_data::store::MANIFEST_FILE_V2);
+    let v2 = std::fs::read_to_string(&v2_path).unwrap();
+    let mut v1 = String::new();
+    for line in v2.lines() {
+        if line.starts_with("block_bytes=")
+            || line.starts_with("blocks=")
+            || line.starts_with("labels_fnv64=")
+        {
+            continue;
+        }
+        if line == chef_data::store::STORE_VERSION_V2 {
+            v1.push_str(chef_data::store::STORE_VERSION);
+        } else {
+            v1.push_str(line);
+        }
+        v1.push('\n');
+    }
+    std::fs::write(dir.join(chef_data::store::MANIFEST_FILE), v1).unwrap();
+    std::fs::remove_file(&v2_path).unwrap();
+
+    let mem = run_in_memory(&dir, ConstructorKind::Retrain, false, &val, &test);
+    for integrity in [
+        IntegrityMode::Eager,
+        IntegrityMode::LazyFirstTouch,
+        IntegrityMode::Off,
+    ] {
+        let store = run_on_store(
+            &dir,
+            StoreOptions {
+                integrity,
+                ..StoreOptions::default()
+            },
+            ConstructorKind::Retrain,
+            false,
+            &val,
+            &test,
+        );
+        assert_equivalent(&mem, &store);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn tiny_residency_window_changes_nothing_but_paging() {
     // residency_chunks = 1 forces an eviction on almost every chunk
     // transition; evicted pages must refault with identical contents.
@@ -322,10 +413,50 @@ mod fault_inject {
     #[test]
     fn unknown_store_version_is_rejected_at_open() {
         let (dir, _val, _test) = make_store("version");
-        let manifest = dir.join(chef_data::store::MANIFEST_FILE);
+        let manifest = dir.join(chef_data::store::MANIFEST_FILE_V2);
         let text = std::fs::read_to_string(&manifest).unwrap();
-        std::fs::write(&manifest, text.replacen("v1", "v9", 1)).unwrap();
+        std::fs::write(&manifest, text.replacen("v2", "v9", 1)).unwrap();
         assert!(matches!(MmapStore::open(&dir), Err(StoreError::Version(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bitflip_passes_lazy_open_but_fails_on_first_touch() {
+        // A flipped bit deep in the last shard: eager open must reject
+        // it up front; a lazy open must succeed in O(manifest) work and
+        // then surface `Corrupt` exactly when the damaged block is first
+        // touched — after which the store stays poisoned.
+        let (dir, _val, _test) = make_store("bitflip");
+        let chunk = dir.join(chef_data::store::chunk_file_name(4));
+        let mut bytes = std::fs::read(&chunk).unwrap();
+        let last = bytes.len() - 9;
+        bytes[last] ^= 0x10;
+        std::fs::write(&chunk, &bytes).unwrap();
+
+        assert!(matches!(MmapStore::open(&dir), Err(StoreError::Corrupt(_))));
+
+        let store = MmapStore::open_with(
+            &dir,
+            StoreOptions {
+                integrity: IntegrityMode::LazyFirstTouch,
+                background_prefetch: false,
+                ..StoreOptions::default()
+            },
+        )
+        .expect("lazy open must not touch shard bytes");
+        // Earlier shards are intact and verify on demand.
+        store.verify_rows(0, 4 * CHUNK_ROWS).expect("clean shards");
+        // First touch of the damaged shard's block reports corruption...
+        assert!(matches!(
+            store.verify_rows(4 * CHUNK_ROWS, store.len()),
+            Err(StoreError::Corrupt(_))
+        ));
+        // ...and the store is poisoned from then on, even for ranges
+        // that verified fine before.
+        assert!(matches!(
+            store.verify_rows(0, CHUNK_ROWS),
+            Err(StoreError::Corrupt(_))
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
