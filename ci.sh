@@ -11,27 +11,66 @@ echo "==> cargo clippy (default features)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo clippy (serial/no-telemetry: --no-default-features)"
-cargo clippy -p chef-linalg -p chef-model -p chef-data -p chef-core -p chef-bench -p chef-obs --all-targets --no-default-features -- -D warnings
+cargo clippy -p chef-linalg -p chef-model -p chef-data -p chef-core -p chef-bench -p chef-obs -p chef-serve --all-targets --no-default-features -- -D warnings
 
-echo "==> cargo test (default features: parallel)"
-cargo test -q --workspace
+echo "==> no-sleep guard (daemon suites must synchronize on condvars, not time)"
+# Sleep-based tests are flaky under load and slow everywhere; the serve
+# harness is required to be event-driven end to end.
+if grep -rn "thread::sleep" tests/serve_*.rs crates/serve/src; then
+  echo "serve code/tests must not call thread::sleep" >&2
+  exit 1
+fi
+
+echo "==> cargo test (default features, 1 rayon worker)"
+# The shim's pool size is env-pinned; running the suite at both ends of
+# {1,4} workers covers the serial dispatch path and the chunked
+# parallel paths (serial/parallel equivalence tests then compare real
+# threads).
+RAYON_NUM_THREADS=1 cargo test -q --workspace
 
 echo "==> cargo test (default features, 4 rayon workers)"
-# The shim's pool size is env-pinned; re-running the suite at 4 workers
-# exercises the chunked parallel paths the 1-worker run dispatches away
-# from (serial/parallel equivalence tests then compare real threads).
 RAYON_NUM_THREADS=4 cargo test -q --workspace
 
 echo "==> cargo test (serial: --no-default-features)"
 # --no-default-features applies to the packages that own the `parallel`
 # and `telemetry` features; the rest of the workspace is unaffected.
-cargo test -q -p chef-linalg -p chef-model -p chef-data -p chef-core -p chef-bench -p chef-obs --no-default-features
+cargo test -q -p chef-linalg -p chef-model -p chef-data -p chef-core -p chef-bench -p chef-obs -p chef-serve --no-default-features
 
 echo "==> cargo test (fault injection: crash/torn-write/bit-flip replay equivalence)"
 cargo test -q -p chef-core --features fault-inject --test checkpoint_resume --test store_equivalence
 
 echo "==> cargo test (fault injection, serial: --no-default-features)"
 cargo test -q -p chef-core --no-default-features --features fault-inject --test checkpoint_resume --test store_equivalence
+
+echo "==> cargo test (daemon fault harness: kill-mid-round / torn-checkpoint / stale-replay under serve)"
+cargo test -q -p chef-serve --features fault-inject --test serve_fault
+
+echo "==> cargo test (daemon fault harness, serial: --no-default-features)"
+cargo test -q -p chef-serve --no-default-features --features fault-inject --test serve_fault
+
+# One framed submit + blocking results piped through the daemon's stdio
+# mode: proves the binary, the protocol, and the job manager compose
+# outside the test harness. `results` waits for the job, so the smoke
+# needs no polling.
+serve_smoke() {
+  local spec='{"name":"smoke","dataset":"MIMIC","scale":30,"seed":5,"budget":10,"round_size":5}'
+  local ask='{"job":1}'
+  local out
+  out=$( { printf 'chef-serve.v1 submit %d\n%s\n' "${#spec}" "$spec"
+           printf 'chef-serve.v1 results %d\n%s\n' "${#ask}" "$ask"
+         } | cargo run -q --release -p chef-serve "$@" -- --stdin )
+  if ! grep -q '"final_test_f1"' <<<"$out"; then
+    echo "serve smoke: no results frame in daemon output:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+}
+
+echo "==> chef-serve stdio smoke (default features)"
+serve_smoke
+
+echo "==> chef-serve stdio smoke (--no-default-features)"
+serve_smoke --no-default-features
 
 echo "==> infl_kernels bench (quick smoke: batched kernels run end-to-end)"
 cargo run -q --release -p chef-bench --bin infl_kernels -- --quick
@@ -64,13 +103,13 @@ echo "==> cargo test --doc (default features)"
 cargo test -q --doc --workspace
 
 echo "==> cargo test --doc (--no-default-features)"
-cargo test -q --doc -p chef-linalg -p chef-model -p chef-data -p chef-core -p chef-bench -p chef-obs --no-default-features
+cargo test -q --doc -p chef-linalg -p chef-model -p chef-data -p chef-core -p chef-bench -p chef-obs -p chef-serve --no-default-features
 
 echo "==> cargo doc (default features, warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 echo "==> cargo doc (--no-default-features, warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
-  -p chef-linalg -p chef-model -p chef-data -p chef-core -p chef-bench -p chef-obs --no-default-features
+  -p chef-linalg -p chef-model -p chef-data -p chef-core -p chef-bench -p chef-obs -p chef-serve --no-default-features
 
 echo "ci.sh: all green"

@@ -14,6 +14,7 @@
 //! | Infl (two)     | none             | yes (alone)      |
 //! | Infl (three)   | 2 human voters   | yes              |
 
+use crate::round::AnnotationBatch;
 use crate::selector::Selection;
 use chef_model::DatasetStore;
 use chef_weak::{majority_vote, AnnotatorPanel, VoteOutcome};
@@ -90,6 +91,42 @@ pub struct AnnotationStats {
     pub cleaned: usize,
 }
 
+impl AnnotationStats {
+    /// Fold one sample's decision into the counters (`requested` is the
+    /// caller's: it counts handed-out slots, not received decisions —
+    /// the two differ when an async annotator drops replies).
+    pub fn record(&mut self, d: &SampleDecision) {
+        self.votes += d.votes;
+        if d.conflict {
+            self.conflicts += 1;
+        }
+        match d.outcome {
+            AnnotationOutcome::Cleaned(_) => self.cleaned += 1,
+            AnnotationOutcome::Ambiguous => self.abstains += 1,
+        }
+    }
+
+    /// Fold a dropped (never answered) slot into the counters: the
+    /// sample abstains with zero votes, exactly like the synchronous
+    /// whole-batch-timeout path.
+    pub fn record_dropped(&mut self) {
+        self.abstains += 1;
+    }
+}
+
+/// The resolution of one sample's ballot, decoupled from the store
+/// mutation so an out-of-process annotator host can compute it remotely
+/// and ship it back as a reply ([`AnnotationPhase::decide_one`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleDecision {
+    /// Individual votes cast (humans plus suggestion).
+    pub votes: usize,
+    /// Whether the ballot was non-unanimous.
+    pub conflict: bool,
+    /// The outcome the pipeline applies.
+    pub outcome: AnnotationOutcome,
+}
+
 /// Stateful annotation phase (panel is reused across rounds so each
 /// annotator stays self-consistent).
 #[derive(Debug, Clone)]
@@ -143,42 +180,90 @@ impl AnnotationPhase {
         let outcomes = selections
             .iter()
             .map(|sel| {
-                let suggestion = match self.cfg.strategy {
-                    LabelStrategy::HumansOnly(_) => None,
-                    _ => sel.suggested,
+                let d = self.decide_one(sel.index, data.ground_truth(sel.index), c, sel.suggested);
+                stats.record(&d);
+                if let AnnotationOutcome::Cleaned(class) = d.outcome {
+                    data.clean_label(sel.index, chef_model::SoftLabel::onehot(class, c));
+                }
+                d.outcome
+            })
+            .collect();
+        (outcomes, stats)
+    }
+
+    /// Resolve one sample's ballot *without* touching any store — the
+    /// pure core of [`Self::annotate_with_stats`], and the exact function
+    /// a simulated annotator host evaluates remotely. Votes are
+    /// deterministic per `(panel seed, sample index)` (each annotator
+    /// seeds a fresh RNG per call), so the decision is independent of
+    /// call order and of whatever other samples were annotated before —
+    /// the property that makes out-of-order async annotation
+    /// bit-identical to the synchronous phase.
+    pub fn decide_one(
+        &self,
+        index: usize,
+        truth: Option<usize>,
+        num_classes: usize,
+        suggested: Option<usize>,
+    ) -> SampleDecision {
+        let suggestion = match self.cfg.strategy {
+            LabelStrategy::HumansOnly(_) => None,
+            _ => suggested,
+        };
+        // Ground truth only feeds the *human* simulators; a
+        // suggestion-only ballot must not abstain just because truth is
+        // unknown (pinned by `suggestion_only_cleans_without_ground_
+        // truth` below).
+        let votes: Vec<usize> = if self.panel.is_empty() {
+            suggestion.into_iter().collect()
+        } else {
+            let Some(truth) = truth else {
+                return SampleDecision {
+                    votes: 0,
+                    conflict: false,
+                    outcome: AnnotationOutcome::Ambiguous,
                 };
-                // Ground truth only feeds the *human* simulators; a
-                // suggestion-only ballot must not abstain just because
-                // truth is unknown (pinned by `suggestion_only_cleans_
-                // without_ground_truth` below).
-                let votes = if self.panel.is_empty() {
-                    suggestion.into_iter().collect()
-                } else {
-                    let Some(truth) = data.ground_truth(sel.index) else {
-                        stats.abstains += 1;
-                        return AnnotationOutcome::Ambiguous;
-                    };
-                    self.panel.votes(sel.index, truth, c, suggestion)
-                };
-                stats.votes += votes.len();
-                if votes.is_empty() {
-                    stats.abstains += 1;
-                    return AnnotationOutcome::Ambiguous;
-                }
-                if votes.iter().any(|&v| v != votes[0]) {
-                    stats.conflicts += 1;
-                }
-                match majority_vote(&votes, c) {
-                    VoteOutcome::Majority(class) => {
-                        stats.cleaned += 1;
-                        data.clean_label(sel.index, chef_model::SoftLabel::onehot(class, c));
-                        AnnotationOutcome::Cleaned(class)
-                    }
-                    VoteOutcome::Tie => {
-                        stats.abstains += 1;
-                        AnnotationOutcome::Ambiguous
-                    }
-                }
+            };
+            self.panel.votes(index, truth, num_classes, suggestion)
+        };
+        if votes.is_empty() {
+            return SampleDecision {
+                votes: 0,
+                conflict: false,
+                outcome: AnnotationOutcome::Ambiguous,
+            };
+        }
+        let conflict = votes.iter().any(|&v| v != votes[0]);
+        let outcome = match majority_vote(&votes, num_classes) {
+            VoteOutcome::Majority(class) => AnnotationOutcome::Cleaned(class),
+            VoteOutcome::Tie => AnnotationOutcome::Ambiguous,
+        };
+        SampleDecision {
+            votes: votes.len(),
+            conflict,
+            outcome,
+        }
+    }
+
+    /// Decide a whole [`AnnotationBatch`] (store-free), aggregating the
+    /// round's stats. Answering a [`crate::RoundLoop`] batch with this is
+    /// bit-identical to the synchronous [`Self::annotate_with_stats`]
+    /// path — `Pipeline::run` is implemented exactly that way.
+    pub fn decide_batch(
+        &self,
+        batch: &AnnotationBatch,
+    ) -> (Vec<AnnotationOutcome>, AnnotationStats) {
+        let mut stats = AnnotationStats {
+            requested: batch.items.len(),
+            ..AnnotationStats::default()
+        };
+        let outcomes = batch
+            .items
+            .iter()
+            .map(|it| {
+                let d = self.decide_one(it.index, it.truth, batch.num_classes, it.suggested);
+                stats.record(&d);
+                d.outcome
             })
             .collect();
         (outcomes, stats)

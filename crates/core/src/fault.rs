@@ -32,6 +32,14 @@ pub struct FaultPlan {
     /// Rounds in which every annotator times out: the whole batch
     /// abstains (labels stay probabilistic) but still consumes budget.
     pub annotator_timeout_rounds: Vec<usize>,
+    /// Simulated `kill -9` *mid-round*: a `chef-serve` job thread dies at
+    /// the awaiting-annotation point of this round — after the batch went
+    /// out, before any outcome was applied. Unlike
+    /// [`Self::crash_after_round`], nothing of this round reaches the
+    /// checkpoint, so a resume re-runs the selection (and, selection
+    /// being deterministic at the restored parameters, re-emits the very
+    /// same batch). The synchronous driver ignores this field.
+    pub kill_mid_round: Option<usize>,
 }
 
 impl FaultPlan {
@@ -51,6 +59,12 @@ impl FaultPlan {
     /// Whether every annotator times out in `round`.
     pub fn annotators_time_out(&self, round: usize) -> bool {
         self.annotator_timeout_rounds.contains(&round)
+    }
+
+    /// Whether a serve job thread should die mid-`round` (see
+    /// [`Self::kill_mid_round`]).
+    pub fn kill_requested(&self, round: usize) -> bool {
+        self.kill_mid_round == Some(round)
     }
 
     /// Corrupt the checkpoint generation written after `round` according

@@ -46,10 +46,12 @@ pub mod influence;
 pub mod lissa;
 pub mod metrics;
 pub mod pipeline;
+pub mod round;
 pub mod selector;
 
 pub use annotation::{
     AnnotationConfig, AnnotationOutcome, AnnotationPhase, AnnotationStats, LabelStrategy,
+    SampleDecision,
 };
 pub use checkpoint::{
     Checkpoint, CheckpointConfig, CheckpointError, LabelPatch, CHECKPOINT_VERSION,
@@ -71,6 +73,7 @@ pub use influence::{
 pub use lissa::{lissa_influence_vector, lissa_solve, LissaConfig};
 pub use metrics::{accuracy, confusion_matrix, evaluate_f1, f1_score, macro_f1, Evaluation};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, RoundReport, StorePipelineReport};
+pub use round::{AnnotationBatch, BatchItem, RoundLoop, RoundStep};
 pub use selector::{
     InflSelector, SampleSelector, Selection, SelectorCheckpoint, SelectorContext, SelectorStats,
 };

@@ -14,12 +14,11 @@ use crate::constructor::{ConstructorKind, ModelConstructor};
 use crate::fault::FaultPlan;
 use crate::increm::IncremStats;
 use crate::metrics::evaluate_f1;
-use crate::selector::{SampleSelector, Selection, SelectorContext};
-use chef_model::{Dataset, DatasetStore, LabelOverlay, Model, WeightedObjective};
-use chef_obs::{
-    AnnotationTelemetry, ConstructorTelemetry, RoundTelemetry, SelectorTelemetry, Telemetry,
-};
-use chef_train::{select_early_stop, SgdConfig, TrainTrace};
+use crate::round::{LoopState, RoundLoop, RoundStep};
+use crate::selector::{SampleSelector, Selection};
+use chef_model::{Dataset, DatasetStore, Model, WeightedObjective};
+use chef_obs::{RoundTelemetry, Telemetry};
+use chef_train::{select_early_stop, SgdConfig};
 use std::collections::HashSet;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -227,7 +226,7 @@ impl StorePipelineReport {
 
 /// The CHEF pipeline driver.
 pub struct Pipeline {
-    cfg: PipelineConfig,
+    pub(crate) cfg: PipelineConfig,
 }
 
 impl Pipeline {
@@ -323,6 +322,23 @@ impl Pipeline {
         test: &dyn DatasetStore,
         selector: &mut dyn SampleSelector,
     ) -> StorePipelineReport {
+        self.drive_sync(self.round_loop(model, data, val, test, selector))
+    }
+
+    /// The async-boundary entry point (DESIGN.md §16): run the
+    /// initialization training and return the loop as a [`RoundLoop`]
+    /// state machine that yields [`crate::AnnotationBatch`]es instead of
+    /// blocking on annotators. [`Self::run_store`] is this plus a driver
+    /// that answers every batch with the in-process simulated panel —
+    /// one code path, so both are bit-identical on the same data.
+    pub fn round_loop<'a>(
+        &'a self,
+        model: &'a dyn Model,
+        data: &'a mut dyn DatasetStore,
+        val: &'a dyn DatasetStore,
+        test: &'a dyn DatasetStore,
+        selector: &'a mut dyn SampleSelector,
+    ) -> RoundLoop<'a> {
         let cfg = &self.cfg;
         let tel = &cfg.telemetry;
         let ctor = self.constructor();
@@ -355,7 +371,7 @@ impl Pipeline {
             initial_test_f1,
             init_time: init.elapsed,
         };
-        self.drive(model, data, val, test, selector, state)
+        RoundLoop::new(self, model, data, val, test, selector, state)
     }
 
     /// Resume an interrupted run from the checkpoint file at `path`.
@@ -451,6 +467,44 @@ impl Pipeline {
         ckpt: Checkpoint,
         corrupt_skipped: usize,
     ) -> Result<StorePipelineReport, CheckpointError> {
+        let state = self.restored_state(data, selector, ckpt, corrupt_skipped)?;
+        Ok(self.drive_sync(RoundLoop::new(
+            self, model, data, val, test, selector, state,
+        )))
+    }
+
+    /// [`Self::round_loop`] resuming from the newest readable checkpoint
+    /// generation in `dir` (same fallback-over-corrupt-generations
+    /// behavior as [`Self::resume_latest`]): restores labels, selector
+    /// provenance and telemetry, then returns the parked state machine
+    /// for an external annotation source to drive. This is how a
+    /// `chef-serve` job picks up a killed tenant bit-identically.
+    pub fn resume_round_loop_latest<'a>(
+        &'a self,
+        model: &'a dyn Model,
+        data: &'a mut dyn DatasetStore,
+        val: &'a dyn DatasetStore,
+        test: &'a dyn DatasetStore,
+        selector: &'a mut dyn SampleSelector,
+        dir: &Path,
+    ) -> Result<RoundLoop<'a>, CheckpointError> {
+        let (ckpt, _path, corrupt_skipped) = Checkpoint::latest_in_dir(dir)?;
+        let state = self.restored_state(data, selector, ckpt, corrupt_skipped)?;
+        Ok(RoundLoop::new(
+            self, model, data, val, test, selector, state,
+        ))
+    }
+
+    /// Validate a checkpoint against the config, replay its label
+    /// patches and telemetry, restore the selector, and rebuild the loop
+    /// state — the shared prologue of every resume entry point.
+    fn restored_state(
+        &self,
+        data: &mut dyn DatasetStore,
+        selector: &mut dyn SampleSelector,
+        ckpt: Checkpoint,
+        corrupt_skipped: usize,
+    ) -> Result<LoopState, CheckpointError> {
         let cfg = &self.cfg;
         if ckpt.annotation_seed != cfg.annotation.seed {
             return Err(CheckpointError::Mismatch(format!(
@@ -487,7 +541,7 @@ impl Pipeline {
             tel.set_gauge("pipeline.test_f1", last.test_f1);
         }
 
-        let state = LoopState {
+        Ok(LoopState {
             w_raw: ckpt.w_raw,
             w_eval: ckpt.w_eval,
             trace: ckpt.trace,
@@ -500,288 +554,50 @@ impl Pipeline {
             initial_val_f1: ckpt.initial_val_f1,
             initial_test_f1: ckpt.initial_test_f1,
             init_time: Duration::from_nanos(ckpt.init_ns),
-        };
-        Ok(self.drive(model, data, val, test, selector, state))
+        })
     }
 
-    fn constructor(&self) -> ModelConstructor {
+    pub(crate) fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn constructor(&self) -> ModelConstructor {
         ModelConstructor::new(self.cfg.constructor, self.cfg.sgd)
             .with_warm_start(self.cfg.warm_start)
             .with_telemetry(self.cfg.telemetry.clone())
     }
 
-    /// The cleaning loop itself, shared by [`Self::run`] and
-    /// [`Self::resume`]: drives `state` until the budget is spent, the
-    /// pool drains, or the quality target is hit — writing checkpoint
-    /// generations at the configured cadence along the way.
-    fn drive(
-        &self,
-        model: &dyn Model,
-        data: &mut dyn DatasetStore,
-        val: &dyn DatasetStore,
-        test: &dyn DatasetStore,
-        selector: &mut dyn SampleSelector,
-        mut state: LoopState,
-    ) -> StorePipelineReport {
-        let cfg = &self.cfg;
-        let tel = &cfg.telemetry;
-        let ctor = self.constructor();
-        let annotator = AnnotationPhase::new(cfg.annotation);
-
-        let mut interrupted = false;
-        while !state.early_terminated && state.spent < cfg.budget {
-            let b = cfg.round_size.min(cfg.budget - state.spent);
-            let pool: Vec<usize> = data
-                .uncleaned_indices()
-                .into_iter()
-                .filter(|i| !state.attempted.contains(i))
-                .collect();
-            if pool.is_empty() {
-                break;
-            }
-
-            // ---- Sample selector phase. ----
-            let select_start = Instant::now();
-            let selections = {
-                let _span = tel.span("round.select");
-                let ctx = SelectorContext {
-                    model,
-                    objective: &cfg.objective,
-                    data: &*data,
-                    val,
-                    // Influence is computed at the full-budget parameters
-                    // w_raw: they evolve smoothly across rounds (early
-                    // stopping may jump between epochs), which keeps the
-                    // Increm-Infl drift ‖w⁽ᵏ⁾ − w⁽⁰⁾‖ small, exactly as the
-                    // paper's provenance assumes. Early stopping still
-                    // decides the *reported* model.
-                    w: &state.w_raw,
-                    pool: &pool,
-                    b,
-                    round: state.round,
-                };
-                selector.select(&ctx)
-            };
-            let select_time = select_start.elapsed();
-            if selections.is_empty() {
-                break;
-            }
-            state.spent += selections.len();
-
-            let phase_stats = selector.phase_stats();
-            let selector_tel = match phase_stats {
-                Some(ps) => SelectorTelemetry {
-                    selector: selector.name().to_string(),
-                    pool: ps.pool,
-                    pruned: ps.pruned,
-                    scored: ps.scored,
-                    grad_evals: ps.grad_evals,
-                    hvp_evals: ps.hvp_evals,
-                    bound_hit_rate: ps.bound_hit_rate,
-                    kernel_path: ps.kernel_path.to_string(),
-                    kernel_backend: ps.kernel_backend.to_string(),
-                    select_ms: select_time.as_secs_f64() * 1e3,
-                },
-                // Baselines report no cost counters; pool size is still known.
-                None => SelectorTelemetry {
-                    selector: selector.name().to_string(),
-                    pool: pool.len(),
-                    select_ms: select_time.as_secs_f64() * 1e3,
-                    ..SelectorTelemetry::default()
-                },
-            };
-            if let Some(ps) = phase_stats {
-                if ps.provenance_grads > 0 {
-                    // Paid once at provenance initialization; not part of
-                    // RoundTelemetry, so a resumed run cannot replay it
-                    // (a documented counter divergence, DESIGN.md §12).
-                    tel.add("increm.provenance_grads", ps.provenance_grads as u64);
-                }
-                if ps.cg_iters_saved > 0 {
-                    // Live-only, like provenance_grads: the warm-start
-                    // cache is not persisted, so a resumed run pays a
-                    // cold solve and cannot replay the savings.
-                    tel.add("cg.warm_start_iters_saved", ps.cg_iters_saved as u64);
+    /// The synchronous annotation driver, shared by [`Self::run`] and
+    /// [`Self::resume`]: answers every batch the [`RoundLoop`] yields
+    /// with the in-process simulated panel (or the injected whole-batch
+    /// timeout), immediately. All loop mechanics live in the state
+    /// machine itself.
+    fn drive_sync(&self, mut rl: RoundLoop<'_>) -> StorePipelineReport {
+        let annotator = AnnotationPhase::new(self.cfg.annotation);
+        loop {
+            match rl.next_batch() {
+                RoundStep::Done => return rl.finish(),
+                RoundStep::Awaiting(batch) => {
+                    let annotate_start = Instant::now();
+                    let (outcomes, ann_stats) = if self.annotators_time_out(batch.round) {
+                        // Injected timeout: the whole batch abstains —
+                        // labels stay probabilistic, budget slots are
+                        // still consumed.
+                        (
+                            vec![AnnotationOutcome::Ambiguous; batch.items.len()],
+                            AnnotationStats {
+                                requested: batch.items.len(),
+                                abstains: batch.items.len(),
+                                ..AnnotationStats::default()
+                            },
+                        )
+                    } else {
+                        let _span = self.cfg.telemetry.span("round.annotate");
+                        annotator.decide_batch(&batch)
+                    };
+                    rl.provide(&outcomes, ann_stats, annotate_start.elapsed());
                 }
             }
-
-            // ---- Human annotation phase. ----
-            let annotate_start = Instant::now();
-            // DeltaGrad-L's Eq. 4 corrections need the *pre-annotation*
-            // labels of exactly the selected samples. An overlay of
-            // those few labels over the post-annotation store replaces
-            // the former full `state.data.clone()` — O(b) instead of
-            // O(n·d) per round, and the only way an out-of-core store
-            // could provide an "old dataset" at all.
-            let mut prior = LabelOverlay::new();
-            for sel in &selections {
-                prior.insert(
-                    sel.index,
-                    data.label(sel.index).clone(),
-                    data.is_clean(sel.index),
-                );
-            }
-            let (outcomes, ann_stats) = if self.annotators_time_out(state.round) {
-                // Injected timeout: the whole batch abstains — labels
-                // stay probabilistic, budget slots are still consumed.
-                (
-                    vec![AnnotationOutcome::Ambiguous; selections.len()],
-                    AnnotationStats {
-                        requested: selections.len(),
-                        abstains: selections.len(),
-                        ..AnnotationStats::default()
-                    },
-                )
-            } else {
-                let _span = tel.span("round.annotate");
-                annotator.annotate_with_stats(data, &selections)
-            };
-            let annotate_time = annotate_start.elapsed();
-            let mut changed = Vec::new();
-            let mut ambiguous = 0usize;
-            for (sel, out) in selections.iter().zip(&outcomes) {
-                state.attempted.insert(sel.index);
-                match out {
-                    AnnotationOutcome::Cleaned(_) => changed.push(sel.index),
-                    AnnotationOutcome::Ambiguous => ambiguous += 1,
-                }
-            }
-            state.cleaned_total += changed.len();
-            let annotation_tel = AnnotationTelemetry {
-                requested: ann_stats.requested,
-                votes: ann_stats.votes,
-                conflicts: ann_stats.conflicts,
-                abstains: ann_stats.abstains,
-                cleaned: ann_stats.cleaned,
-                annotate_ms: annotate_time.as_secs_f64() * 1e3,
-            };
-            // ---- Model constructor phase. ----
-            let update = {
-                let _span = tel.span("round.update");
-                let old_view = prior.over(&*data);
-                ctor.update(
-                    model,
-                    &cfg.objective,
-                    &old_view,
-                    &*data,
-                    &changed,
-                    &state.trace,
-                )
-            };
-            let update_time = update.elapsed;
-            let train_kernel = model.scoring_kernel().name().to_string();
-            // The backend is a GEMM-panel property: meaningless (and
-            // omitted) on the per-sample fallback path.
-            let train_backend = match model.scoring_kernel() {
-                chef_model::KernelPath::Gemm => model.kernel_backend().name().to_string(),
-                chef_model::KernelPath::PerSample => String::new(),
-            };
-            let constructor_tel = match (cfg.constructor, &update.stats) {
-                (ConstructorKind::DeltaGradL(dg), Some(stats)) => ConstructorTelemetry {
-                    kind: "deltagrad-l".to_string(),
-                    exact_steps: stats.explicit_iters,
-                    replay_steps: stats.approx_iters,
-                    correction_grads: stats.correction_grads,
-                    lbfgs_history: dg.m0,
-                    epochs: cfg.sgd.epochs,
-                    kernel_path: train_kernel,
-                    kernel_backend: train_backend,
-                    update_ms: update_time.as_secs_f64() * 1e3,
-                },
-                _ => ConstructorTelemetry {
-                    kind: "retrain".to_string(),
-                    exact_steps: update.trace.plan.total_iterations(),
-                    epochs: cfg.sgd.epochs,
-                    kernel_path: train_kernel,
-                    kernel_backend: train_backend,
-                    update_ms: update_time.as_secs_f64() * 1e3,
-                    ..ConstructorTelemetry::default()
-                },
-            };
-            state.w_raw = update.w;
-            state.trace = update.trace;
-
-            // ---- Evaluation. ----
-            let (val_f1, test_f1) = {
-                let _span = tel.span("round.eval");
-                let (we, _) = select_early_stop(
-                    model,
-                    &cfg.objective,
-                    val,
-                    &state.trace.epoch_checkpoints,
-                    &state.w_raw,
-                );
-                state.w_eval = we;
-                (
-                    evaluate_f1(model, &state.w_eval, val).f1,
-                    evaluate_f1(model, &state.w_eval, test).f1,
-                )
-            };
-            tel.set_gauge("pipeline.val_f1", val_f1);
-            tel.set_gauge("pipeline.test_f1", test_f1);
-
-            let round_tel = RoundTelemetry {
-                round: state.round,
-                selector: selector_tel,
-                annotation: annotation_tel,
-                constructor: constructor_tel,
-            };
-            record_round_counters(tel, &round_tel);
-            tel.record_round(round_tel.clone());
-
-            let selector_stats = selector.stats();
-            state.rounds.push(RoundReport {
-                round: state.round,
-                selected: selections,
-                cleaned: changed.len(),
-                ambiguous,
-                val_f1,
-                test_f1,
-                select_time,
-                update_time,
-                selector_stats,
-                telemetry: round_tel,
-            });
-
-            if cfg.target_val_f1.is_some_and(|target| val_f1 >= target) {
-                state.early_terminated = true;
-            }
-            let finished = state.round;
-            state.round += 1;
-
-            // ---- Durability boundary. ----
-            if let Some(ckcfg) = &cfg.checkpoint {
-                if ckcfg.every_rounds > 0 && state.round.is_multiple_of(ckcfg.every_rounds) {
-                    self.write_checkpoint(ckcfg, &state, &*data, &*selector, finished);
-                }
-            }
-            if self.crash_requested(finished) {
-                interrupted = true;
-                break;
-            }
-        }
-
-        // Store-integrity counters (additive-optional: in-memory
-        // datasets report no io_stats, so existing telemetry exports
-        // are byte-identical). Monotonic store-lifetime totals, set
-        // once at end-of-run.
-        if let Some(io) = data.io_stats() {
-            tel.add("store.verify_ms", io.verify_ms);
-            tel.add("store.blocks_verified", io.blocks_verified);
-            tel.add("store.lazy_verify_hits", io.lazy_verify_hits);
-            tel.add("store.prefetch_overlap_ms", io.prefetch_overlap_ms);
-        }
-
-        StorePipelineReport {
-            initial_val_f1: state.initial_val_f1,
-            initial_test_f1: state.initial_test_f1,
-            init_time: state.init_time,
-            rounds: state.rounds,
-            final_w: state.w_eval,
-            final_w_raw: state.w_raw,
-            early_terminated: state.early_terminated,
-            cleaned_total: state.cleaned_total,
-            interrupted,
         }
     }
 
@@ -825,7 +641,7 @@ impl Pipeline {
         }
     }
 
-    fn write_checkpoint(
+    pub(crate) fn write_checkpoint(
         &self,
         ckcfg: &CheckpointConfig,
         state: &LoopState,
@@ -852,12 +668,12 @@ impl Pipeline {
     }
 
     #[cfg(feature = "fault-inject")]
-    fn crash_requested(&self, finished_round: usize) -> bool {
+    pub(crate) fn crash_requested(&self, finished_round: usize) -> bool {
         self.cfg.faults.crash_after_round == Some(finished_round)
     }
 
     #[cfg(not(feature = "fault-inject"))]
-    fn crash_requested(&self, _finished_round: usize) -> bool {
+    pub(crate) fn crash_requested(&self, _finished_round: usize) -> bool {
         false
     }
 
@@ -880,24 +696,6 @@ impl Pipeline {
     fn mangle_checkpoint(&self, _finished_round: usize, _path: &Path) {}
 }
 
-/// Everything the cleaning loop carries across rounds — by construction,
-/// exactly the state a [`Checkpoint`] must persist for
-/// [`Pipeline::resume`] to continue bit-identically.
-struct LoopState {
-    w_raw: Vec<f64>,
-    w_eval: Vec<f64>,
-    trace: TrainTrace,
-    attempted: HashSet<usize>,
-    rounds: Vec<RoundReport>,
-    spent: usize,
-    cleaned_total: usize,
-    early_terminated: bool,
-    round: usize,
-    initial_val_f1: f64,
-    initial_test_f1: f64,
-    init_time: Duration,
-}
-
 /// Fold one round's structured breakdown into the flat telemetry
 /// counters. The single source of truth for both the live loop and the
 /// resume replay — keeping them on one code path is what makes counter
@@ -905,7 +703,7 @@ struct LoopState {
 /// (`increm.provenance_grads` and `cg.warm_start_iters_saved` are the
 /// documented exceptions: neither is part of [`RoundTelemetry`], so
 /// resume cannot replay them).
-fn record_round_counters(tel: &Telemetry, rt: &RoundTelemetry) {
+pub(crate) fn record_round_counters(tel: &Telemetry, rt: &RoundTelemetry) {
     tel.add("selector.scored", rt.selector.scored as u64);
     tel.add("selector.pruned", rt.selector.pruned as u64);
     tel.add("selector.grad_evals", rt.selector.grad_evals as u64);

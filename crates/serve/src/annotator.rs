@@ -1,0 +1,100 @@
+//! The asynchronous annotation boundary: the [`AnnotatorHost`] trait and
+//! the reply/delivery types flowing back over it (DESIGN.md §16.2).
+//!
+//! A job never calls annotators directly. Its [`chef_core::RoundLoop`]
+//! yields an [`AnnotationBatch`]; the job manager's
+//! annotator-service thread hands the batch (wrapped in an
+//! [`AnnotationRequest`] carrying tenant context) to the host, and the
+//! host returns a *delivery sequence* — replies in arrival order,
+//! possibly out of batch order, possibly duplicated, possibly missing,
+//! terminated by a [`HostDelivery::Deadline`] marker. The job applies
+//! on-time replies, maps everything after the deadline (or never
+//! delivered) to the abstain path, and ignores stale/duplicate replies
+//! idempotently.
+
+use chef_core::{AnnotationBatch, AnnotationConfig, AnnotationOutcome};
+
+/// Identifier the manager assigns to each submitted job (dense from 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// One batch handed to an annotator host, with the tenant context it
+/// needs to answer: which job, that job's annotation setup (hosts serve
+/// many tenants with different panels), and the per-reply deadline in
+/// virtual milliseconds.
+#[derive(Debug, Clone)]
+pub struct AnnotationRequest {
+    /// The asking job.
+    pub job: JobId,
+    /// The job's submission name (stable across kill/resume — fault
+    /// scripts key on it).
+    pub name: String,
+    /// The job's annotation configuration; simulated hosts evaluate the
+    /// same panel the synchronous phase would.
+    pub annotation: AnnotationConfig,
+    /// Reply deadline in virtual milliseconds from batch emission:
+    /// replies landing later abstain.
+    pub deadline_ms: u64,
+    /// The batch itself (self-contained — indices, suggestions, truth).
+    pub batch: AnnotationBatch,
+}
+
+/// One annotator's answer for one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleReply {
+    /// Round the answered batch belongs to — replies for other rounds
+    /// are stale and must be ignored.
+    pub round: usize,
+    /// Sample index within the training store.
+    pub index: usize,
+    /// Votes cast on this sample's ballot.
+    pub votes: usize,
+    /// Whether the ballot was non-unanimous.
+    pub conflict: bool,
+    /// The resolved outcome.
+    pub outcome: AnnotationOutcome,
+    /// Virtual timestamp (ms) at which the reply lands at the job.
+    pub at_ms: u64,
+}
+
+/// One element of a host's delivery sequence, in arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostDelivery {
+    /// A reply landed.
+    Reply(SampleReply),
+    /// The batch's deadline elapsed. Hosts MUST emit exactly one of
+    /// these per request, after every on-time reply and before any late
+    /// one — it is what unblocks a job whose replies were dropped.
+    Deadline {
+        /// Round whose deadline elapsed.
+        round: usize,
+        /// Virtual timestamp (ms) of the expiry.
+        at_ms: u64,
+    },
+}
+
+/// An external annotation service, driven by the job manager's
+/// annotator-service thread.
+///
+/// Contract: for every request the returned sequence contains at most
+/// one on-time reply per batch item (duplicates are allowed and must be
+/// ignored by the receiver), and **exactly one**
+/// [`HostDelivery::Deadline`] for the request's round, positioned after
+/// the last on-time reply. Hosts are sequential (`&mut self`) — the
+/// service thread is the serialization point — but must be [`Send`] to
+/// live on it.
+pub trait AnnotatorHost: Send {
+    /// Host name, for telemetry and logs.
+    fn name(&self) -> &'static str {
+        "annotator-host"
+    }
+
+    /// Produce the delivery sequence for one batch.
+    fn annotate(&mut self, req: &AnnotationRequest) -> Vec<HostDelivery>;
+}

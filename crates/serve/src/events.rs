@@ -1,0 +1,166 @@
+//! The versioned `serve-events.v1` lifecycle-event schema (DESIGN.md
+//! §16.4).
+//!
+//! Every job appends [`JobEvent`]s as it moves through its state
+//! machine; the `results`/`status` protocol verbs and the golden-file
+//! test (`tests/serve_events_schema.rs`) consume the exported document.
+//! Events deliberately carry **no wall-clock timestamps** — `seq` is a
+//! per-job sequence number — so two runs of the same seeded simulation
+//! export byte-identical documents, which is what the determinism
+//! harness asserts.
+
+use chef_obs::{expect_schema, parse_json, JsonValue, JsonWriter, ParseError};
+
+/// Schema identifier embedded in every exported event document.
+pub const EVENTS_SCHEMA_VERSION: &str = "serve-events.v1";
+
+/// What happened, in job-lifecycle terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The job thread started (after dataset/model setup, before the
+    /// initialization training).
+    JobStart,
+    /// A round began: the selector is about to run.
+    RoundStart,
+    /// The round's batch went out to the annotator host; the job is
+    /// parked at the async boundary.
+    AwaitingAnnotation,
+    /// Outcomes were applied; model refreshed, checkpoint (if due)
+    /// written.
+    RoundComplete,
+    /// The loop finished and the final report is available.
+    JobComplete,
+    /// The job failed (resume error, injected kill, …); detail says why.
+    Error,
+    /// A pause request took effect at a round boundary.
+    Paused,
+    /// A resume request woke a paused job.
+    Resumed,
+    /// A cancel request terminated the job.
+    Cancelled,
+}
+
+impl EventKind {
+    /// Wire name of the kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::JobStart => "job_start",
+            EventKind::RoundStart => "round_start",
+            EventKind::AwaitingAnnotation => "awaiting_annotation",
+            EventKind::RoundComplete => "round_complete",
+            EventKind::JobComplete => "job_complete",
+            EventKind::Error => "error",
+            EventKind::Paused => "paused",
+            EventKind::Resumed => "resumed",
+            EventKind::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "job_start" => EventKind::JobStart,
+            "round_start" => EventKind::RoundStart,
+            "awaiting_annotation" => EventKind::AwaitingAnnotation,
+            "round_complete" => EventKind::RoundComplete,
+            "job_complete" => EventKind::JobComplete,
+            "error" => EventKind::Error,
+            "paused" => EventKind::Paused,
+            "resumed" => EventKind::Resumed,
+            "cancelled" => EventKind::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
+/// One lifecycle event of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobEvent {
+    /// Per-job sequence number, dense from 0.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The round this event belongs to, when it is round-scoped
+    /// (omitted from the JSON when `None`).
+    pub round: Option<usize>,
+    /// Free-form deterministic detail (counts, error text); omitted
+    /// from the JSON when empty.
+    pub detail: String,
+}
+
+impl JobEvent {
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("seq", self.seq);
+        w.field_str("kind", self.kind.as_str());
+        if let Some(r) = self.round {
+            w.field_u64("round", r as u64);
+        }
+        if !self.detail.is_empty() {
+            w.field_str("detail", &self.detail);
+        }
+        w.end_object();
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, ParseError> {
+        let seq = v
+            .get("seq")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ParseError::schema("event missing numeric 'seq'"))?;
+        let kind_str = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ParseError::schema("event missing 'kind'"))?;
+        let kind = EventKind::parse(kind_str)
+            .ok_or_else(|| ParseError::schema(format!("unknown event kind '{kind_str}'")))?;
+        let round = v.get("round").and_then(JsonValue::as_usize);
+        let detail = v
+            .get("detail")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("")
+            .to_string();
+        Ok(Self {
+            seq,
+            kind,
+            round,
+            detail,
+        })
+    }
+}
+
+/// Serialize a job's event log as a versioned document.
+pub fn export_events(job: &str, events: &[JobEvent]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", EVENTS_SCHEMA_VERSION);
+    w.field_str("job", job);
+    w.key("events");
+    w.begin_array();
+    for e in events {
+        e.write_json(&mut w);
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Parse a document produced by [`export_events`], rejecting unknown
+/// schema versions by name (both the found and the supported one appear
+/// in the error).
+pub fn parse_events(doc: &str) -> Result<(String, Vec<JobEvent>), ParseError> {
+    let v = parse_json(doc)?;
+    expect_schema(&v, EVENTS_SCHEMA_VERSION)?;
+    let job = v
+        .get("job")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ParseError::schema("document missing 'job'"))?
+        .to_string();
+    let events = v
+        .get("events")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ParseError::schema("document missing 'events' array"))?
+        .iter()
+        .map(JobEvent::from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((job, events))
+}

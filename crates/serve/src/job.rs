@@ -1,0 +1,705 @@
+//! The multi-tenant job manager: one worker thread per cleaning job, one
+//! annotator-service thread per manager, plain `std::thread` + `mpsc`
+//! (the PR-8 prefetch style — no async runtime in the offline shim set).
+//!
+//! A job owns its dataset, model and selector, drives a
+//! [`RoundLoop`] and parks at the annotation boundary: the batch goes to
+//! the annotator service, replies flow back into the job's inbox in
+//! arrival order, and the round completes when every slot is answered or
+//! the deadline marker lands (missing slots abstain — the synchronous
+//! timeout path). Stale replies (wrong round) and duplicates (slot
+//! already filled) are counted and ignored idempotently, which is what
+//! makes delivery order irrelevant to the result.
+//!
+//! Jobs are backed by the `checkpoint.v1` store via their
+//! [`PipelineConfig::checkpoint`]: a killed job (process death, or the
+//! injected `kill_mid_round` fault) is resubmitted with
+//! [`JobRequest::resume_from`] and continues bit-identically.
+
+use crate::annotator::{AnnotationRequest, AnnotatorHost, HostDelivery, JobId, SampleReply};
+use crate::events::{EventKind, JobEvent};
+use chef_core::{
+    AnnotationOutcome, AnnotationStats, Pipeline, PipelineConfig, PipelineReport, RoundLoop,
+    RoundStep, SampleDecision, SampleSelector, Telemetry,
+};
+use chef_model::{Dataset, Model};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Everything a job needs: a tenant's dataset, model, selector and
+/// pipeline configuration, plus the serve-level knobs.
+pub struct JobRequest {
+    /// Submission name (stable across kill/resume; annotator hosts and
+    /// fault scripts key on it).
+    pub name: String,
+    /// The pipeline configuration, including per-job telemetry handle
+    /// and checkpoint directory.
+    pub cfg: PipelineConfig,
+    /// The model architecture.
+    pub model: Box<dyn Model + Send>,
+    /// Weakly-labeled training set (pristine when resuming — checkpoint
+    /// label patches are replayed onto it).
+    pub train: Dataset,
+    /// Validation set (drives influence + early stopping).
+    pub val: Dataset,
+    /// Test set (reporting only).
+    pub test: Dataset,
+    /// Sample selector.
+    pub selector: Box<dyn SampleSelector + Send>,
+    /// Per-reply deadline in virtual milliseconds; replies landing later
+    /// abstain.
+    pub deadline_ms: u64,
+    /// Resume from the newest readable checkpoint generation in this
+    /// directory instead of starting fresh.
+    pub resume_from: Option<PathBuf>,
+}
+
+/// Job lifecycle states (DESIGN.md §16.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Between rounds: selecting, updating, evaluating.
+    Running,
+    /// Parked at the annotation boundary.
+    AwaitingAnnotation,
+    /// Paused at a round boundary; waiting for `resume`.
+    Paused,
+    /// Finished; report available.
+    Completed,
+    /// Terminated by `cancel`.
+    Cancelled,
+    /// Died: resume error, injected kill, host failure. `error` says why.
+    Failed,
+}
+
+impl JobState {
+    /// Wire name (status payloads).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Running => "running",
+            JobState::AwaitingAnnotation => "awaiting_annotation",
+            JobState::Paused => "paused",
+            JobState::Completed => "completed",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the job will never change state again.
+    pub fn terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// A point-in-time snapshot of one job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Manager-assigned id.
+    pub id: JobId,
+    /// Submission name.
+    pub name: String,
+    /// Current state.
+    pub state: JobState,
+    /// Completed rounds (including restored ones after a resume).
+    pub round: usize,
+    /// Budget slots consumed.
+    pub spent: usize,
+    /// Samples cleaned.
+    pub cleaned: usize,
+    /// Failure detail, when `state == Failed`.
+    pub error: Option<String>,
+}
+
+/// A completed job's outputs.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The full pipeline report (bit-identical to a synchronous
+    /// `Pipeline::run` when every reply was on time).
+    pub report: PipelineReport,
+    /// The job's `telemetry.v1` export, when the telemetry feature is
+    /// enabled and the job was given an enabled handle.
+    pub telemetry_json: Option<String>,
+}
+
+/// Errors surfaced by manager calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No job with that id.
+    UnknownJob(u64),
+    /// The job failed; the detail is the job's error.
+    JobFailed(String),
+    /// The job was cancelled before producing a report.
+    JobCancelled,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            ServeError::JobFailed(e) => write!(f, "job failed: {e}"),
+            ServeError::JobCancelled => write!(f, "job was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Messages into a job's inbox: annotator deliveries and control verbs,
+/// one uniform channel so the job has a single blocking point.
+enum JobMsg {
+    Delivery(HostDelivery),
+    Pause,
+    Resume,
+    Cancel,
+}
+
+/// What the annotator-service thread consumes.
+struct HostRequest {
+    req: AnnotationRequest,
+    reply_to: Sender<JobMsg>,
+}
+
+struct JobInner {
+    state: JobState,
+    round: usize,
+    spent: usize,
+    cleaned: usize,
+    error: Option<String>,
+    result: Option<JobResult>,
+}
+
+struct JobShared {
+    name: String,
+    inner: Mutex<JobInner>,
+    done: Condvar,
+    events: Mutex<Vec<JobEvent>>,
+}
+
+impl JobShared {
+    fn event(&self, kind: EventKind, round: Option<usize>, detail: String) {
+        let mut ev = self.events.lock().unwrap();
+        let seq = ev.len() as u64;
+        ev.push(JobEvent {
+            seq,
+            kind,
+            round,
+            detail,
+        });
+    }
+
+    fn set_state(&self, state: JobState) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.state = state;
+        // Every transition wakes waiters: `wait` only cares about
+        // terminal states, but `wait_for` may be watching any of them.
+        self.done.notify_all();
+    }
+}
+
+struct JobEntry {
+    id: JobId,
+    shared: Arc<JobShared>,
+    tx: Sender<JobMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The daemon core: submits jobs, routes annotator traffic, exposes
+/// status/results/events, and records `serve.*` counters on its
+/// [`Telemetry`] handle.
+pub struct JobManager {
+    jobs: Mutex<Vec<JobEntry>>,
+    host_tx: Option<Sender<HostRequest>>,
+    host_handle: Option<JoinHandle<()>>,
+    telemetry: Telemetry,
+    next_id: Mutex<u64>,
+}
+
+impl JobManager {
+    /// Start a manager whose jobs annotate through `host`. The service
+    /// thread owns the host; it shuts down when the manager drops.
+    pub fn new(host: Box<dyn AnnotatorHost>) -> Self {
+        Self::with_telemetry(host, Telemetry::enabled())
+    }
+
+    /// [`Self::new`] with a caller-provided telemetry handle for the
+    /// `serve.*` counters.
+    pub fn with_telemetry(host: Box<dyn AnnotatorHost>, telemetry: Telemetry) -> Self {
+        let (host_tx, host_rx) = channel::<HostRequest>();
+        let mut host = host;
+        let host_handle = std::thread::Builder::new()
+            .name("chef-serve-annotators".into())
+            .spawn(move || {
+                while let Ok(hr) = host_rx.recv() {
+                    for delivery in host.annotate(&hr.req) {
+                        // A dead job (killed, cancelled) dropped its
+                        // inbox; its stragglers evaporate here.
+                        let _ = hr.reply_to.send(JobMsg::Delivery(delivery));
+                    }
+                }
+            })
+            .expect("spawn annotator service thread");
+        Self {
+            jobs: Mutex::new(Vec::new()),
+            host_tx: Some(host_tx),
+            host_handle: Some(host_handle),
+            telemetry,
+            next_id: Mutex::new(1),
+        }
+    }
+
+    /// The manager-wide telemetry handle (`serve.*` counters).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Submit a job; its worker thread starts immediately.
+    pub fn submit(&self, req: JobRequest) -> JobId {
+        let id = {
+            let mut next = self.next_id.lock().unwrap();
+            let id = JobId(*next);
+            *next += 1;
+            id
+        };
+        let shared = Arc::new(JobShared {
+            name: req.name.clone(),
+            inner: Mutex::new(JobInner {
+                state: JobState::Running,
+                round: 0,
+                spent: 0,
+                cleaned: 0,
+                error: None,
+                result: None,
+            }),
+            done: Condvar::new(),
+            events: Mutex::new(Vec::new()),
+        });
+        let (tx, rx) = channel::<JobMsg>();
+        let host_tx = self
+            .host_tx
+            .as_ref()
+            .expect("manager host channel alive")
+            .clone();
+        let worker_shared = Arc::clone(&shared);
+        let worker_tx = tx.clone();
+        let serve_tel = self.telemetry.clone();
+        self.telemetry.add("serve.jobs_submitted", 1);
+        let handle = std::thread::Builder::new()
+            .name(format!("chef-serve-{id}"))
+            .spawn(move || run_job(id, req, worker_shared, rx, worker_tx, host_tx, serve_tel))
+            .expect("spawn job thread");
+        self.jobs.lock().unwrap().push(JobEntry {
+            id,
+            shared,
+            tx,
+            handle: Some(handle),
+        });
+        id
+    }
+
+    fn entry_shared(&self, id: JobId) -> Option<Arc<JobShared>> {
+        self.jobs
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| Arc::clone(&e.shared))
+    }
+
+    fn send(&self, id: JobId, msg: JobMsg) -> Result<(), ServeError> {
+        let jobs = self.jobs.lock().unwrap();
+        let entry = jobs
+            .iter()
+            .find(|e| e.id == id)
+            .ok_or(ServeError::UnknownJob(id.0))?;
+        // A terminal job's receiver is gone; the verb is a no-op then.
+        let _ = entry.tx.send(msg);
+        Ok(())
+    }
+
+    /// Snapshot a job's status.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let shared = self.entry_shared(id)?;
+        let inner = shared.inner.lock().unwrap();
+        Some(JobStatus {
+            id,
+            name: shared.name.clone(),
+            state: inner.state,
+            round: inner.round,
+            spent: inner.spent,
+            cleaned: inner.cleaned,
+            error: inner.error.clone(),
+        })
+    }
+
+    /// The job's lifecycle-event log so far.
+    pub fn events(&self, id: JobId) -> Option<Vec<JobEvent>> {
+        let shared = self.entry_shared(id)?;
+        let ev = shared.events.lock().unwrap();
+        Some(ev.clone())
+    }
+
+    /// Ask a job to pause at its next round boundary.
+    pub fn pause(&self, id: JobId) -> Result<(), ServeError> {
+        self.send(id, JobMsg::Pause)
+    }
+
+    /// Wake a paused job.
+    pub fn resume_job(&self, id: JobId) -> Result<(), ServeError> {
+        self.send(id, JobMsg::Resume)
+    }
+
+    /// Terminate a job (takes effect at its next blocking point).
+    pub fn cancel(&self, id: JobId) -> Result<(), ServeError> {
+        self.send(id, JobMsg::Cancel)
+    }
+
+    /// Block until the job's state satisfies `pred` (terminal states
+    /// always also wake the wait, so a predicate that can no longer be
+    /// met does not hang: check the returned state). Sleep-free — this
+    /// is how tests observe transitions like `Paused`.
+    pub fn wait_for(
+        &self,
+        id: JobId,
+        pred: impl Fn(JobState) -> bool,
+    ) -> Result<JobState, ServeError> {
+        let shared = self.entry_shared(id).ok_or(ServeError::UnknownJob(id.0))?;
+        let mut inner = shared.inner.lock().unwrap();
+        while !pred(inner.state) && !inner.state.terminal() {
+            inner = shared.done.wait(inner).unwrap();
+        }
+        Ok(inner.state)
+    }
+
+    /// Block until the job reaches a terminal state; return its result.
+    pub fn wait(&self, id: JobId) -> Result<JobResult, ServeError> {
+        let shared = self.entry_shared(id).ok_or(ServeError::UnknownJob(id.0))?;
+        let mut inner = shared.inner.lock().unwrap();
+        while !inner.state.terminal() {
+            inner = shared.done.wait(inner).unwrap();
+        }
+        match inner.state {
+            JobState::Completed => Ok(inner.result.clone().expect("completed job has a result")),
+            JobState::Cancelled => Err(ServeError::JobCancelled),
+            _ => Err(ServeError::JobFailed(
+                inner.error.clone().unwrap_or_else(|| "unknown".into()),
+            )),
+        }
+    }
+}
+
+impl Drop for JobManager {
+    fn drop(&mut self) {
+        // Wake every live job with a cancel so no thread outlives the
+        // manager, then retire the annotator service.
+        let mut jobs = self.jobs.lock().unwrap();
+        for entry in jobs.iter() {
+            let _ = entry.tx.send(JobMsg::Cancel);
+        }
+        for entry in jobs.iter_mut() {
+            if let Some(h) = entry.handle.take() {
+                let _ = h.join();
+            }
+        }
+        drop(jobs);
+        self.host_tx = None; // closes the service channel
+        if let Some(h) = self.host_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Why the collect loop stopped.
+enum Collected {
+    /// Every slot answered or deadline elapsed: outcomes in batch order.
+    Round(Vec<AnnotationOutcome>, AnnotationStats),
+    /// Cancel (or channel shutdown) arrived mid-wait.
+    Cancelled,
+}
+
+/// The job worker body. Control flow mirrors the synchronous driver,
+/// with the annotation phase replaced by the outbox/inbox exchange.
+#[allow(clippy::too_many_arguments)]
+fn run_job(
+    id: JobId,
+    req: JobRequest,
+    shared: Arc<JobShared>,
+    inbox: Receiver<JobMsg>,
+    own_tx: Sender<JobMsg>,
+    host_tx: Sender<HostRequest>,
+    serve_tel: Telemetry,
+) {
+    let JobRequest {
+        name,
+        cfg,
+        model,
+        mut train,
+        val,
+        test,
+        mut selector,
+        deadline_ms,
+        resume_from,
+    } = req;
+    let annotation = cfg.annotation;
+    let job_tel = cfg.telemetry.clone();
+    #[cfg(feature = "fault-inject")]
+    let faults = cfg.faults.clone();
+    let pipeline = Pipeline::new(cfg);
+
+    shared.event(EventKind::JobStart, None, String::new());
+    let mut rl: RoundLoop<'_> = match &resume_from {
+        None => pipeline.round_loop(&*model, &mut train, &val, &test, &mut *selector),
+        Some(dir) => {
+            match pipeline.resume_round_loop_latest(
+                &*model,
+                &mut train,
+                &val,
+                &test,
+                &mut *selector,
+                dir,
+            ) {
+                Ok(rl) => rl,
+                Err(e) => {
+                    let msg = format!("resume failed: {e}");
+                    shared.event(EventKind::Error, None, msg.clone());
+                    shared.inner.lock().unwrap().error = Some(msg);
+                    // Count before the state flip: `wait` returns the
+                    // moment the state is terminal.
+                    serve_tel.add("serve.jobs_failed", 1);
+                    shared.set_state(JobState::Failed);
+                    return;
+                }
+            }
+        }
+    };
+
+    let mut paused = false;
+    let completed = loop {
+        {
+            let mut inner = shared.inner.lock().unwrap();
+            inner.round = rl.round();
+            inner.spent = rl.spent();
+            inner.cleaned = rl.cleaned_total();
+        }
+        // Drain control verbs that arrived during the update phase, and
+        // honor a pause at this round boundary.
+        loop {
+            match inbox.try_recv() {
+                Ok(JobMsg::Pause) => paused = true,
+                Ok(JobMsg::Resume) => paused = false,
+                Ok(JobMsg::Cancel) => {
+                    shared.event(EventKind::Cancelled, None, String::new());
+                    serve_tel.add("serve.jobs_cancelled", 1);
+                    shared.set_state(JobState::Cancelled);
+                    return;
+                }
+                Ok(JobMsg::Delivery(d)) => count_stray(&serve_tel, &d),
+                Err(_) => break,
+            }
+        }
+        if paused {
+            shared.event(EventKind::Paused, Some(rl.round()), String::new());
+            shared.set_state(JobState::Paused);
+            loop {
+                match inbox.recv() {
+                    Ok(JobMsg::Resume) => break,
+                    Ok(JobMsg::Pause) => {}
+                    Ok(JobMsg::Cancel) | Err(_) => {
+                        shared.event(EventKind::Cancelled, None, String::new());
+                        serve_tel.add("serve.jobs_cancelled", 1);
+                        shared.set_state(JobState::Cancelled);
+                        return;
+                    }
+                    Ok(JobMsg::Delivery(d)) => count_stray(&serve_tel, &d),
+                }
+            }
+            paused = false;
+            shared.event(EventKind::Resumed, Some(rl.round()), String::new());
+            shared.set_state(JobState::Running);
+        }
+
+        let batch = match rl.next_batch() {
+            RoundStep::Done => break true,
+            RoundStep::Awaiting(batch) => batch,
+        };
+        shared.event(
+            EventKind::RoundStart,
+            Some(batch.round),
+            format!("selected={}", batch.items.len()),
+        );
+        shared.event(
+            EventKind::AwaitingAnnotation,
+            Some(batch.round),
+            format!("deadline_ms={deadline_ms}"),
+        );
+        shared.set_state(JobState::AwaitingAnnotation);
+        serve_tel.add("serve.batches_emitted", 1);
+        let request = AnnotationRequest {
+            job: id,
+            name: name.clone(),
+            annotation,
+            deadline_ms,
+            batch: batch.clone(),
+        };
+        let _ = host_tx.send(HostRequest {
+            req: request,
+            reply_to: own_tx.clone(),
+        });
+
+        #[cfg(feature = "fault-inject")]
+        if faults.kill_requested(batch.round) {
+            // Simulated kill -9 at the await point: the batch is out,
+            // no outcome of this round was applied, and whatever
+            // checkpoint generation exists on disk is the recovery
+            // point. The job object reports Failed; the host's replies
+            // land in a dropped inbox.
+            let msg = format!("killed mid-round {}", batch.round);
+            shared.event(EventKind::Error, Some(batch.round), msg.clone());
+            shared.inner.lock().unwrap().error = Some(msg);
+            serve_tel.add("serve.jobs_killed", 1);
+            shared.set_state(JobState::Failed);
+            return;
+        }
+
+        let annotate_start = Instant::now();
+        let collected = {
+            let _span = job_tel.span("round.annotate");
+            collect_round(&inbox, &batch, &serve_tel, &mut paused)
+        };
+        let (outcomes, stats) = match collected {
+            Collected::Round(outcomes, stats) => (outcomes, stats),
+            Collected::Cancelled => {
+                shared.event(EventKind::Cancelled, Some(batch.round), String::new());
+                serve_tel.add("serve.jobs_cancelled", 1);
+                shared.set_state(JobState::Cancelled);
+                return;
+            }
+        };
+        shared.set_state(JobState::Running);
+        let report = rl.provide(&outcomes, stats, annotate_start.elapsed());
+        shared.event(
+            EventKind::RoundComplete,
+            Some(report.round),
+            format!("cleaned={} ambiguous={}", report.cleaned, report.ambiguous),
+        );
+        serve_tel.add("serve.rounds_completed", 1);
+        if rl.is_interrupted() {
+            break false;
+        }
+    };
+
+    let rounds = rl.round();
+    let store_report = rl.finish();
+    let cleaned_total = store_report.cleaned_total;
+    let interrupted = store_report.interrupted;
+    let report = store_report.into_report(train);
+    {
+        let mut inner = shared.inner.lock().unwrap();
+        inner.round = rounds;
+        inner.spent = report.rounds.iter().map(|r| r.selected.len()).sum();
+        inner.cleaned = cleaned_total;
+        inner.result = Some(JobResult {
+            report,
+            telemetry_json: job_tel.export_json("serve-job"),
+        });
+    }
+    let _ = completed; // interrupted runs also complete with a (partial) report
+    shared.event(
+        EventKind::JobComplete,
+        None,
+        format!("rounds={rounds} cleaned_total={cleaned_total} interrupted={interrupted}"),
+    );
+    serve_tel.add("serve.jobs_completed", 1);
+    shared.set_state(JobState::Completed);
+}
+
+/// A delivery that arrived outside any collect window (between rounds,
+/// while paused): by construction stale — count it, drop it.
+fn count_stray(serve_tel: &Telemetry, d: &HostDelivery) {
+    if let HostDelivery::Reply(_) = d {
+        serve_tel.add("serve.replies_late", 1);
+    }
+}
+
+/// Park at the annotation boundary: fill slots from replies until the
+/// batch is complete or its deadline marker lands. Control verbs are
+/// honored (pause is deferred to the round boundary; cancel is
+/// immediate).
+fn collect_round(
+    inbox: &Receiver<JobMsg>,
+    batch: &chef_core::AnnotationBatch,
+    serve_tel: &Telemetry,
+    paused: &mut bool,
+) -> Collected {
+    let n = batch.items.len();
+    let pos: HashMap<usize, usize> = batch
+        .items
+        .iter()
+        .enumerate()
+        .map(|(slot, item)| (item.index, slot))
+        .collect();
+    let mut slots: Vec<Option<SampleReply>> = vec![None; n];
+    let mut filled = 0usize;
+    while filled < n {
+        let msg = match inbox.recv() {
+            Ok(m) => m,
+            Err(_) => return Collected::Cancelled,
+        };
+        match msg {
+            JobMsg::Delivery(HostDelivery::Reply(r)) => {
+                if r.round != batch.round {
+                    serve_tel.add("serve.replies_late", 1);
+                    continue;
+                }
+                let Some(&slot) = pos.get(&r.index) else {
+                    serve_tel.add("serve.replies_late", 1);
+                    continue;
+                };
+                if slots[slot].is_some() {
+                    serve_tel.add("serve.replies_duplicate", 1);
+                    continue;
+                }
+                slots[slot] = Some(r);
+                filled += 1;
+                serve_tel.add("serve.replies_received", 1);
+            }
+            JobMsg::Delivery(HostDelivery::Deadline { round, .. }) => {
+                if round == batch.round {
+                    serve_tel.add("serve.deadline_expirations", 1);
+                    break;
+                }
+            }
+            JobMsg::Pause => *paused = true,
+            JobMsg::Resume => *paused = false,
+            JobMsg::Cancel => return Collected::Cancelled,
+        }
+    }
+    let mut stats = AnnotationStats {
+        requested: n,
+        ..AnnotationStats::default()
+    };
+    let outcomes = slots
+        .iter()
+        .map(|s| match s {
+            Some(r) => {
+                stats.record(&SampleDecision {
+                    votes: r.votes,
+                    conflict: r.conflict,
+                    outcome: r.outcome,
+                });
+                r.outcome
+            }
+            None => {
+                stats.record_dropped();
+                AnnotationOutcome::Ambiguous
+            }
+        })
+        .collect();
+    Collected::Round(outcomes, stats)
+}

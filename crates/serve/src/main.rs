@@ -1,0 +1,80 @@
+//! The `chef-serve` daemon binary.
+//!
+//! ```text
+//! chef-serve --stdin [--sim-seed N]          # serve one connection on stdio
+//! chef-serve --socket PATH [--sim-seed N]    # serve a unix socket (unix only)
+//! ```
+//!
+//! Annotation is backed by the deterministic [`SimAnnotator`] (there is
+//! no real crowd behind this reproduction); `--sim-seed` scripts it.
+//! The stdio mode is what ci.sh smoke-tests: pipe `chef-serve.v1`
+//! frames in, read response frames out, exit on EOF.
+
+use chef_serve::{serve_connection, JobManager, SimAnnotator, SimAnnotatorConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: chef-serve (--stdin | --socket PATH) [--sim-seed N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode_stdin = false;
+    let mut socket: Option<String> = None;
+    let mut sim_seed = 1u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--stdin" => mode_stdin = true,
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p.clone()),
+                None => usage(),
+            },
+            "--sim-seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => sim_seed = s,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let host = SimAnnotator::new(SimAnnotatorConfig {
+        seed: sim_seed,
+        ..SimAnnotatorConfig::default()
+    });
+    let mgr = JobManager::new(Box::new(host));
+    if mode_stdin {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let mut reader = stdin.lock();
+        let mut writer = stdout.lock();
+        if let Err(e) = serve_connection(&mgr, &mut reader, &mut writer) {
+            eprintln!("chef-serve: connection error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    #[cfg(unix)]
+    if let Some(path) = socket {
+        let _ = std::fs::remove_file(&path);
+        let listener = match std::os::unix::net::UnixListener::bind(&path) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("chef-serve: cannot bind {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("chef-serve: listening on {path}");
+        let mgr = std::sync::Arc::new(mgr);
+        if let Err(e) = chef_serve::server::serve_socket(&mgr, listener) {
+            eprintln!("chef-serve: accept error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    #[cfg(not(unix))]
+    if socket.is_some() {
+        eprintln!("chef-serve: --socket requires unix");
+        std::process::exit(2);
+    }
+    usage();
+}

@@ -1,0 +1,311 @@
+//! The framed line protocol `chef-serve.v1` (DESIGN.md §16.3).
+//!
+//! Grammar (one frame):
+//!
+//! ```text
+//! frame   := header "\n" payload "\n"
+//! header  := "chef-serve.v1" SP verb SP length
+//! verb    := "submit" | "status" | "pause" | "resume" | "cancel"
+//!          | "results" | "ok" | "error" | "event"
+//! length  := decimal byte length of payload (≤ 1 MiB)
+//! payload := length bytes of UTF-8 JSON (newlines allowed — the
+//!            length prefix, not the line structure, delimits it)
+//! ```
+//!
+//! The codec is deliberately independent of the job manager so the
+//! property harness (`tests/serve_protocol_props.rs`) can hammer it in
+//! isolation: round-trips are exact, malformed/oversized/truncated
+//! input fails with a structured [`FrameError`] — never a panic — and
+//! unknown verbs/versions are *consumed* (the declared length is still
+//! honored where parseable) so one bad frame does not desynchronize a
+//! connection.
+
+use std::fmt;
+use std::io::BufRead;
+
+/// Protocol version token leading every frame.
+pub const PROTOCOL_VERSION: &str = "chef-serve.v1";
+
+/// Hard cap on payload size; larger declared lengths are rejected
+/// before any payload is read.
+pub const MAX_PAYLOAD_BYTES: usize = 1 << 20;
+
+/// Maximum header-line length we accept while hunting for the first
+/// newline (version + verb + a 20-digit length + separators, rounded
+/// way up).
+const MAX_HEADER_BYTES: usize = 128;
+
+/// Frame verbs: requests (`submit`…`results`) and responses
+/// (`ok`/`error`/`event`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// Submit a new cleaning job (payload: job spec).
+    Submit,
+    /// Query a job's state.
+    Status,
+    /// Pause a job at its next round boundary.
+    Pause,
+    /// Wake a paused job.
+    Resume,
+    /// Terminate a job.
+    Cancel,
+    /// Fetch a finished job's report (optionally waiting for it).
+    Results,
+    /// Success response.
+    Ok,
+    /// Error response (payload: structured error).
+    Error,
+    /// Lifecycle-event notification (payload: serve-events.v1 document).
+    Event,
+}
+
+impl Verb {
+    /// Wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verb::Submit => "submit",
+            Verb::Status => "status",
+            Verb::Pause => "pause",
+            Verb::Resume => "resume",
+            Verb::Cancel => "cancel",
+            Verb::Results => "results",
+            Verb::Ok => "ok",
+            Verb::Error => "error",
+            Verb::Event => "event",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "submit" => Verb::Submit,
+            "status" => Verb::Status,
+            "pause" => Verb::Pause,
+            "resume" => Verb::Resume,
+            "cancel" => Verb::Cancel,
+            "results" => Verb::Results,
+            "ok" => Verb::Ok,
+            "error" => Verb::Error,
+            "event" => Verb::Event,
+            _ => return None,
+        })
+    }
+
+    /// Every verb, for exhaustive property tests.
+    pub const ALL: [Verb; 9] = [
+        Verb::Submit,
+        Verb::Status,
+        Verb::Pause,
+        Verb::Resume,
+        Verb::Cancel,
+        Verb::Results,
+        Verb::Ok,
+        Verb::Error,
+        Verb::Event,
+    ];
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The verb.
+    pub verb: Verb,
+    /// UTF-8 JSON payload (may contain newlines).
+    pub payload: String,
+}
+
+impl Frame {
+    /// Build a frame.
+    pub fn new(verb: Verb, payload: impl Into<String>) -> Self {
+        Self {
+            verb,
+            payload: payload.into(),
+        }
+    }
+
+    /// Serialize to the wire form.
+    pub fn encode(&self) -> String {
+        format!(
+            "{PROTOCOL_VERSION} {} {}\n{}\n",
+            self.verb.as_str(),
+            self.payload.len(),
+            self.payload
+        )
+    }
+
+    /// Decode one frame from the front of `input`, returning it and the
+    /// unconsumed rest. See [`FrameError`] for the failure taxonomy;
+    /// `Version`/`UnknownVerb` errors still consume the full frame when
+    /// the declared length allows it, keeping the stream aligned.
+    pub fn decode(input: &str) -> Result<(Frame, &str), FrameError> {
+        let Some(nl) = input.find('\n') else {
+            return if input.len() > MAX_HEADER_BYTES {
+                Err(FrameError::Malformed(
+                    "header exceeds maximum length without a newline".into(),
+                ))
+            } else {
+                Err(FrameError::Truncated)
+            };
+        };
+        if nl > MAX_HEADER_BYTES {
+            return Err(FrameError::Malformed(
+                "header exceeds maximum length".into(),
+            ));
+        }
+        let header = &input[..nl];
+        let rest = &input[nl + 1..];
+        let mut parts = header.split(' ');
+        let (Some(version), Some(verb_str), Some(len_str), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(FrameError::Malformed(format!(
+                "header needs exactly 3 space-separated fields, got '{header}'"
+            )));
+        };
+        let len: usize = len_str
+            .parse()
+            .map_err(|_| FrameError::Malformed(format!("unparseable length '{len_str}'")))?;
+        if len > MAX_PAYLOAD_BYTES {
+            return Err(FrameError::Oversized(len));
+        }
+        if rest.len() < len + 1 {
+            return Err(FrameError::Truncated);
+        }
+        if !rest.is_char_boundary(len) {
+            return Err(FrameError::Malformed(
+                "declared length splits a UTF-8 sequence".into(),
+            ));
+        }
+        let payload = &rest[..len];
+        if rest.as_bytes()[len] != b'\n' {
+            return Err(FrameError::Malformed(
+                "payload not terminated by a newline at the declared length".into(),
+            ));
+        }
+        let remainder = &rest[len + 1..];
+        // Version/verb problems are reported only now, with the frame
+        // fully consumed, so the caller can answer with a structured
+        // error and keep reading the connection.
+        if version != PROTOCOL_VERSION {
+            return Err(FrameError::Version(version.to_string()));
+        }
+        let Some(verb) = Verb::parse(verb_str) else {
+            return Err(FrameError::UnknownVerb(verb_str.to_string()));
+        };
+        Ok((
+            Frame {
+                verb,
+                payload: payload.to_string(),
+            },
+            remainder,
+        ))
+    }
+
+    /// Read one frame from a buffered reader. `Ok(None)` is clean EOF
+    /// (stream ended before a header byte); EOF mid-frame is
+    /// [`FrameError::Truncated`].
+    pub fn read_from(r: &mut impl BufRead) -> Result<Option<Frame>, FrameError> {
+        let mut header = String::new();
+        let n = r
+            .read_line(&mut header)
+            .map_err(|e| FrameError::Malformed(format!("read error: {e}")))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        let header = header.trim_end_matches('\n');
+        if header.len() > MAX_HEADER_BYTES {
+            return Err(FrameError::Malformed(
+                "header exceeds maximum length".into(),
+            ));
+        }
+        let mut parts = header.split(' ');
+        let (Some(version), Some(verb_str), Some(len_str), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(FrameError::Malformed(format!(
+                "header needs exactly 3 space-separated fields, got '{header}'"
+            )));
+        };
+        let len: usize = len_str
+            .parse()
+            .map_err(|_| FrameError::Malformed(format!("unparseable length '{len_str}'")))?;
+        if len > MAX_PAYLOAD_BYTES {
+            return Err(FrameError::Oversized(len));
+        }
+        let mut payload = vec![0u8; len + 1];
+        std::io::Read::read_exact(r, &mut payload).map_err(|_| FrameError::Truncated)?;
+        if payload.pop() != Some(b'\n') {
+            return Err(FrameError::Malformed(
+                "payload not terminated by a newline at the declared length".into(),
+            ));
+        }
+        let payload = String::from_utf8(payload)
+            .map_err(|_| FrameError::Malformed("payload is not UTF-8".into()))?;
+        if version != PROTOCOL_VERSION {
+            return Err(FrameError::Version(version.to_string()));
+        }
+        let Some(verb) = Verb::parse(verb_str) else {
+            return Err(FrameError::UnknownVerb(verb_str.to_string()));
+        };
+        Ok(Some(Frame { verb, payload }))
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Version token differs from [`PROTOCOL_VERSION`] (the found token
+    /// is carried; the frame body was consumed where possible).
+    Version(String),
+    /// Well-formed frame with a verb this version does not know.
+    UnknownVerb(String),
+    /// Declared payload length exceeds [`MAX_PAYLOAD_BYTES`]; nothing
+    /// past the header was read.
+    Oversized(usize),
+    /// Input ended before the frame did — retry with more bytes.
+    Truncated,
+    /// Structurally broken: bad header shape, unparseable length,
+    /// missing terminator, non-UTF-8 payload. The connection cannot be
+    /// trusted past this point.
+    Malformed(String),
+}
+
+impl FrameError {
+    /// Machine-readable error code (the `error` field of an error
+    /// response payload).
+    pub fn code(&self) -> &'static str {
+        match self {
+            FrameError::Version(_) => "unknown-version",
+            FrameError::UnknownVerb(_) => "unknown-verb",
+            FrameError::Oversized(_) => "oversized",
+            FrameError::Truncated => "truncated",
+            FrameError::Malformed(_) => "malformed",
+        }
+    }
+
+    /// Whether the stream is still frame-aligned after this error (the
+    /// offending frame was fully consumed), so serving can continue.
+    pub fn recoverable(&self) -> bool {
+        matches!(self, FrameError::Version(_) | FrameError::UnknownVerb(_))
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Version(found) => write!(
+                f,
+                "unsupported protocol version '{found}' (this daemon speaks '{PROTOCOL_VERSION}')"
+            ),
+            FrameError::UnknownVerb(v) => write!(f, "unknown verb '{v}'"),
+            FrameError::Oversized(n) => write!(
+                f,
+                "declared payload length {n} exceeds the {MAX_PAYLOAD_BYTES}-byte cap"
+            ),
+            FrameError::Truncated => write!(f, "input ended mid-frame"),
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}

@@ -1,0 +1,222 @@
+//! The deterministic simulation harness: a seeded virtual clock and a
+//! scripted simulated-human annotator pool (DESIGN.md §16.5).
+//!
+//! # Determinism argument
+//!
+//! Every quantity the simulation produces is a pure function of
+//! `(sim seed, job name, round, sample index)`:
+//!
+//! * **Votes** come from [`AnnotationPhase::decide_one`], whose panel
+//!   seeds a fresh RNG per `(annotator, sample index)` — identical to
+//!   what the synchronous pipeline computes, independent of call order.
+//! * **Latency, drop and duplicate decisions** come from a fresh
+//!   [`SmallRng`] seeded by mixing the same tuple — so they do not
+//!   depend on how many batches (of this or any other job) the host
+//!   served before.
+//! * **Timestamps** advance a per-job [`VirtualClock`]; jobs never share
+//!   a clock, so cross-job scheduling interleavings (which are real
+//!   thread races) cannot leak into any job's timeline.
+//!
+//! Hence the delivery sequence for a given request is replayable from
+//! the seed alone, every concurrency scenario in the test harness
+//! replays bit-identically, and no test ever sleeps — time is data.
+
+use crate::annotator::{AnnotationRequest, AnnotatorHost, HostDelivery, SampleReply};
+use chef_core::AnnotationPhase;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A per-job virtual clock: milliseconds since job start, advanced only
+/// by the simulation itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now_ms: u64,
+}
+
+impl VirtualClock {
+    /// Current virtual time.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Move time forward (monotonic: earlier targets are ignored).
+    pub fn advance_to(&mut self, t_ms: u64) {
+        self.now_ms = self.now_ms.max(t_ms);
+    }
+}
+
+/// Scripting knobs for the simulated annotator pool.
+#[derive(Debug, Clone)]
+pub struct SimAnnotatorConfig {
+    /// Root seed every per-sample draw mixes in.
+    pub seed: u64,
+    /// Minimum per-reply latency (virtual ms).
+    pub latency_base_ms: u64,
+    /// Uniform jitter added on top: latency ∈ `[base, base + jitter]`.
+    /// With `jitter > 0` replies arrive out of batch order.
+    pub latency_jitter_ms: u64,
+    /// Per-reply drop probability: the reply never arrives and its slot
+    /// times out → abstain.
+    pub drop_prob: f64,
+    /// Per-reply duplicate probability: an on-time reply is delivered
+    /// twice (receivers must ignore the second copy).
+    pub duplicate_prob: f64,
+    /// Whole-batch drops scripted per `(job name, round)` — every reply
+    /// of that round is dropped, matching the synchronous
+    /// `FaultPlan::annotator_timeout_rounds` abstain path exactly.
+    pub drop_batches: Vec<(String, usize)>,
+    /// Re-deliver the previous round's replies (with their stale round
+    /// number) in front of each new round's — exercising the stale-reply
+    /// rejection path, including right after a kill/resume.
+    pub replay_stale: bool,
+}
+
+impl Default for SimAnnotatorConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            latency_base_ms: 5,
+            latency_jitter_ms: 0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            drop_batches: Vec::new(),
+            replay_stale: false,
+        }
+    }
+}
+
+/// The scripted simulated-human pool. One instance serves every job of
+/// a manager (the multi-tenant case); all per-job state is keyed by
+/// [`JobId`](crate::JobId) so tenants stay independent.
+pub struct SimAnnotator {
+    cfg: SimAnnotatorConfig,
+    clocks: HashMap<u64, VirtualClock>,
+    /// Last round's on-time replies, for `replay_stale` — keyed by job
+    /// *name* so a killed-and-resumed job (fresh [`crate::JobId`]) still
+    /// receives its predecessor's stragglers.
+    last_replies: HashMap<String, Vec<SampleReply>>,
+}
+
+impl SimAnnotator {
+    /// Build the pool from its script.
+    pub fn new(cfg: SimAnnotatorConfig) -> Self {
+        Self {
+            cfg,
+            clocks: HashMap::new(),
+            last_replies: HashMap::new(),
+        }
+    }
+
+    /// The virtual clock of `job`, if it ever annotated for it.
+    pub fn clock(&self, job: u64) -> Option<VirtualClock> {
+        self.clocks.get(&job).copied()
+    }
+
+    fn mix(&self, name: &str, round: usize, index: usize) -> u64 {
+        // FNV-1a over the identifying tuple, then the root seed: stable
+        // across platforms, independent of call order, and keyed by the
+        // job *name* so a resumed job (new JobId) draws identically.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= round as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= index as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^ self.cfg.seed
+    }
+}
+
+impl AnnotatorHost for SimAnnotator {
+    fn name(&self) -> &'static str {
+        "sim-annotator"
+    }
+
+    fn annotate(&mut self, req: &AnnotationRequest) -> Vec<HostDelivery> {
+        let t0 = self.clocks.entry(req.job.0).or_default().now_ms();
+        let phase = AnnotationPhase::new(req.annotation);
+        let round = req.batch.round;
+        let batch_dropped = self
+            .cfg
+            .drop_batches
+            .iter()
+            .any(|(n, r)| n == &req.name && *r == round);
+
+        let mut on_time: Vec<(SampleReply, bool)> = Vec::new();
+        let mut late: Vec<SampleReply> = Vec::new();
+        for item in &req.batch.items {
+            let mut rng = SmallRng::seed_from_u64(self.mix(&req.name, round, item.index));
+            let latency = self.cfg.latency_base_ms
+                + if self.cfg.latency_jitter_ms > 0 {
+                    rng.gen_range(0..=self.cfg.latency_jitter_ms)
+                } else {
+                    0
+                };
+            let dropped = batch_dropped || rng.gen_range(0.0..1.0) < self.cfg.drop_prob;
+            let duplicated = rng.gen_range(0.0..1.0) < self.cfg.duplicate_prob;
+            if dropped {
+                continue;
+            }
+            let d = phase.decide_one(
+                item.index,
+                item.truth,
+                req.batch.num_classes,
+                item.suggested,
+            );
+            let reply = SampleReply {
+                round,
+                index: item.index,
+                votes: d.votes,
+                conflict: d.conflict,
+                outcome: d.outcome,
+                at_ms: t0 + latency,
+            };
+            if latency <= req.deadline_ms {
+                on_time.push((reply, duplicated));
+            } else {
+                late.push(reply);
+            }
+        }
+        // Arrival order = (timestamp, index): out of batch order as soon
+        // as jitter reorders latencies, yet fully deterministic.
+        on_time.sort_by_key(|(r, _)| (r.at_ms, r.index));
+        late.sort_by_key(|r| (r.at_ms, r.index));
+
+        let deadline_at = t0 + req.deadline_ms;
+        let mut out = Vec::new();
+        if self.cfg.replay_stale {
+            for stale in self.last_replies.remove(&req.name).unwrap_or_default() {
+                out.push(HostDelivery::Reply(stale));
+            }
+        }
+        for (reply, duplicated) in &on_time {
+            out.push(HostDelivery::Reply(*reply));
+            if *duplicated {
+                out.push(HostDelivery::Reply(*reply));
+            }
+        }
+        out.push(HostDelivery::Deadline {
+            round,
+            at_ms: deadline_at,
+        });
+        let mut horizon = deadline_at;
+        for reply in &late {
+            out.push(HostDelivery::Reply(*reply));
+            horizon = horizon.max(reply.at_ms);
+        }
+        self.clocks
+            .entry(req.job.0)
+            .or_default()
+            .advance_to(horizon);
+        if self.cfg.replay_stale {
+            self.last_replies.insert(
+                req.name.clone(),
+                on_time.into_iter().map(|(r, _)| r).collect(),
+            );
+        }
+        out
+    }
+}

@@ -1,0 +1,176 @@
+//! Golden-file tests for the `serve-events.v1` lifecycle-event schema
+//! (DESIGN.md §16.4).
+//!
+//! Mirrors the guarantees `schema_roundtrip.rs` pins for the other
+//! versioned formats:
+//!
+//! 1. **Byte fidelity** — a fully populated event log exports
+//!    byte-identically to the committed golden file, and export → parse
+//!    → re-export is the identity (for the golden document and for a
+//!    log produced by a *live* daemon job);
+//! 2. **Version rejection** — a document declaring an unknown schema
+//!    version is refused with an error naming both the found and the
+//!    supported version, never a panic.
+//!
+//! Regenerate the golden file after an *intentional* format change with
+//! `CHEF_REGEN_GOLDEN=1 cargo test -p chef-serve --test serve_events_schema`.
+
+use chef_serve::{
+    export_events, parse_events, EventKind, JobEvent, JobManager, SimAnnotator, SimAnnotatorConfig,
+    EVENTS_SCHEMA_VERSION,
+};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .join("tests/golden/serve_events_v1_golden.json")
+}
+
+fn regen() -> bool {
+    std::env::var_os("CHEF_REGEN_GOLDEN").is_some()
+}
+
+/// A hand-built log exercising every field shape the writer can emit:
+/// all nine event kinds, round-scoped and unscoped events, present and
+/// absent detail strings (including characters JSON must escape).
+fn golden_events() -> Vec<JobEvent> {
+    let ev = |seq, kind, round, detail: &str| JobEvent {
+        seq,
+        kind,
+        round,
+        detail: detail.to_string(),
+    };
+    vec![
+        ev(0, EventKind::JobStart, None, ""),
+        ev(1, EventKind::RoundStart, Some(0), "selected=5"),
+        ev(
+            2,
+            EventKind::AwaitingAnnotation,
+            Some(0),
+            "deadline_ms=1000",
+        ),
+        ev(
+            3,
+            EventKind::RoundComplete,
+            Some(0),
+            "cleaned=4 ambiguous=1",
+        ),
+        ev(4, EventKind::Paused, Some(1), ""),
+        ev(5, EventKind::Resumed, Some(1), ""),
+        ev(6, EventKind::RoundStart, Some(1), "selected=5"),
+        ev(
+            7,
+            EventKind::AwaitingAnnotation,
+            Some(1),
+            "deadline_ms=1000",
+        ),
+        ev(
+            8,
+            EventKind::Error,
+            Some(1),
+            "killed mid-round 1 \"injected\"\n",
+        ),
+        ev(9, EventKind::Cancelled, None, ""),
+        ev(
+            10,
+            EventKind::JobComplete,
+            None,
+            "rounds=2 cleaned_total=8 interrupted=true",
+        ),
+    ]
+}
+
+#[test]
+fn export_matches_golden_byte_for_byte() {
+    let doc = export_events("golden-tenant", &golden_events());
+    let path = golden_path();
+    if regen() {
+        std::fs::write(&path, &doc).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect(
+        "golden file missing — run CHEF_REGEN_GOLDEN=1 cargo test -p chef-serve --test serve_events_schema",
+    );
+    assert_eq!(
+        doc, golden,
+        "serve-events.v1 export drifted from the committed golden file"
+    );
+}
+
+#[test]
+fn golden_document_roundtrips() {
+    if regen() {
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path()).expect(
+        "golden file missing — run CHEF_REGEN_GOLDEN=1 cargo test -p chef-serve --test serve_events_schema",
+    );
+    let (job, events) = parse_events(&golden).expect("golden document parses");
+    assert_eq!(job, "golden-tenant");
+    assert_eq!(events, golden_events());
+    assert_eq!(
+        export_events(&job, &events),
+        golden,
+        "parse → re-export must be byte-identical"
+    );
+}
+
+/// The export path wired through a *live* daemon job (spec-submitted,
+/// sim-annotated) also round-trips, and its log is schema-complete:
+/// dense `seq`, known kinds only, a `job_start`/`job_complete` envelope.
+#[test]
+fn live_job_event_log_roundtrips() {
+    let mgr = JobManager::new(Box::new(SimAnnotator::new(SimAnnotatorConfig {
+        seed: 9,
+        latency_base_ms: 3,
+        latency_jitter_ms: 5,
+        ..SimAnnotatorConfig::default()
+    })));
+    let spec =
+        r#"{"name":"live","dataset":"MIMIC","scale":30,"seed":5,"budget":10,"round_size":5}"#;
+    let req = chef_serve::job_request_from_spec(spec).expect("spec parses");
+    let id = mgr.submit(req);
+    mgr.wait(id).expect("job completes");
+
+    let events = mgr.events(id).expect("job has an event log");
+    let doc = export_events("live", &events);
+    let (job, parsed) = parse_events(&doc).expect("live export parses");
+    assert_eq!(job, "live");
+    assert_eq!(parsed, events);
+    assert_eq!(export_events(&job, &parsed), doc);
+
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.seq, i as u64, "seq must be dense from 0");
+    }
+    assert_eq!(events.first().map(|e| e.kind), Some(EventKind::JobStart));
+    assert_eq!(events.last().map(|e| e.kind), Some(EventKind::JobComplete));
+}
+
+#[test]
+fn unknown_version_rejected_naming_both_versions() {
+    let future = r#"{"schema":"serve-events.v2","job":"x","events":[]}"#;
+    let err = parse_events(future).expect_err("future version must be refused");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("serve-events.v2") && msg.contains(EVENTS_SCHEMA_VERSION),
+        "error must name found and supported versions, got: {msg}"
+    );
+
+    let missing = r#"{"job":"x","events":[]}"#;
+    assert!(parse_events(missing).is_err(), "schema field is mandatory");
+}
+
+/// Unknown event *kinds* inside a well-versioned document are also
+/// structured errors — forward-compatibility is explicit, not silent.
+#[test]
+fn unknown_event_kind_rejected() {
+    let doc = format!(
+        r#"{{"schema":"{EVENTS_SCHEMA_VERSION}","job":"x","events":[{{"seq":0,"kind":"warp_core_breach"}}]}}"#
+    );
+    let err = parse_events(&doc).expect_err("unknown kind must be refused");
+    assert!(err.to_string().contains("warp_core_breach"));
+}
