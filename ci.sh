@@ -48,6 +48,17 @@ cargo test -q -p chef-serve --features fault-inject --test serve_fault
 echo "==> cargo test (daemon fault harness, serial: --no-default-features)"
 cargo test -q -p chef-serve --no-default-features --features fault-inject --test serve_fault
 
+# The pooled scheduler must preserve every serve invariant at both ends
+# of its pool-size range: 1 worker (fully serialized slices) and the
+# default 4. CHEF_SERVE_WORKERS pins the pool without touching tests.
+echo "==> cargo test (serve suites, 1-worker pool)"
+CHEF_SERVE_WORKERS=1 cargo test -q -p chef-serve
+CHEF_SERVE_WORKERS=1 cargo test -q -p chef-serve --features fault-inject --test serve_fault
+
+echo "==> cargo test (serve suites, 4-worker pool)"
+CHEF_SERVE_WORKERS=4 cargo test -q -p chef-serve
+CHEF_SERVE_WORKERS=4 cargo test -q -p chef-serve --features fault-inject --test serve_fault
+
 # One framed submit + blocking results piped through the daemon's stdio
 # mode: proves the binary, the protocol, and the job manager compose
 # outside the test harness. `results` waits for the job, so the smoke
@@ -71,6 +82,12 @@ serve_smoke
 
 echo "==> chef-serve stdio smoke (--no-default-features)"
 serve_smoke --no-default-features
+
+echo "==> serve_scale bench (quick smoke: pooled vs thread-per-job, thread census + bit identity)"
+cargo run -q --release -p chef-serve --bin serve_scale -- --quick
+
+echo "==> serve_scale bench (quick smoke, --no-default-features)"
+cargo run -q --release -p chef-serve --bin serve_scale --no-default-features -- --quick
 
 echo "==> infl_kernels bench (quick smoke: batched kernels run end-to-end)"
 cargo run -q --release -p chef-bench --bin infl_kernels -- --quick

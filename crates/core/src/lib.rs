@@ -73,7 +73,7 @@ pub use influence::{
 pub use lissa::{lissa_influence_vector, lissa_solve, LissaConfig};
 pub use metrics::{accuracy, confusion_matrix, evaluate_f1, f1_score, macro_f1, Evaluation};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, RoundReport, StorePipelineReport};
-pub use round::{AnnotationBatch, BatchItem, RoundLoop, RoundStep};
+pub use round::{AnnotationBatch, BatchItem, RoundLoop, RoundStep, SuspendedLoop};
 pub use selector::{
     InflSelector, SampleSelector, Selection, SelectorCheckpoint, SelectorContext, SelectorStats,
 };

@@ -473,6 +473,25 @@ impl Pipeline {
         )))
     }
 
+    /// Reattach a [`crate::SuspendedLoop`] to its resources and continue
+    /// it as a live [`RoundLoop`] — the other half of
+    /// [`RoundLoop::suspend`]. The borrows must be the same logical
+    /// resources the loop was suspended from (same training store
+    /// contents, same model, same selector instance); the constructor is
+    /// rebuilt fresh, which is bit-identical because it is stateless
+    /// across rounds (the resume path already relies on this).
+    pub fn reattach_round_loop<'a>(
+        &'a self,
+        model: &'a dyn Model,
+        data: &'a mut dyn DatasetStore,
+        val: &'a dyn DatasetStore,
+        test: &'a dyn DatasetStore,
+        selector: &'a mut dyn SampleSelector,
+        suspended: crate::SuspendedLoop,
+    ) -> RoundLoop<'a> {
+        RoundLoop::from_suspended(self, model, data, val, test, selector, suspended)
+    }
+
     /// [`Self::round_loop`] resuming from the newest readable checkpoint
     /// generation in `dir` (same fallback-over-corrupt-generations
     /// behavior as [`Self::resume_latest`]): restores labels, selector

@@ -107,6 +107,40 @@ struct PendingRound {
     selector_tel: SelectorTelemetry,
 }
 
+/// A [`RoundLoop`] detached from its borrowed resources: plain owned
+/// data (`Send`), movable between threads, reattachable with
+/// [`Pipeline::reattach_round_loop`].
+///
+/// This is what makes a cleaning job a *cooperatively schedulable*
+/// state machine: `chef-serve`'s pooled scheduler suspends a job at its
+/// annotation boundary, hands the worker thread to another tenant, and
+/// later reattaches the suspended state on whichever worker picks the
+/// job up next. Suspension is lossless — the loop's cross-round state,
+/// any outstanding batch's parked select-phase output, and the
+/// interrupt flag all travel along — and the constructor is rebuilt at
+/// reattach exactly as [`Pipeline::resume`] rebuilds it, which is
+/// stateless (`ModelConstructor::update` is `&self`; all cross-round
+/// training state lives in the traveling loop state), so a
+/// suspended-and-reattached run is bit-identical to an uninterrupted
+/// one.
+pub struct SuspendedLoop {
+    state: LoopState,
+    pending: Option<PendingRound>,
+    interrupted: bool,
+}
+
+impl SuspendedLoop {
+    /// 0-based index of the next round to run.
+    pub fn round(&self) -> usize {
+        self.state.round
+    }
+
+    /// Whether a batch was out for annotation at suspension time.
+    pub fn awaiting(&self) -> bool {
+        self.pending.is_some()
+    }
+}
+
 /// The cleaning loop with the annotation phase factored out; see the
 /// module docs. Obtained from [`Pipeline::round_loop`] or
 /// [`Pipeline::resume_round_loop_latest`].
@@ -145,6 +179,43 @@ impl<'a> RoundLoop<'a> {
             state,
             pending: None,
             interrupted: false,
+        }
+    }
+
+    pub(crate) fn from_suspended(
+        pipeline: &'a Pipeline,
+        model: &'a dyn Model,
+        data: &'a mut dyn DatasetStore,
+        val: &'a dyn DatasetStore,
+        test: &'a dyn DatasetStore,
+        selector: &'a mut dyn SampleSelector,
+        suspended: SuspendedLoop,
+    ) -> Self {
+        let ctor = pipeline.constructor();
+        Self {
+            pipeline,
+            ctor,
+            model,
+            data,
+            val,
+            test,
+            selector,
+            state: suspended.state,
+            pending: suspended.pending,
+            interrupted: suspended.interrupted,
+        }
+    }
+
+    /// Detach the loop from its borrows into an owned, movable
+    /// [`SuspendedLoop`]. Legal at any point — between rounds or with a
+    /// batch outstanding; an outstanding batch's parked select output
+    /// travels with the suspension and the reattached loop accepts its
+    /// [`Self::provide`] as if nothing happened.
+    pub fn suspend(self) -> SuspendedLoop {
+        SuspendedLoop {
+            state: self.state,
+            pending: self.pending,
+            interrupted: self.interrupted,
         }
     }
 

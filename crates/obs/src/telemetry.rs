@@ -145,6 +145,13 @@ mod enabled {
                 .unwrap_or(0)
         }
 
+        /// Current value of a gauge (`None` when never set or disabled).
+        pub fn gauge(&self, name: &str) -> Option<f64> {
+            self.inner
+                .as_ref()
+                .and_then(|reg| reg.gauges.lock().unwrap().get(name).copied())
+        }
+
         /// Number of rounds recorded so far (0 when disabled).
         pub fn rounds_recorded(&self) -> usize {
             self.inner
@@ -296,6 +303,11 @@ mod noop {
         /// Always 0.
         pub fn counter(&self, _name: &str) -> u64 {
             0
+        }
+
+        /// Always `None`.
+        pub fn gauge(&self, _name: &str) -> Option<f64> {
+            None
         }
 
         /// Always 0.

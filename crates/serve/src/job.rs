@@ -1,35 +1,38 @@
-//! The multi-tenant job manager: one worker thread per cleaning job, one
-//! annotator-service thread per manager, plain `std::thread` + `mpsc`
-//! (the PR-8 prefetch style — no async runtime in the offline shim set).
+//! The multi-tenant job manager: a facade over the pooled cooperative
+//! scheduler in [`crate::sched`] (DESIGN.md §17). N tenant jobs
+//! multiplex onto M pool workers plus one annotator-service thread —
+//! plain `std::thread` + `mpsc`, no async runtime in the offline shim
+//! set.
 //!
 //! A job owns its dataset, model and selector, drives a
-//! [`RoundLoop`] and parks at the annotation boundary: the batch goes to
-//! the annotator service, replies flow back into the job's inbox in
-//! arrival order, and the round completes when every slot is answered or
-//! the deadline marker lands (missing slots abstain — the synchronous
-//! timeout path). Stale replies (wrong round) and duplicates (slot
-//! already filled) are counted and ignored idempotently, which is what
-//! makes delivery order irrelevant to the result.
+//! [`chef_core::RoundLoop`] and *parks* at the annotation boundary —
+//! suspended, holding no thread — until the annotator service delivers
+//! its replies. Replies fill the round's slots in arrival order and the
+//! round completes when every slot is answered or the deadline marker
+//! lands (missing slots abstain — the synchronous timeout path). Stale
+//! replies (wrong round) and duplicates (slot already filled) are
+//! counted and ignored idempotently, which is what makes delivery order
+//! irrelevant to the result.
+//!
+//! Admission is bounded: beyond [`crate::SchedConfig::queue_bound`] live
+//! jobs, [`JobManager::try_submit`] answers the recoverable
+//! [`ServeError::Busy`] instead of accumulating unbounded state.
 //!
 //! Jobs are backed by the `checkpoint.v1` store via their
 //! [`PipelineConfig::checkpoint`]: a killed job (process death, or the
 //! injected `kill_mid_round` fault) is resubmitted with
 //! [`JobRequest::resume_from`] and continues bit-identically.
 
-use crate::annotator::{AnnotationRequest, AnnotatorHost, HostDelivery, JobId, SampleReply};
+use crate::annotator::{AnnotationRequest, AnnotatorHost, JobId};
 use crate::events::{EventKind, JobEvent};
-use chef_core::{
-    AnnotationOutcome, AnnotationStats, Pipeline, PipelineConfig, PipelineReport, RoundLoop,
-    RoundStep, SampleDecision, SampleSelector, Telemetry,
-};
+use crate::sched::{host_loop, worker_loop, Sched, SchedConfig, SchedStats};
+use chef_core::{PipelineConfig, PipelineReport, SampleSelector, Telemetry};
 use chef_model::{Dataset, Model};
-use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 /// Everything a job needs: a tenant's dataset, model, selector and
 /// pipeline configuration, plus the serve-level knobs.
@@ -59,9 +62,11 @@ pub struct JobRequest {
     pub resume_from: Option<PathBuf>,
 }
 
-/// Job lifecycle states (DESIGN.md §16.1).
+/// Job lifecycle states (DESIGN.md §16.1, §17.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
+    /// Admitted, waiting for a pool worker (first slice not yet run).
+    Queued,
     /// Between rounds: selecting, updating, evaluating.
     Running,
     /// Parked at the annotation boundary.
@@ -80,6 +85,7 @@ impl JobState {
     /// Wire name (status payloads).
     pub fn as_str(&self) -> &'static str {
         match self {
+            JobState::Queued => "queued",
             JobState::Running => "running",
             JobState::AwaitingAnnotation => "awaiting_annotation",
             JobState::Paused => "paused",
@@ -137,6 +143,9 @@ pub enum ServeError {
     JobFailed(String),
     /// The job was cancelled before producing a report.
     JobCancelled,
+    /// Admission refused: the daemon already holds `queue_bound` live
+    /// jobs. Recoverable — resubmit after one completes.
+    Busy,
 }
 
 impl fmt::Display for ServeError {
@@ -145,45 +154,31 @@ impl fmt::Display for ServeError {
             ServeError::UnknownJob(id) => write!(f, "unknown job {id}"),
             ServeError::JobFailed(e) => write!(f, "job failed: {e}"),
             ServeError::JobCancelled => write!(f, "job was cancelled"),
+            ServeError::Busy => write!(f, "daemon busy: admission queue full"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// Messages into a job's inbox: annotator deliveries and control verbs,
-/// one uniform channel so the job has a single blocking point.
-enum JobMsg {
-    Delivery(HostDelivery),
-    Pause,
-    Resume,
-    Cancel,
+pub(crate) struct JobInner {
+    pub(crate) state: JobState,
+    pub(crate) round: usize,
+    pub(crate) spent: usize,
+    pub(crate) cleaned: usize,
+    pub(crate) error: Option<String>,
+    pub(crate) result: Option<JobResult>,
 }
 
-/// What the annotator-service thread consumes.
-struct HostRequest {
-    req: AnnotationRequest,
-    reply_to: Sender<JobMsg>,
-}
-
-struct JobInner {
-    state: JobState,
-    round: usize,
-    spent: usize,
-    cleaned: usize,
-    error: Option<String>,
-    result: Option<JobResult>,
-}
-
-struct JobShared {
-    name: String,
-    inner: Mutex<JobInner>,
-    done: Condvar,
-    events: Mutex<Vec<JobEvent>>,
+pub(crate) struct JobShared {
+    pub(crate) name: String,
+    pub(crate) inner: Mutex<JobInner>,
+    pub(crate) done: Condvar,
+    pub(crate) events: Mutex<Vec<JobEvent>>,
 }
 
 impl JobShared {
-    fn event(&self, kind: EventKind, round: Option<usize>, detail: String) {
+    pub(crate) fn event(&self, kind: EventKind, round: Option<usize>, detail: String) {
         let mut ev = self.events.lock().unwrap();
         let seq = ev.len() as u64;
         ev.push(JobEvent {
@@ -194,7 +189,7 @@ impl JobShared {
         });
     }
 
-    fn set_state(&self, state: JobState) {
+    pub(crate) fn set_state(&self, state: JobState) {
         let mut inner = self.inner.lock().unwrap();
         inner.state = state;
         // Every transition wakes waiters: `wait` only cares about
@@ -203,129 +198,98 @@ impl JobShared {
     }
 }
 
-struct JobEntry {
-    id: JobId,
-    shared: Arc<JobShared>,
-    tx: Sender<JobMsg>,
-    handle: Option<JoinHandle<()>>,
-}
-
-/// The daemon core: submits jobs, routes annotator traffic, exposes
-/// status/results/events, and records `serve.*` counters on its
-/// [`Telemetry`] handle.
+/// The daemon core: admits jobs into the pooled scheduler, routes
+/// annotator traffic, exposes status/results/events, and records
+/// `serve.*` counters and `sched.*` gauges on its [`Telemetry`] handle.
 pub struct JobManager {
-    jobs: Mutex<Vec<JobEntry>>,
-    host_tx: Option<Sender<HostRequest>>,
+    sched: Arc<Sched>,
+    workers: Vec<JoinHandle<()>>,
+    /// Kept only so `Drop` can close the host channel after the workers
+    /// (who hold the other clones) have exited.
+    host_tx: Option<Sender<AnnotationRequest>>,
     host_handle: Option<JoinHandle<()>>,
     telemetry: Telemetry,
-    next_id: Mutex<u64>,
 }
 
 impl JobManager {
-    /// Start a manager whose jobs annotate through `host`. The service
-    /// thread owns the host; it shuts down when the manager drops.
+    /// Start a manager whose jobs annotate through `host`, with the
+    /// default pool configuration ([`SchedConfig::default`]).
     pub fn new(host: Box<dyn AnnotatorHost>) -> Self {
         Self::with_telemetry(host, Telemetry::enabled())
     }
 
     /// [`Self::new`] with a caller-provided telemetry handle for the
-    /// `serve.*` counters.
+    /// `serve.*` counters and `sched.*` gauges.
     pub fn with_telemetry(host: Box<dyn AnnotatorHost>, telemetry: Telemetry) -> Self {
-        let (host_tx, host_rx) = channel::<HostRequest>();
-        let mut host = host;
+        Self::with_config(host, telemetry, SchedConfig::default())
+    }
+
+    /// Full-control constructor: pool size and admission bound.
+    pub fn with_config(
+        host: Box<dyn AnnotatorHost>,
+        telemetry: Telemetry,
+        cfg: SchedConfig,
+    ) -> Self {
+        let sched = Arc::new(Sched::new(cfg, telemetry.clone()));
+        let (host_tx, host_rx) = channel::<AnnotationRequest>();
+        let workers = (0..sched.config().workers)
+            .map(|i| {
+                let sched = Arc::clone(&sched);
+                let host_tx = host_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("chef-serve-worker-{i}"))
+                    .spawn(move || worker_loop(sched, host_tx))
+                    .expect("spawn pool worker thread")
+            })
+            .collect();
+        let host_sched = Arc::clone(&sched);
         let host_handle = std::thread::Builder::new()
             .name("chef-serve-annotators".into())
-            .spawn(move || {
-                while let Ok(hr) = host_rx.recv() {
-                    for delivery in host.annotate(&hr.req) {
-                        // A dead job (killed, cancelled) dropped its
-                        // inbox; its stragglers evaporate here.
-                        let _ = hr.reply_to.send(JobMsg::Delivery(delivery));
-                    }
-                }
-            })
+            .spawn(move || host_loop(host_sched, host, host_rx))
             .expect("spawn annotator service thread");
         Self {
-            jobs: Mutex::new(Vec::new()),
+            sched,
+            workers,
             host_tx: Some(host_tx),
             host_handle: Some(host_handle),
             telemetry,
-            next_id: Mutex::new(1),
         }
     }
 
-    /// The manager-wide telemetry handle (`serve.*` counters).
+    /// The manager-wide telemetry handle (`serve.*` counters, `sched.*`
+    /// gauges).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
     }
 
-    /// Submit a job; its worker thread starts immediately.
+    /// The pool configuration this manager runs with.
+    pub fn config(&self) -> &SchedConfig {
+        self.sched.config()
+    }
+
+    /// Snapshot the scheduler: queue depth, busy workers, parked jobs,
+    /// the per-job slice ledger and the completion order.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats()
+    }
+
+    /// Submit a job, panicking if admission is refused — the historical
+    /// infallible signature, for callers that size their own workloads.
+    /// Prefer [`Self::try_submit`] when the daemon is shared.
     pub fn submit(&self, req: JobRequest) -> JobId {
-        let id = {
-            let mut next = self.next_id.lock().unwrap();
-            let id = JobId(*next);
-            *next += 1;
-            id
-        };
-        let shared = Arc::new(JobShared {
-            name: req.name.clone(),
-            inner: Mutex::new(JobInner {
-                state: JobState::Running,
-                round: 0,
-                spent: 0,
-                cleaned: 0,
-                error: None,
-                result: None,
-            }),
-            done: Condvar::new(),
-            events: Mutex::new(Vec::new()),
-        });
-        let (tx, rx) = channel::<JobMsg>();
-        let host_tx = self
-            .host_tx
-            .as_ref()
-            .expect("manager host channel alive")
-            .clone();
-        let worker_shared = Arc::clone(&shared);
-        let worker_tx = tx.clone();
-        let serve_tel = self.telemetry.clone();
-        self.telemetry.add("serve.jobs_submitted", 1);
-        let handle = std::thread::Builder::new()
-            .name(format!("chef-serve-{id}"))
-            .spawn(move || run_job(id, req, worker_shared, rx, worker_tx, host_tx, serve_tel))
-            .expect("spawn job thread");
-        self.jobs.lock().unwrap().push(JobEntry {
-            id,
-            shared,
-            tx,
-            handle: Some(handle),
-        });
-        id
+        self.try_submit(req)
+            .expect("admission refused: daemon at queue_bound")
     }
 
-    fn entry_shared(&self, id: JobId) -> Option<Arc<JobShared>> {
-        self.jobs
-            .lock()
-            .unwrap()
-            .iter()
-            .find(|e| e.id == id)
-            .map(|e| Arc::clone(&e.shared))
-    }
-
-    fn send(&self, id: JobId, msg: JobMsg) -> Result<(), ServeError> {
-        let jobs = self.jobs.lock().unwrap();
-        let entry = jobs
-            .iter()
-            .find(|e| e.id == id)
-            .ok_or(ServeError::UnknownJob(id.0))?;
-        // A terminal job's receiver is gone; the verb is a no-op then.
-        let _ = entry.tx.send(msg);
-        Ok(())
+    /// Submit a job. Answers [`ServeError::Busy`] (recoverable: resubmit
+    /// later) when `queue_bound` live jobs are already admitted.
+    pub fn try_submit(&self, req: JobRequest) -> Result<JobId, ServeError> {
+        self.sched.try_submit(req)
     }
 
     /// Snapshot a job's status.
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
-        let shared = self.entry_shared(id)?;
+        let shared = self.sched.shared(id)?;
         let inner = shared.inner.lock().unwrap();
         Some(JobStatus {
             id,
@@ -340,24 +304,26 @@ impl JobManager {
 
     /// The job's lifecycle-event log so far.
     pub fn events(&self, id: JobId) -> Option<Vec<JobEvent>> {
-        let shared = self.entry_shared(id)?;
+        let shared = self.sched.shared(id)?;
         let ev = shared.events.lock().unwrap();
         Some(ev.clone())
     }
 
     /// Ask a job to pause at its next round boundary.
     pub fn pause(&self, id: JobId) -> Result<(), ServeError> {
-        self.send(id, JobMsg::Pause)
+        self.sched.pause(id)
     }
 
     /// Wake a paused job.
     pub fn resume_job(&self, id: JobId) -> Result<(), ServeError> {
-        self.send(id, JobMsg::Resume)
+        self.sched.resume_job(id)
     }
 
-    /// Terminate a job (takes effect at its next blocking point).
+    /// Terminate a job. A job the scheduler holds (queued, parked,
+    /// paused) finalizes immediately; a job mid-slice finalizes at its
+    /// next boundary.
     pub fn cancel(&self, id: JobId) -> Result<(), ServeError> {
-        self.send(id, JobMsg::Cancel)
+        self.sched.cancel(id)
     }
 
     /// Block until the job's state satisfies `pred` (terminal states
@@ -369,7 +335,7 @@ impl JobManager {
         id: JobId,
         pred: impl Fn(JobState) -> bool,
     ) -> Result<JobState, ServeError> {
-        let shared = self.entry_shared(id).ok_or(ServeError::UnknownJob(id.0))?;
+        let shared = self.sched.shared(id).ok_or(ServeError::UnknownJob(id.0))?;
         let mut inner = shared.inner.lock().unwrap();
         while !pred(inner.state) && !inner.state.terminal() {
             inner = shared.done.wait(inner).unwrap();
@@ -379,7 +345,7 @@ impl JobManager {
 
     /// Block until the job reaches a terminal state; return its result.
     pub fn wait(&self, id: JobId) -> Result<JobResult, ServeError> {
-        let shared = self.entry_shared(id).ok_or(ServeError::UnknownJob(id.0))?;
+        let shared = self.sched.shared(id).ok_or(ServeError::UnknownJob(id.0))?;
         let mut inner = shared.inner.lock().unwrap();
         while !inner.state.terminal() {
             inner = shared.done.wait(inner).unwrap();
@@ -396,310 +362,17 @@ impl JobManager {
 
 impl Drop for JobManager {
     fn drop(&mut self) {
-        // Wake every live job with a cancel so no thread outlives the
-        // manager, then retire the annotator service.
-        let mut jobs = self.jobs.lock().unwrap();
-        for entry in jobs.iter() {
-            let _ = entry.tx.send(JobMsg::Cancel);
+        // Cancel everything and let the pool drain: workers exit once
+        // shutdown is flagged and the run queue is empty. Joining them
+        // drops their host-channel clones; dropping ours then closes the
+        // channel and retires the annotator service.
+        self.sched.begin_shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
         }
-        for entry in jobs.iter_mut() {
-            if let Some(h) = entry.handle.take() {
-                let _ = h.join();
-            }
-        }
-        drop(jobs);
-        self.host_tx = None; // closes the service channel
+        self.host_tx = None;
         if let Some(h) = self.host_handle.take() {
             let _ = h.join();
         }
     }
-}
-
-/// Why the collect loop stopped.
-enum Collected {
-    /// Every slot answered or deadline elapsed: outcomes in batch order.
-    Round(Vec<AnnotationOutcome>, AnnotationStats),
-    /// Cancel (or channel shutdown) arrived mid-wait.
-    Cancelled,
-}
-
-/// The job worker body. Control flow mirrors the synchronous driver,
-/// with the annotation phase replaced by the outbox/inbox exchange.
-#[allow(clippy::too_many_arguments)]
-fn run_job(
-    id: JobId,
-    req: JobRequest,
-    shared: Arc<JobShared>,
-    inbox: Receiver<JobMsg>,
-    own_tx: Sender<JobMsg>,
-    host_tx: Sender<HostRequest>,
-    serve_tel: Telemetry,
-) {
-    let JobRequest {
-        name,
-        cfg,
-        model,
-        mut train,
-        val,
-        test,
-        mut selector,
-        deadline_ms,
-        resume_from,
-    } = req;
-    let annotation = cfg.annotation;
-    let job_tel = cfg.telemetry.clone();
-    #[cfg(feature = "fault-inject")]
-    let faults = cfg.faults.clone();
-    let pipeline = Pipeline::new(cfg);
-
-    shared.event(EventKind::JobStart, None, String::new());
-    let mut rl: RoundLoop<'_> = match &resume_from {
-        None => pipeline.round_loop(&*model, &mut train, &val, &test, &mut *selector),
-        Some(dir) => {
-            match pipeline.resume_round_loop_latest(
-                &*model,
-                &mut train,
-                &val,
-                &test,
-                &mut *selector,
-                dir,
-            ) {
-                Ok(rl) => rl,
-                Err(e) => {
-                    let msg = format!("resume failed: {e}");
-                    shared.event(EventKind::Error, None, msg.clone());
-                    shared.inner.lock().unwrap().error = Some(msg);
-                    // Count before the state flip: `wait` returns the
-                    // moment the state is terminal.
-                    serve_tel.add("serve.jobs_failed", 1);
-                    shared.set_state(JobState::Failed);
-                    return;
-                }
-            }
-        }
-    };
-
-    let mut paused = false;
-    let completed = loop {
-        {
-            let mut inner = shared.inner.lock().unwrap();
-            inner.round = rl.round();
-            inner.spent = rl.spent();
-            inner.cleaned = rl.cleaned_total();
-        }
-        // Drain control verbs that arrived during the update phase, and
-        // honor a pause at this round boundary.
-        loop {
-            match inbox.try_recv() {
-                Ok(JobMsg::Pause) => paused = true,
-                Ok(JobMsg::Resume) => paused = false,
-                Ok(JobMsg::Cancel) => {
-                    shared.event(EventKind::Cancelled, None, String::new());
-                    serve_tel.add("serve.jobs_cancelled", 1);
-                    shared.set_state(JobState::Cancelled);
-                    return;
-                }
-                Ok(JobMsg::Delivery(d)) => count_stray(&serve_tel, &d),
-                Err(_) => break,
-            }
-        }
-        if paused {
-            shared.event(EventKind::Paused, Some(rl.round()), String::new());
-            shared.set_state(JobState::Paused);
-            loop {
-                match inbox.recv() {
-                    Ok(JobMsg::Resume) => break,
-                    Ok(JobMsg::Pause) => {}
-                    Ok(JobMsg::Cancel) | Err(_) => {
-                        shared.event(EventKind::Cancelled, None, String::new());
-                        serve_tel.add("serve.jobs_cancelled", 1);
-                        shared.set_state(JobState::Cancelled);
-                        return;
-                    }
-                    Ok(JobMsg::Delivery(d)) => count_stray(&serve_tel, &d),
-                }
-            }
-            paused = false;
-            shared.event(EventKind::Resumed, Some(rl.round()), String::new());
-            shared.set_state(JobState::Running);
-        }
-
-        let batch = match rl.next_batch() {
-            RoundStep::Done => break true,
-            RoundStep::Awaiting(batch) => batch,
-        };
-        shared.event(
-            EventKind::RoundStart,
-            Some(batch.round),
-            format!("selected={}", batch.items.len()),
-        );
-        shared.event(
-            EventKind::AwaitingAnnotation,
-            Some(batch.round),
-            format!("deadline_ms={deadline_ms}"),
-        );
-        shared.set_state(JobState::AwaitingAnnotation);
-        serve_tel.add("serve.batches_emitted", 1);
-        let request = AnnotationRequest {
-            job: id,
-            name: name.clone(),
-            annotation,
-            deadline_ms,
-            batch: batch.clone(),
-        };
-        let _ = host_tx.send(HostRequest {
-            req: request,
-            reply_to: own_tx.clone(),
-        });
-
-        #[cfg(feature = "fault-inject")]
-        if faults.kill_requested(batch.round) {
-            // Simulated kill -9 at the await point: the batch is out,
-            // no outcome of this round was applied, and whatever
-            // checkpoint generation exists on disk is the recovery
-            // point. The job object reports Failed; the host's replies
-            // land in a dropped inbox.
-            let msg = format!("killed mid-round {}", batch.round);
-            shared.event(EventKind::Error, Some(batch.round), msg.clone());
-            shared.inner.lock().unwrap().error = Some(msg);
-            serve_tel.add("serve.jobs_killed", 1);
-            shared.set_state(JobState::Failed);
-            return;
-        }
-
-        let annotate_start = Instant::now();
-        let collected = {
-            let _span = job_tel.span("round.annotate");
-            collect_round(&inbox, &batch, &serve_tel, &mut paused)
-        };
-        let (outcomes, stats) = match collected {
-            Collected::Round(outcomes, stats) => (outcomes, stats),
-            Collected::Cancelled => {
-                shared.event(EventKind::Cancelled, Some(batch.round), String::new());
-                serve_tel.add("serve.jobs_cancelled", 1);
-                shared.set_state(JobState::Cancelled);
-                return;
-            }
-        };
-        shared.set_state(JobState::Running);
-        let report = rl.provide(&outcomes, stats, annotate_start.elapsed());
-        shared.event(
-            EventKind::RoundComplete,
-            Some(report.round),
-            format!("cleaned={} ambiguous={}", report.cleaned, report.ambiguous),
-        );
-        serve_tel.add("serve.rounds_completed", 1);
-        if rl.is_interrupted() {
-            break false;
-        }
-    };
-
-    let rounds = rl.round();
-    let store_report = rl.finish();
-    let cleaned_total = store_report.cleaned_total;
-    let interrupted = store_report.interrupted;
-    let report = store_report.into_report(train);
-    {
-        let mut inner = shared.inner.lock().unwrap();
-        inner.round = rounds;
-        inner.spent = report.rounds.iter().map(|r| r.selected.len()).sum();
-        inner.cleaned = cleaned_total;
-        inner.result = Some(JobResult {
-            report,
-            telemetry_json: job_tel.export_json("serve-job"),
-        });
-    }
-    let _ = completed; // interrupted runs also complete with a (partial) report
-    shared.event(
-        EventKind::JobComplete,
-        None,
-        format!("rounds={rounds} cleaned_total={cleaned_total} interrupted={interrupted}"),
-    );
-    serve_tel.add("serve.jobs_completed", 1);
-    shared.set_state(JobState::Completed);
-}
-
-/// A delivery that arrived outside any collect window (between rounds,
-/// while paused): by construction stale — count it, drop it.
-fn count_stray(serve_tel: &Telemetry, d: &HostDelivery) {
-    if let HostDelivery::Reply(_) = d {
-        serve_tel.add("serve.replies_late", 1);
-    }
-}
-
-/// Park at the annotation boundary: fill slots from replies until the
-/// batch is complete or its deadline marker lands. Control verbs are
-/// honored (pause is deferred to the round boundary; cancel is
-/// immediate).
-fn collect_round(
-    inbox: &Receiver<JobMsg>,
-    batch: &chef_core::AnnotationBatch,
-    serve_tel: &Telemetry,
-    paused: &mut bool,
-) -> Collected {
-    let n = batch.items.len();
-    let pos: HashMap<usize, usize> = batch
-        .items
-        .iter()
-        .enumerate()
-        .map(|(slot, item)| (item.index, slot))
-        .collect();
-    let mut slots: Vec<Option<SampleReply>> = vec![None; n];
-    let mut filled = 0usize;
-    while filled < n {
-        let msg = match inbox.recv() {
-            Ok(m) => m,
-            Err(_) => return Collected::Cancelled,
-        };
-        match msg {
-            JobMsg::Delivery(HostDelivery::Reply(r)) => {
-                if r.round != batch.round {
-                    serve_tel.add("serve.replies_late", 1);
-                    continue;
-                }
-                let Some(&slot) = pos.get(&r.index) else {
-                    serve_tel.add("serve.replies_late", 1);
-                    continue;
-                };
-                if slots[slot].is_some() {
-                    serve_tel.add("serve.replies_duplicate", 1);
-                    continue;
-                }
-                slots[slot] = Some(r);
-                filled += 1;
-                serve_tel.add("serve.replies_received", 1);
-            }
-            JobMsg::Delivery(HostDelivery::Deadline { round, .. }) => {
-                if round == batch.round {
-                    serve_tel.add("serve.deadline_expirations", 1);
-                    break;
-                }
-            }
-            JobMsg::Pause => *paused = true,
-            JobMsg::Resume => *paused = false,
-            JobMsg::Cancel => return Collected::Cancelled,
-        }
-    }
-    let mut stats = AnnotationStats {
-        requested: n,
-        ..AnnotationStats::default()
-    };
-    let outcomes = slots
-        .iter()
-        .map(|s| match s {
-            Some(r) => {
-                stats.record(&SampleDecision {
-                    votes: r.votes,
-                    conflict: r.conflict,
-                    outcome: r.outcome,
-                });
-                r.outcome
-            }
-            None => {
-                stats.record_dropped();
-                AnnotationOutcome::Ambiguous
-            }
-        })
-        .collect();
-    Collected::Round(outcomes, stats)
 }

@@ -10,9 +10,13 @@
 //!
 //! The moving parts:
 //!
-//! * [`JobManager`] ([`job`]) — worker thread per job, a shared
-//!   annotator-service thread, pause/resume/cancel, checkpoint-backed
-//!   kill/resume, `serve.*` counters;
+//! * [`JobManager`] ([`job`]) — the daemon facade: bounded admission
+//!   with the recoverable `busy` error, pause/resume/cancel,
+//!   checkpoint-backed kill/resume, `serve.*` counters;
+//! * the pooled cooperative scheduler ([`sched`], DESIGN.md §17) —
+//!   N tenant jobs multiplexed onto M pool workers; jobs suspend at the
+//!   annotation boundary (no thread held while parked), round-robin
+//!   slicing at round boundaries, `sched.*` gauges and counters;
 //! * [`AnnotatorHost`] ([`annotator`]) — the boundary trait: a batch
 //!   request in, a delivery sequence (replies + deadline marker) out;
 //! * [`SimAnnotator`] ([`sim`]) — the deterministic simulation of that
@@ -38,6 +42,7 @@ pub mod annotator;
 pub mod events;
 pub mod job;
 pub mod protocol;
+pub mod sched;
 pub mod server;
 pub mod sim;
 
@@ -45,5 +50,6 @@ pub use annotator::{AnnotationRequest, AnnotatorHost, HostDelivery, JobId, Sampl
 pub use events::{export_events, parse_events, EventKind, JobEvent, EVENTS_SCHEMA_VERSION};
 pub use job::{JobManager, JobRequest, JobResult, JobState, JobStatus, ServeError};
 pub use protocol::{Frame, FrameError, Verb, MAX_PAYLOAD_BYTES, PROTOCOL_VERSION};
+pub use sched::{SchedConfig, SchedStats};
 pub use server::{dispatch, job_request_from_spec, serve_connection, DEFAULT_DEADLINE_MS};
 pub use sim::{SimAnnotator, SimAnnotatorConfig, VirtualClock};

@@ -1,19 +1,25 @@
 //! The `chef-serve` daemon binary.
 //!
 //! ```text
-//! chef-serve --stdin [--sim-seed N]          # serve one connection on stdio
-//! chef-serve --socket PATH [--sim-seed N]    # serve a unix socket (unix only)
+//! chef-serve --stdin [--sim-seed N] [--workers M] [--queue-bound B]
+//! chef-serve --socket PATH [...]             # serve a unix socket (unix only)
 //! ```
 //!
 //! Annotation is backed by the deterministic [`SimAnnotator`] (there is
 //! no real crowd behind this reproduction); `--sim-seed` scripts it.
-//! The stdio mode is what ci.sh smoke-tests: pipe `chef-serve.v1`
-//! frames in, read response frames out, exit on EOF.
+//! `--workers` sizes the scheduler's pool (default 4) and
+//! `--queue-bound` caps admitted live jobs — beyond it, submits answer
+//! the recoverable `busy` error. The stdio mode is what ci.sh
+//! smoke-tests: pipe `chef-serve.v1` frames in, read response frames
+//! out, exit on EOF.
 
-use chef_serve::{serve_connection, JobManager, SimAnnotator, SimAnnotatorConfig};
+use chef_core::Telemetry;
+use chef_serve::{serve_connection, JobManager, SchedConfig, SimAnnotator, SimAnnotatorConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: chef-serve (--stdin | --socket PATH) [--sim-seed N]");
+    eprintln!(
+        "usage: chef-serve (--stdin | --socket PATH) [--sim-seed N] [--workers M] [--queue-bound B]"
+    );
     std::process::exit(2);
 }
 
@@ -22,6 +28,7 @@ fn main() {
     let mut mode_stdin = false;
     let mut socket: Option<String> = None;
     let mut sim_seed = 1u64;
+    let mut sched = SchedConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -34,6 +41,14 @@ fn main() {
                 Some(s) => sim_seed = s,
                 None => usage(),
             },
+            "--workers" => match it.next().and_then(|s| s.parse().ok()).filter(|&w| w >= 1) {
+                Some(w) => sched.workers = w,
+                None => usage(),
+            },
+            "--queue-bound" => match it.next().and_then(|s| s.parse().ok()).filter(|&b| b >= 1) {
+                Some(b) => sched.queue_bound = b,
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -41,7 +56,7 @@ fn main() {
         seed: sim_seed,
         ..SimAnnotatorConfig::default()
     });
-    let mgr = JobManager::new(Box::new(host));
+    let mgr = JobManager::with_config(Box::new(host), Telemetry::enabled(), sched);
     if mode_stdin {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();

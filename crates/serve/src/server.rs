@@ -159,13 +159,19 @@ pub fn dispatch(mgr: &JobManager, frame: &Frame) -> Frame {
         Verb::Submit => match job_request_from_spec(&frame.payload) {
             Ok(req) => {
                 let name = req.name.clone();
-                let id = mgr.submit(req);
-                let mut w = JsonWriter::new();
-                w.begin_object();
-                w.field_u64("job", id.0);
-                w.field_str("name", &name);
-                w.end_object();
-                Frame::new(Verb::Ok, w.finish())
+                match mgr.try_submit(req) {
+                    Ok(id) => {
+                        let mut w = JsonWriter::new();
+                        w.begin_object();
+                        w.field_u64("job", id.0);
+                        w.field_str("name", &name);
+                        w.end_object();
+                        Frame::new(Verb::Ok, w.finish())
+                    }
+                    // Recoverable backpressure: the stream stays open and
+                    // aligned; the client resubmits after a job finishes.
+                    Err(e) => error_frame("busy", &e.to_string()),
+                }
             }
             Err(e) => error_frame("bad-spec", &e),
         },

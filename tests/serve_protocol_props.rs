@@ -238,6 +238,78 @@ fn frame_error_taxonomy() {
     }
 }
 
+/// Backpressure at the dispatch layer: a daemon at its admission bound
+/// answers `submit` with the recoverable `busy` error code — the
+/// connection stays open, every later frame on the stream still gets
+/// its aligned response, and a freed slot admits the resubmission.
+#[test]
+fn busy_reply_keeps_stream_aligned() {
+    use chef_serve::{serve_connection, JobManager, SchedConfig, SimAnnotator, SimAnnotatorConfig};
+
+    let mgr = JobManager::with_config(
+        Box::new(SimAnnotator::new(SimAnnotatorConfig::default())),
+        chef_core::Telemetry::enabled(),
+        SchedConfig {
+            workers: 1,
+            queue_bound: 1,
+        },
+    );
+    let spec = |name: &str| {
+        format!(
+            r#"{{"name": "{name}", "dataset": "MIMIC", "scale": 30, "seed": 5, "budget": 10, "round_size": 5, "deadline_ms": 1000}}"#
+        )
+    };
+    let mut input = String::new();
+    input.push_str(&Frame::new(Verb::Submit, spec("a")).encode());
+    // Pause lands at job 1's next round boundary, pinning it live: the
+    // daemon is now deterministically at its bound of 1.
+    input.push_str(&Frame::new(Verb::Pause, r#"{"job": 1}"#).encode());
+    input.push_str(&Frame::new(Verb::Submit, spec("refused")).encode());
+    input.push_str(&Frame::new(Verb::Status, r#"{"job": 1}"#).encode());
+    input.push_str(&Frame::new(Verb::Cancel, r#"{"job": 1}"#).encode());
+    // `results` blocks until job 1 is terminal — by the time the next
+    // submit is dispatched, the cancel has freed the admission slot.
+    input.push_str(&Frame::new(Verb::Results, r#"{"job": 1}"#).encode());
+    input.push_str(&Frame::new(Verb::Submit, spec("b")).encode());
+    input.push_str(&Frame::new(Verb::Results, r#"{"job": 2}"#).encode());
+
+    let mut reader = Cursor::new(input.into_bytes());
+    let mut out: Vec<u8> = Vec::new();
+    serve_connection(&mgr, &mut reader, &mut out).expect("serving succeeds");
+
+    let mut rest = std::str::from_utf8(&out).expect("utf8 output");
+    let mut frames = Vec::new();
+    while !rest.is_empty() {
+        let (f, r) = Frame::decode(rest).expect("well-formed response stream");
+        frames.push(f);
+        rest = r;
+    }
+    assert_eq!(frames.len(), 8, "one aligned response per request");
+    let json = |i: usize| chef_obs::parse_json(&frames[i].payload).expect("JSON payload");
+    let error_code = |i: usize| {
+        json(i)
+            .get("error")
+            .and_then(|v| v.as_str().map(String::from))
+    };
+    assert_eq!(frames[0].verb, Verb::Ok, "submit a: {}", frames[0].payload);
+    assert_eq!(json(0).get("job").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(frames[1].verb, Verb::Ok, "pause: {}", frames[1].payload);
+    assert_eq!(frames[2].verb, Verb::Error, "second submit refused");
+    assert_eq!(error_code(2), Some("busy".into()));
+    assert_eq!(frames[3].verb, Verb::Ok, "status still served after busy");
+    assert_eq!(frames[4].verb, Verb::Ok, "cancel: {}", frames[4].payload);
+    assert_eq!(frames[5].verb, Verb::Error, "results of a cancelled job");
+    assert!(frames[5].payload.contains("cancelled"));
+    assert_eq!(
+        frames[6].verb,
+        Verb::Ok,
+        "resubmit admitted after the slot freed"
+    );
+    assert_eq!(json(6).get("job").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(frames[7].verb, Verb::Ok, "job 2 runs to completion");
+    assert!(json(7).get("final_test_f1").is_some());
+}
+
 /// A payload that *contains* something shaped like a frame header must
 /// not confuse the codec: the length prefix wins over line structure.
 #[test]
